@@ -1,0 +1,31 @@
+"""T3 — Table 3 of the paper: the Incomplete/Complete trace of ``IncrementalFD(R, 1)``.
+
+Regenerates the list contents after initialization and after each of the six
+iterations, and checks them against the paper's table, column by column.
+"""
+
+from repro.core.trace import trace_incremental_fd
+from repro.workloads.tourist import TABLE3_TRACE, tourist_database
+
+
+def test_table3_execution_trace(benchmark, report_table):
+    database = tourist_database()
+
+    trace = benchmark(lambda: trace_incremental_fd(database, "Climates"))
+
+    for label, incomplete, complete in TABLE3_TRACE:
+        snapshot = trace.snapshot(label)
+        assert snapshot.incomplete_labels() == incomplete, label
+        assert snapshot.complete_labels() == complete, label
+
+    def render(sets):
+        return " ".join("{" + ",".join(sorted(labels)) + "}" for labels in sets) or "-"
+
+    rows = []
+    for label, incomplete, complete in TABLE3_TRACE:
+        rows.append([label, render(incomplete), render(complete)])
+    report_table(
+        "T3: IncrementalFD({Climates, Accommodations, Sites}, 1) — paper Table 3",
+        ["snapshot", "Incomplete", "Complete"],
+        rows,
+    )

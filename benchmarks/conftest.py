@@ -1,0 +1,43 @@
+"""Shared configuration of the benchmark harness.
+
+Every module in this directory regenerates one experiment of DESIGN.md
+(tables T2/T3 and experiments E1–E9).  Each module:
+
+* prints the experiment's table of rows/series (visible with ``-s``; also
+  appended to ``benchmarks/results.txt`` so EXPERIMENTS.md can quote it), and
+* exercises the core operation through the ``benchmark`` fixture so the run is
+  timed by pytest-benchmark (``pytest benchmarks/ --benchmark-only``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench.reporting import format_table
+
+#: File collecting the printed experiment tables of the latest run.
+RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
+
+
+def pytest_sessionstart(session):
+    # Start a fresh results file per benchmark session.
+    if RESULTS_PATH.exists():
+        RESULTS_PATH.unlink()
+
+
+@pytest.fixture
+def report_table():
+    """Print an experiment table and append it to ``benchmarks/results.txt``."""
+
+    def _report(title, headers, rows):
+        rendered = format_table(title, headers, [[str(c) for c in row] for row in rows])
+        print()
+        print(rendered)
+        with RESULTS_PATH.open("a", encoding="utf-8") as handle:
+            handle.write(rendered)
+            handle.write("\n\n")
+        return rendered
+
+    return _report

@@ -1,0 +1,33 @@
+"""Baseline algorithms the paper compares against, plus a correctness oracle.
+
+* :mod:`repro.baselines.naive` — brute-force enumeration of all maximal JCC
+  tuple sets; exponential, used as the ground-truth oracle in tests.
+* :mod:`repro.baselines.batch` — a batch, polynomial-total-time algorithm in
+  the spirit of Kanza & Sagiv [3]: it produces no output until the whole full
+  disjunction has been computed and recomputes every result once per member
+  tuple (see DESIGN.md §4 for the substitution rationale).
+* :mod:`repro.baselines.outerjoin` — the outerjoin-sequence approach of
+  Rajaraman & Ullman [2], applicable to γ-acyclic schemas only.
+* :mod:`repro.baselines.acyclicity` — α- and γ-acyclicity tests for relation
+  schemas, used to decide when the outerjoin baseline is applicable.
+"""
+
+from repro.baselines.naive import naive_full_disjunction, all_jcc_tuple_sets
+from repro.baselines.batch import BatchFD, batch_full_disjunction
+from repro.baselines.outerjoin import (
+    exists_correct_outerjoin_order,
+    outerjoin_sequence,
+)
+from repro.baselines.acyclicity import is_alpha_acyclic, is_gamma_acyclic, schema_hypergraph
+
+__all__ = [
+    "naive_full_disjunction",
+    "all_jcc_tuple_sets",
+    "BatchFD",
+    "batch_full_disjunction",
+    "outerjoin_sequence",
+    "exists_correct_outerjoin_order",
+    "is_alpha_acyclic",
+    "is_gamma_acyclic",
+    "schema_hypergraph",
+]

@@ -1,0 +1,141 @@
+"""α- and γ-acyclicity of relation schemas.
+
+Rajaraman and Ullman [2] showed that the full disjunction of a set of
+relations can be computed by a sequence of binary full outerjoins exactly when
+the schema hypergraph is **γ-acyclic** (in Fagin's hierarchy of acyclicity
+degrees).  This module decides that property so the outerjoin baseline knows
+when it is applicable, and also provides the classic GYO test for the weaker
+α-acyclicity, which is handy for describing generated workloads.
+
+The γ-acyclicity test enumerates candidate γ-cycles directly from Fagin's
+definition, which is exponential in the number of relations; the databases in
+this reproduction have a handful of relations, so the brute force is entirely
+adequate and trivially correct.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Union
+
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+#: A hypergraph: edge name -> set of attributes.
+Hypergraph = Dict[str, FrozenSet[str]]
+
+
+def schema_hypergraph(source: Union[Database, Iterable[Relation], Iterable[Schema]]) -> Hypergraph:
+    """Build the schema hypergraph of a database (or of schemas/relations)."""
+    hypergraph: Hypergraph = {}
+    if isinstance(source, Database):
+        items: Iterable = source.relations
+    else:
+        items = source
+    for index, item in enumerate(items):
+        if isinstance(item, Relation):
+            hypergraph[item.name] = frozenset(item.schema.attribute_set)
+        elif isinstance(item, Schema):
+            hypergraph[f"R{index + 1}"] = frozenset(item.attribute_set)
+        else:
+            hypergraph[f"R{index + 1}"] = frozenset(item)
+    return hypergraph
+
+
+def is_alpha_acyclic(source) -> bool:
+    """GYO reduction: repeatedly remove ears until nothing is left (α-acyclicity)."""
+    hypergraph = dict(schema_hypergraph(source))
+    edges: Dict[str, set] = {name: set(attributes) for name, attributes in hypergraph.items()}
+    changed = True
+    while changed and edges:
+        changed = False
+        # Rule 1: remove attributes that appear in exactly one edge.
+        attribute_counts: Dict[str, int] = {}
+        for attributes in edges.values():
+            for attribute in attributes:
+                attribute_counts[attribute] = attribute_counts.get(attribute, 0) + 1
+        for name, attributes in edges.items():
+            lonely = {a for a in attributes if attribute_counts[a] == 1}
+            if lonely:
+                attributes -= lonely
+                changed = True
+        # Rule 2: remove empty edges and edges contained in another edge.
+        names = list(edges)
+        for name in names:
+            if name not in edges:
+                continue
+            attributes = edges[name]
+            if not attributes:
+                del edges[name]
+                changed = True
+                continue
+            for other_name, other_attributes in edges.items():
+                if other_name != name and attributes <= other_attributes:
+                    del edges[name]
+                    changed = True
+                    break
+    return not edges
+
+
+def _gamma_cycle_exists(hypergraph: Hypergraph, length: int) -> bool:
+    """Search for a γ-cycle using exactly ``length`` distinct edges."""
+    names = list(hypergraph)
+    for edge_sequence in itertools.permutations(names, length):
+        edges: List[FrozenSet[str]] = [hypergraph[name] for name in edge_sequence]
+        # Candidate attributes x_i ∈ S_i ∩ S_{i+1} (indices mod length).
+        position_options: List[List[str]] = []
+        feasible = True
+        for index in range(length):
+            nxt = (index + 1) % length
+            shared = edges[index] & edges[nxt]
+            if not shared:
+                feasible = False
+                break
+            position_options.append(sorted(shared))
+        if not feasible:
+            continue
+        for attributes in itertools.product(*position_options):
+            if len(set(attributes)) != length:
+                continue  # the x_i must be distinct
+            # For 1 <= i <= length-1 (all but the last), x_i must belong to no
+            # edge of the *cycle* other than S_i and S_{i+1}; the last
+            # attribute x_m is unconstrained, which is what separates γ-cycles
+            # from β-cycles.
+            valid = True
+            for index in range(length - 1):
+                attribute = attributes[index]
+                for other_index in range(length):
+                    if other_index in (index, (index + 1) % length):
+                        continue
+                    if attribute in edges[other_index]:
+                        valid = False
+                        break
+                if not valid:
+                    break
+            if valid:
+                return True
+    return False
+
+
+def is_gamma_acyclic(source) -> bool:
+    """Fagin's γ-acyclicity: no γ-cycle of any length ``m ≥ 3`` exists.
+
+    A γ-cycle is a sequence ``(S_1, x_1, S_2, x_2, …, S_m, x_m, S_1)`` with
+    ``m ≥ 3``, distinct edges ``S_i``, distinct attributes ``x_i`` where
+    ``x_i ∈ S_i ∩ S_{i+1}`` and every ``x_i`` except the last belongs to no
+    other edge.
+    """
+    hypergraph = schema_hypergraph(source)
+    # Duplicate edges (same attribute set under different names) collapse: a
+    # γ-cycle never needs two identical edges, so deduplicate for speed.
+    unique: Hypergraph = {}
+    seen = set()
+    for name, attributes in hypergraph.items():
+        if attributes not in seen:
+            seen.add(attributes)
+            unique[name] = attributes
+    for length in range(3, len(unique) + 1):
+        if _gamma_cycle_exists(unique, length):
+            return False
+    return True

@@ -1,0 +1,97 @@
+"""Brute-force full disjunction: the correctness oracle.
+
+The full disjunction is, by Definition 2.1, exactly the set of *maximal* JCC
+tuple sets.  This module materialises every JCC tuple set by breadth-first
+growth from singletons and keeps the maximal ones.  The cost is exponential in
+the number of relations, which is fine for the small instances used in tests
+(and is precisely why the paper's algorithm exists).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.relational.database import Database
+from repro.core.approx_join import ApproximateJoinFunction
+from repro.core.tupleset import TupleSet
+
+
+def all_jcc_tuple_sets(database: Database) -> List[TupleSet]:
+    """Every non-empty JCC tuple set of the database (exponential!)."""
+    all_tuples = list(database.tuples())
+    seen: Set[TupleSet] = set()
+    frontier: List[TupleSet] = []
+    for t in all_tuples:
+        singleton = TupleSet.singleton(t)
+        seen.add(singleton)
+        frontier.append(singleton)
+    while frontier:
+        next_frontier: List[TupleSet] = []
+        for current in frontier:
+            for t in all_tuples:
+                if t in current:
+                    continue
+                if current.can_absorb(t):
+                    grown = current.with_tuple(t)
+                    if grown not in seen:
+                        seen.add(grown)
+                        next_frontier.append(grown)
+        frontier = next_frontier
+    return sorted(seen, key=lambda ts: ts.sort_key())
+
+
+def _keep_maximal(tuple_sets: List[TupleSet]) -> List[TupleSet]:
+    maximal: List[TupleSet] = []
+    for candidate in tuple_sets:
+        if any(candidate != other and candidate.issubset(other) for other in tuple_sets):
+            continue
+        maximal.append(candidate)
+    return maximal
+
+
+def naive_full_disjunction(database: Database) -> List[TupleSet]:
+    """``FD(R)`` by brute force: all JCC tuple sets, keeping only the maximal ones."""
+    return _keep_maximal(all_jcc_tuple_sets(database))
+
+
+def all_approx_tuple_sets(
+    database: Database,
+    join_function: ApproximateJoinFunction,
+    threshold: float,
+) -> List[TupleSet]:
+    """Every non-empty connected tuple set with ``A(T) ≥ τ`` (exponential!).
+
+    Acceptability of ``A`` makes breadth-first growth complete: every
+    qualifying set can be reached through qualifying subsets.
+    """
+    all_tuples = list(database.tuples())
+    seen: Set[TupleSet] = set()
+    frontier: List[TupleSet] = []
+    for t in all_tuples:
+        singleton = TupleSet.singleton(t)
+        if join_function(singleton) >= threshold:
+            seen.add(singleton)
+            frontier.append(singleton)
+    while frontier:
+        next_frontier: List[TupleSet] = []
+        for current in frontier:
+            for t in all_tuples:
+                if t in current or t.relation_name in current.relations:
+                    continue
+                grown = current.with_tuple(t)
+                if grown in seen:
+                    continue
+                if grown.is_connected and join_function(grown) >= threshold:
+                    seen.add(grown)
+                    next_frontier.append(grown)
+        frontier = next_frontier
+    return sorted(seen, key=lambda ts: ts.sort_key())
+
+
+def naive_approx_full_disjunction(
+    database: Database,
+    join_function: ApproximateJoinFunction,
+    threshold: float,
+) -> List[TupleSet]:
+    """``AFD(R, A, τ)`` by brute force (the approximate correctness oracle)."""
+    return _keep_maximal(all_approx_tuple_sets(database, join_function, threshold))

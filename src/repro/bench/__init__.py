@@ -1,0 +1,5 @@
+"""Shared helpers for the benchmark harness under ``benchmarks/``."""
+
+from repro.bench.reporting import Table, format_table, print_table, time_call
+
+__all__ = ["Table", "format_table", "print_table", "time_call"]

@@ -1,0 +1,74 @@
+"""Plain-text reporting used by every benchmark.
+
+Each benchmark regenerates one of the experiments listed in DESIGN.md and
+prints its rows in a uniform aligned-table format so that EXPERIMENTS.md can
+quote the output directly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+
+class Table:
+    """A simple accumulating text table."""
+
+    def __init__(self, title: str, headers: Sequence[str]):
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but the table has {len(self.headers)} columns"
+            )
+        self.rows.append([_render(cell) for cell in cells])
+
+    def render(self) -> str:
+        return format_table(self.title, self.headers, self.rows)
+
+    def show(self) -> None:
+        print()
+        print(self.render())
+
+
+def _render(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "nan"
+        if abs(cell) >= 1000 or (abs(cell) < 0.001 and cell != 0):
+            return f"{cell:.3e}"
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def format_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """Format a titled, aligned text table."""
+    rows = [list(row) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[index]) for index, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[index] for index in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
+    """Print a titled table built from raw (unrendered) rows."""
+    table = Table(title, headers)
+    for row in rows:
+        table.add_row(*row)
+    table.show()
+
+
+def time_call(function: Callable[[], object]) -> Tuple[object, float]:
+    """Run ``function`` once and return ``(result, elapsed_seconds)``."""
+    started = time.perf_counter()
+    result = function()
+    return result, time.perf_counter() - started

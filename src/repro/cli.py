@@ -1,0 +1,188 @@
+"""Command-line interface: full disjunctions over CSV files.
+
+The CLI makes the library usable without writing Python: point it at a set of
+CSV files (one relation per file, header row = attribute names, ``⊥`` or empty
+cells = nulls) and compute the full disjunction, its top-k under a ranking
+attribute, its approximate variant, or the execution trace of one pass.
+
+Examples
+--------
+::
+
+    python -m repro fd sources/*.csv --limit 20
+    python -m repro fd sources/*.csv --output fd.csv --initialization previous-results
+    python -m repro topk sources/*.csv --k 5 --importance-attribute Stars
+    python -m repro approx sources/*.csv --threshold 0.8 --similarity edit
+    python -m repro trace sources/*.csv --anchor Climates
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.approx import ApproximateFullDisjunction
+from repro.core.approx_join import EditDistanceSimilarity, ExactMatchSimilarity, MinJoin
+from repro.core.full_disjunction import FullDisjunction
+from repro.core.initialization import STRATEGIES
+from repro.core.priority import priority_incremental_fd
+from repro.core.ranking import MaxRanking
+from repro.core.trace import format_trace, trace_incremental_fd
+from repro.relational import csv_io
+from repro.relational.database import Database
+from repro.relational.nulls import is_null
+
+
+def _load_database(paths: Sequence[str], null_token: str) -> Database:
+    if not paths:
+        raise SystemExit("error: at least one CSV file is required")
+    return csv_io.load_database(paths, null_token=null_token)
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("csv", nargs="+", help="CSV files, one relation per file")
+    parser.add_argument(
+        "--null-token",
+        default=csv_io.DEFAULT_NULL_TOKEN,
+        help="cell value treated as null (default: ⊥; empty cells are always null)",
+    )
+    parser.add_argument(
+        "--use-index",
+        action="store_true",
+        help="enable the Section 7 hash index on the Complete/Incomplete lists",
+    )
+
+
+def _command_fd(arguments: argparse.Namespace) -> int:
+    database = _load_database(arguments.csv, arguments.null_token)
+    fd = FullDisjunction(
+        database,
+        use_index=arguments.use_index,
+        initialization=arguments.initialization,
+        block_size=arguments.block_size,
+    )
+    if arguments.limit is not None:
+        results = fd.first(arguments.limit)
+        for tuple_set in results:
+            print(tuple_set)
+        print(f"({len(results)} answers shown; computation stopped early)")
+        return 0
+    print(fd.pretty())
+    print(f"({len(fd.compute())} answers)")
+    if arguments.output:
+        path = csv_io.save_relation(fd.to_relation(), arguments.output)
+        print(f"padded result written to {path}")
+    return 0
+
+
+def _command_topk(arguments: argparse.Namespace) -> int:
+    database = _load_database(arguments.csv, arguments.null_token)
+    attribute = arguments.importance_attribute
+
+    def importance(t):
+        if attribute is None or not t.has_attribute(attribute):
+            return 0.0
+        value = t[attribute]
+        if is_null(value):
+            return 0.0
+        try:
+            return float(value)
+        except (TypeError, ValueError):
+            return 0.0
+
+    ranking = MaxRanking(importance)
+    ranked = priority_incremental_fd(
+        database, ranking, k=arguments.k, use_index=arguments.use_index
+    )
+    for tuple_set, score in ranked:
+        members = ", ".join(sorted(t.label for t in tuple_set))
+        print(f"score {score:10.4f}   {{{members}}}")
+    return 0
+
+
+def _command_approx(arguments: argparse.Namespace) -> int:
+    database = _load_database(arguments.csv, arguments.null_token)
+    if arguments.similarity == "edit":
+        similarity = EditDistanceSimilarity()
+    else:
+        similarity = ExactMatchSimilarity()
+    afd = ApproximateFullDisjunction(
+        database,
+        MinJoin(similarity),
+        threshold=arguments.threshold,
+        use_index=arguments.use_index,
+    )
+    print(afd.pretty())
+    print(f"({len(afd.compute())} answers at threshold {arguments.threshold})")
+    return 0
+
+
+def _command_trace(arguments: argparse.Namespace) -> int:
+    database = _load_database(arguments.csv, arguments.null_token)
+    anchor = arguments.anchor or database.relation_names[0]
+    trace = trace_incremental_fd(database, anchor, use_index=arguments.use_index)
+    print(format_trace(trace))
+    print(f"({trace.iterations} iterations, anchor relation {anchor!r})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Full disjunctions of CSV relations (Cohen & Sagiv, PODS 2005).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    fd_parser = subparsers.add_parser("fd", help="compute the full disjunction")
+    _add_common_arguments(fd_parser)
+    fd_parser.add_argument("--limit", type=int, default=None,
+                           help="stop after this many answers (incremental retrieval)")
+    fd_parser.add_argument("--initialization", choices=STRATEGIES, default="singletons",
+                           help="Incomplete initialization strategy (Section 7)")
+    fd_parser.add_argument("--block-size", type=int, default=None,
+                           help="block-based execution with this block size (Section 7)")
+    fd_parser.add_argument("--output", default=None,
+                           help="write the padded result to this CSV file")
+    fd_parser.set_defaults(handler=_command_fd)
+
+    topk_parser = subparsers.add_parser("topk", help="top-k answers under f_max")
+    _add_common_arguments(topk_parser)
+    topk_parser.add_argument("--k", type=int, required=True, help="number of answers")
+    topk_parser.add_argument(
+        "--importance-attribute",
+        default=None,
+        help="numeric attribute used as the tuple importance imp(t) (missing/invalid -> 0)",
+    )
+    topk_parser.set_defaults(handler=_command_topk)
+
+    approx_parser = subparsers.add_parser(
+        "approx", help="(A_min, τ)-approximate full disjunction"
+    )
+    _add_common_arguments(approx_parser)
+    approx_parser.add_argument("--threshold", type=float, required=True,
+                               help="threshold τ in [0, 1]")
+    approx_parser.add_argument("--similarity", choices=("edit", "exact"), default="edit",
+                               help="pairwise similarity: normalised edit distance or exact match")
+    approx_parser.set_defaults(handler=_command_approx)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="print the Incomplete/Complete trace of one IncrementalFD pass"
+    )
+    _add_common_arguments(trace_parser)
+    trace_parser.add_argument("--anchor", default=None,
+                              help="anchor relation R_i (default: the first relation)")
+    trace_parser.set_defaults(handler=_command_trace)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``python -m repro`` and the ``repro`` console script."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    return arguments.handler(arguments)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,274 @@
+"""``ApproxIncrementalFD`` and ``ApproxGetNextResult`` (Figs. 5 and 6).
+
+Given an *acceptable* and *efficiently computable* approximate join function
+``A`` (see :mod:`repro.core.approx_join`) and a threshold ``τ``, the
+``(A, τ)``-approximate full disjunction ``AFD(R, A, τ)`` (Definition 6.2)
+contains the maximal tuple sets ``T`` with ``A(T) ≥ τ``.  The algorithms here
+compute it in incremental polynomial time (Theorem 6.6), mirroring the exact
+algorithms with three changes, marked ``*`` in the paper's figures:
+
+* initialization only admits singletons ``{t}`` with ``A({t}) ≥ τ``;
+* every ``JCC(·)`` test becomes ``A(·) ≥ τ``;
+* Line 8 may yield *several* maximal candidate subsets per outside tuple
+  (Example 6.3), supplied by ``A.candidate_extensions``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.relational.database import Database
+from repro.relational.nulls import is_null
+from repro.relational.operators import combined_schema, pad_tuple_set
+from repro.core.approx_join import ApproximateJoinFunction
+from repro.core.incremental import AnchorSpec, FDStatistics, resolve_anchor
+from repro.core.pools import CompleteStore, ListIncompletePool
+from repro.core.scanner import TupleScanner
+from repro.core.tupleset import TupleSet
+
+
+def approx_maximally_extend(
+    tuple_set: TupleSet,
+    join_function: ApproximateJoinFunction,
+    threshold: float,
+    scanner: TupleScanner,
+    statistics: Optional[FDStatistics] = None,
+) -> TupleSet:
+    """Lines 2–6 of ``ApproxGetNextResult``: extend while ``A(T ∪ {t_g}) ≥ τ``.
+
+    Because ``A`` is acceptable, any maximal set of ``AFD`` that contains the
+    current set can be reached by such single-tuple steps, so the fixpoint is
+    maximal (see the discussion after Definition 6.4).
+    """
+    current = tuple_set
+    changed = True
+    while changed:
+        changed = False
+        if statistics is not None:
+            statistics.extension_passes += 1
+        for candidate in scanner.scan():
+            if candidate in current:
+                continue
+            if candidate.relation_name in current.relations:
+                continue
+            grown = current.with_tuple(candidate)
+            if grown.is_connected and join_function(grown) >= threshold:
+                current = grown
+                changed = True
+    return current
+
+
+def approx_get_next_result(
+    database: Database,
+    anchor: str,
+    join_function: ApproximateJoinFunction,
+    threshold: float,
+    incomplete: ListIncompletePool,
+    complete: CompleteStore,
+    scanner: Optional[TupleScanner] = None,
+    statistics: Optional[FDStatistics] = None,
+) -> TupleSet:
+    """One call of ``ApproxGetNextResult`` (Fig. 6)."""
+    if scanner is None:
+        scanner = TupleScanner(database)
+
+    # Line 1.
+    result = incomplete.pop()
+
+    # Lines 2-6 (starred): extend while the approximate join stays above τ.
+    result = approx_maximally_extend(result, join_function, threshold, scanner, statistics)
+
+    # Lines 7-18.
+    for outside in scanner.scan():
+        if outside in result:
+            continue
+        # Line 8 (starred): all maximal qualifying subsets containing t_b.
+        candidates = join_function.candidate_extensions(result, outside, threshold)
+        for candidate in candidates:
+            if statistics is not None:
+                statistics.candidates_generated += 1
+            anchor_tuple = candidate.tuple_from(anchor)
+            if anchor_tuple is None:
+                if statistics is not None:
+                    statistics.candidates_without_anchor += 1
+                continue
+            if complete.contains_superset(candidate, anchor=anchor_tuple):
+                if statistics is not None:
+                    statistics.candidates_subsumed += 1
+                continue
+            merged = False
+            for waiting in incomplete.candidates(candidate):
+                union = waiting.union(candidate)
+                # Line 14 (starred): merge when A(S ∪ T') ≥ τ.
+                if union.is_connected and join_function(union) >= threshold:
+                    incomplete.replace(waiting, union)
+                    merged = True
+                    if statistics is not None:
+                        statistics.candidates_merged += 1
+                    break
+            if merged:
+                continue
+            incomplete.add(candidate)
+            if statistics is not None:
+                statistics.candidates_inserted += 1
+
+    return result
+
+
+def approx_incremental_fd(
+    database: Database,
+    anchor: AnchorSpec,
+    join_function: ApproximateJoinFunction,
+    threshold: float,
+    use_index: bool = False,
+    scanner: Optional[TupleScanner] = None,
+    statistics: Optional[FDStatistics] = None,
+) -> Iterator[TupleSet]:
+    """``ApproxIncrementalFD(R, i, A, τ)`` (Fig. 5): generate ``AFD_i(R, A, τ)``."""
+    if not (0.0 <= threshold <= 1.0):
+        raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+    anchor_name = resolve_anchor(database, anchor)
+    if scanner is None:
+        scanner = TupleScanner(database)
+
+    incomplete = ListIncompletePool(anchor_name, use_index=use_index)
+    complete = CompleteStore(anchor_name, use_index=use_index)
+
+    # Lines 1-4 (starred line 3): only singletons that themselves qualify.
+    for t in database.relation(anchor_name):
+        singleton = TupleSet.singleton(t)
+        if join_function(singleton) >= threshold:
+            incomplete.add(singleton)
+
+    while incomplete:
+        result = approx_get_next_result(
+            database,
+            anchor_name,
+            join_function,
+            threshold,
+            incomplete,
+            complete,
+            scanner,
+            statistics,
+        )
+        complete.add(result)
+        if statistics is not None:
+            statistics.results += 1
+            statistics.tuple_reads = scanner.tuple_reads
+            statistics.scan_passes = scanner.passes
+        yield result
+
+
+def approx_full_disjunction_sets(
+    database: Database,
+    join_function: ApproximateJoinFunction,
+    threshold: float,
+    use_index: bool = False,
+    statistics: Optional[FDStatistics] = None,
+) -> Iterator[TupleSet]:
+    """Generate every member of ``AFD(R, A, τ)`` exactly once (Corollary 6.7)."""
+    for index, relation in enumerate(database.relations):
+        earlier = {r.name for r in database.relations[:index]}
+        for result in approx_incremental_fd(
+            database,
+            relation.name,
+            join_function,
+            threshold,
+            use_index=use_index,
+            statistics=statistics,
+        ):
+            if any(result.contains_tuple_from(name) for name in earlier):
+                continue
+            yield result
+
+
+def approx_full_disjunction(
+    database: Database,
+    join_function: ApproximateJoinFunction,
+    threshold: float,
+    use_index: bool = False,
+    statistics: Optional[FDStatistics] = None,
+) -> List[TupleSet]:
+    """Materialise ``AFD(R, A, τ)`` as a list of tuple sets."""
+    return list(
+        approx_full_disjunction_sets(
+            database,
+            join_function,
+            threshold,
+            use_index=use_index,
+            statistics=statistics,
+        )
+    )
+
+
+class ApproximateFullDisjunction:
+    """High-level handle on the ``(A, τ)``-approximate full disjunction."""
+
+    def __init__(
+        self,
+        database: Database,
+        join_function: ApproximateJoinFunction,
+        threshold: float,
+        use_index: bool = False,
+    ):
+        self._database = database
+        self._join_function = join_function
+        self._threshold = threshold
+        self._use_index = use_index
+        self.statistics = FDStatistics()
+        self._cached: Optional[List[TupleSet]] = None
+
+    @property
+    def threshold(self) -> float:
+        return self._threshold
+
+    def __iter__(self) -> Iterator[TupleSet]:
+        return approx_full_disjunction_sets(
+            self._database, self._join_function, self._threshold, use_index=self._use_index
+        )
+
+    def compute(self) -> List[TupleSet]:
+        """Compute and cache the full approximate result."""
+        if self._cached is None:
+            self.statistics = FDStatistics()
+            self._cached = approx_full_disjunction(
+                self._database,
+                self._join_function,
+                self._threshold,
+                use_index=self._use_index,
+                statistics=self.statistics,
+            )
+        return list(self._cached)
+
+    def scores(self) -> Dict[TupleSet, float]:
+        """The approximate-join value ``A(T)`` of every result."""
+        return {tuple_set: self._join_function(tuple_set) for tuple_set in self.compute()}
+
+    def padded_rows(self) -> List[Dict[str, object]]:
+        """Render results as null-padded rows over the union schema."""
+        schema = combined_schema(self._database.relations)
+        return [pad_tuple_set(tuple_set, schema) for tuple_set in self.compute()]
+
+    def pretty(self) -> str:
+        """Render the approximate result with per-row ``A`` values."""
+        schema = combined_schema(self._database.relations)
+        header = ["tuple set", "A"] + list(schema.attributes)
+        rows = []
+        for tuple_set in sorted(self.compute(), key=lambda ts: ts.sort_key()):
+            padded = pad_tuple_set(tuple_set, schema)
+            labels = "{" + ", ".join(sorted(t.label for t in tuple_set)) + "}"
+            rows.append(
+                [labels, f"{self._join_function(tuple_set):.2f}"]
+                + ["⊥" if is_null(padded[a]) else str(padded[a]) for a in schema.attributes]
+            )
+        widths = [len(h) for h in header]
+        for row in rows:
+            for idx, cell in enumerate(row):
+                widths[idx] = max(widths[idx], len(cell))
+        lines = [
+            "  ".join(h.ljust(widths[idx]) for idx, h in enumerate(header)),
+            "  ".join("-" * widths[idx] for idx in range(len(header))),
+        ]
+        for row in rows:
+            lines.append("  ".join(cell.ljust(widths[idx]) for idx, cell in enumerate(row)))
+        return "\n".join(lines)

@@ -1,0 +1,315 @@
+"""Computing the whole full disjunction ``FD(R)`` (Corollary 4.9).
+
+``FD(R)`` is the union of ``FD_i(R)`` over every relation ``R_i``, so the
+driver runs ``IncrementalFD`` once per relation.  Because a tuple set
+containing ``j`` tuples belongs to ``j`` of the ``FD_i``, the driver
+suppresses duplicates: with the default initialization a result of pass ``i``
+is emitted only when it contains no tuple of ``R_1, …, R_{i-1}`` (exactly the
+check the paper describes after Theorem 4.8); with the reuse strategies of
+Section 7 a result is emitted only when it is not contained in a previously
+emitted result.
+
+The module exposes both a generator (:func:`full_disjunction_sets`) for
+streaming consumption — the reason the algorithm exists — and a convenience
+class (:class:`FullDisjunction`) that also renders results as padded rows, as
+in Table 2 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.relational.database import Database
+from repro.relational.nulls import NULL, is_null
+from repro.relational.operators import combined_schema, pad_tuple_set
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.core.incremental import (
+    FDStatistics,
+    get_next_result,
+    incremental_fd,
+)
+from repro.core.initialization import (
+    STRATEGIES,
+    RestrictedScanner,
+    earlier_relations,
+    initial_sets,
+)
+from repro.core.pools import CompleteStore, ListIncompletePool
+from repro.core.scanner import BlockScanner, TupleScanner
+from repro.core.tupleset import TupleSet
+
+
+def full_disjunction_sets(
+    database: Database,
+    use_index: bool = False,
+    initialization: str = "singletons",
+    block_size: Optional[int] = None,
+    statistics: Optional[FDStatistics] = None,
+) -> Iterator[TupleSet]:
+    """Generate every tuple set of ``FD(R)`` exactly once.
+
+    Parameters
+    ----------
+    database:
+        The relations ``R_1, …, R_n`` (in database order).
+    use_index:
+        Enable the Section 7 hash index on ``Complete``/``Incomplete``.
+    initialization:
+        One of :data:`repro.core.initialization.STRATEGIES`.
+    block_size:
+        When given, tuples are scanned block-at-a-time (Section 7
+        "block-based execution"); results are identical.
+    statistics:
+        Optional counters accumulated across all passes.
+    """
+    if initialization not in STRATEGIES:
+        raise ValueError(
+            f"unknown initialization strategy {initialization!r}; expected one of {STRATEGIES}"
+        )
+    if initialization == "singletons":
+        yield from _run_independent_passes(
+            database, use_index=use_index, block_size=block_size, statistics=statistics
+        )
+    else:
+        yield from _run_reusing_passes(
+            database,
+            use_index=use_index,
+            initialization=initialization,
+            block_size=block_size,
+            statistics=statistics,
+        )
+
+
+def _make_scanner(database: Database, block_size: Optional[int]) -> TupleScanner:
+    if block_size is None:
+        return TupleScanner(database)
+    return BlockScanner(database, block_size)
+
+
+def _run_independent_passes(
+    database: Database,
+    use_index: bool,
+    block_size: Optional[int],
+    statistics: Optional[FDStatistics],
+) -> Iterator[TupleSet]:
+    """The paper's basic driver: a fresh ``IncrementalFD`` per relation."""
+    for index, relation in enumerate(database.relations):
+        earlier = {r.name for r in database.relations[:index]}
+        scanner = _make_scanner(database, block_size)
+        pass_statistics = FDStatistics() if statistics is not None else None
+        for result in incremental_fd(
+            database,
+            relation.name,
+            use_index=use_index,
+            scanner=scanner,
+            statistics=pass_statistics,
+        ):
+            # Duplicate suppression: a result containing a tuple of an earlier
+            # relation was already produced by an earlier pass.
+            if any(result.contains_tuple_from(name) for name in earlier):
+                continue
+            yield result
+        if statistics is not None and pass_statistics is not None:
+            pass_statistics.block_reads = getattr(scanner, "block_reads", 0)
+            statistics.merge(pass_statistics)
+
+
+def _run_reusing_passes(
+    database: Database,
+    use_index: bool,
+    initialization: str,
+    block_size: Optional[int],
+    statistics: Optional[FDStatistics],
+) -> Iterator[TupleSet]:
+    """The Section 7 reuse strategies: shared ``Complete``, restricted scans."""
+    produced: List[TupleSet] = []
+    shared_complete = CompleteStore(anchor_relation=None, use_index=use_index)
+    for index, relation in enumerate(database.relations):
+        anchor_name = relation.name
+        skip = earlier_relations(database, anchor_name)
+        scanner = RestrictedScanner(_make_scanner(database, block_size), skip)
+        pass_statistics = FDStatistics() if statistics is not None else None
+
+        incomplete = ListIncompletePool(anchor_name, use_index=use_index)
+        for seed in initial_sets(initialization, database, anchor_name, produced):
+            incomplete.add(seed)
+
+        while incomplete:
+            result = get_next_result(
+                database,
+                anchor_name,
+                incomplete,
+                shared_complete,
+                scanner,
+                pass_statistics,
+            )
+            anchor_tuple = result.tuple_from(anchor_name)
+            already_covered = shared_complete.contains_superset(result, anchor=anchor_tuple)
+            shared_complete.add(result)
+            if pass_statistics is not None:
+                pass_statistics.results += 1
+            if already_covered:
+                # Either the result was produced by an earlier pass verbatim,
+                # or its maximal extension (through an earlier relation) was.
+                continue
+            produced.append(result)
+            yield result
+        if statistics is not None and pass_statistics is not None:
+            pass_statistics.tuple_reads = scanner.tuple_reads
+            pass_statistics.scan_passes = scanner.passes
+            pass_statistics.block_reads = getattr(scanner, "block_reads", 0)
+            statistics.merge(pass_statistics)
+
+
+def full_disjunction(
+    database: Database,
+    use_index: bool = False,
+    initialization: str = "singletons",
+    block_size: Optional[int] = None,
+    statistics: Optional[FDStatistics] = None,
+) -> List[TupleSet]:
+    """Materialise ``FD(R)`` as a list of tuple sets (see :func:`full_disjunction_sets`)."""
+    return list(
+        full_disjunction_sets(
+            database,
+            use_index=use_index,
+            initialization=initialization,
+            block_size=block_size,
+            statistics=statistics,
+        )
+    )
+
+
+def first_k(
+    database: Database,
+    k: int,
+    use_index: bool = False,
+    initialization: str = "singletons",
+    block_size: Optional[int] = None,
+) -> List[TupleSet]:
+    """Return ``k`` (arbitrary) members of ``FD(R)``, stopping all work early.
+
+    This is the operation Theorem 4.10 bounds by ``O(s²·n⁴·k²)``: the
+    generator is simply abandoned after ``k`` results.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    if k == 0:
+        return []
+    results: List[TupleSet] = []
+    for result in full_disjunction_sets(
+        database,
+        use_index=use_index,
+        initialization=initialization,
+        block_size=block_size,
+    ):
+        results.append(result)
+        if len(results) == k:
+            break
+    return results
+
+
+class FullDisjunction:
+    """High-level, reusable handle on the full disjunction of a database.
+
+    Examples
+    --------
+    >>> from repro.workloads.tourist import tourist_database
+    >>> fd = FullDisjunction(tourist_database())
+    >>> len(fd.compute())
+    6
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        use_index: bool = False,
+        initialization: str = "singletons",
+        block_size: Optional[int] = None,
+    ):
+        self._database = database
+        self._use_index = use_index
+        self._initialization = initialization
+        self._block_size = block_size
+        self.statistics = FDStatistics()
+        self._cached: Optional[List[TupleSet]] = None
+
+    @property
+    def database(self) -> Database:
+        return self._database
+
+    def __iter__(self) -> Iterator[TupleSet]:
+        """Stream the members of ``FD(R)`` (no caching)."""
+        return full_disjunction_sets(
+            self._database,
+            use_index=self._use_index,
+            initialization=self._initialization,
+            block_size=self._block_size,
+        )
+
+    def compute(self) -> List[TupleSet]:
+        """Compute and cache the full result."""
+        if self._cached is None:
+            self.statistics = FDStatistics()
+            self._cached = list(
+                full_disjunction_sets(
+                    self._database,
+                    use_index=self._use_index,
+                    initialization=self._initialization,
+                    block_size=self._block_size,
+                    statistics=self.statistics,
+                )
+            )
+        return list(self._cached)
+
+    def first(self, k: int) -> List[TupleSet]:
+        """Return the first ``k`` results produced (incremental retrieval)."""
+        return first_k(
+            self._database,
+            k,
+            use_index=self._use_index,
+            initialization=self._initialization,
+            block_size=self._block_size,
+        )
+
+    def result_schema(self) -> Schema:
+        """The union schema over which padded rows are rendered (as in Table 2)."""
+        return combined_schema(self._database.relations)
+
+    def padded_rows(self) -> List[Dict[str, object]]:
+        """Render every result as a null-padded row (the last columns of Table 2)."""
+        schema = self.result_schema()
+        return [pad_tuple_set(tuple_set, schema) for tuple_set in self.compute()]
+
+    def to_relation(self, name: str = "FD") -> Relation:
+        """Materialise the padded rows as a relation."""
+        schema = self.result_schema()
+        relation = Relation(name, schema, label_prefix="fd")
+        for row in self.padded_rows():
+            relation.add([row[attribute] for attribute in schema.attributes])
+        return relation
+
+    def pretty(self) -> str:
+        """Render the result in the style of Table 2: tuple sets plus padded columns."""
+        schema = self.result_schema()
+        header = ["tuple set"] + list(schema.attributes)
+        rows = []
+        for tuple_set in sorted(self.compute(), key=lambda ts: ts.sort_key()):
+            row = pad_tuple_set(tuple_set, schema)
+            labels = "{" + ", ".join(sorted(t.label for t in tuple_set)) + "}"
+            rows.append(
+                [labels]
+                + ["⊥" if is_null(row[attribute]) else str(row[attribute]) for attribute in schema.attributes]
+            )
+        widths = [len(h) for h in header]
+        for row in rows:
+            for idx, cell in enumerate(row):
+                widths[idx] = max(widths[idx], len(cell))
+        lines = [
+            "  ".join(h.ljust(widths[idx]) for idx, h in enumerate(header)),
+            "  ".join("-" * widths[idx] for idx in range(len(header))),
+        ]
+        for row in rows:
+            lines.append("  ".join(cell.ljust(widths[idx]) for idx, cell in enumerate(row)))
+        return "\n".join(lines)

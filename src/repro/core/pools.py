@@ -1,0 +1,388 @@
+"""The ``Complete`` and ``Incomplete`` containers used by the algorithms.
+
+The paper stores both as linked lists and, in Section 7, recommends replacing
+them with hash tables keyed by the member tuple of the anchor relation
+``R_i``, so that the subsumption test (Line 11) and the merge test (Line 14)
+of ``GetNextResult`` only scan the tuple sets that share the candidate's
+``R_i`` tuple.  Both behaviours are implemented here behind one interface so
+the optimization can be switched on and off (and measured — experiment E6).
+
+Three containers are provided:
+
+* :class:`CompleteStore` — already-printed results; answers "is ``T'``
+  contained in some stored set?".
+* :class:`ListIncompletePool` — the ``Incomplete`` list of ``IncrementalFD``;
+  positional list semantics matching the paper's linked list.
+* :class:`PriorityIncompletePool` — the ``Incomplete_i`` priority queues of
+  ``PriorityIncrementalFD``; extraction by highest rank.
+
+All containers count the tuple sets they scan, which the benchmarks use as a
+machine-independent work measure.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+from repro.relational.tuples import Tuple
+from repro.core.tupleset import TupleSet
+
+
+class PoolStatistics:
+    """Work counters shared by all containers (used by the benchmark harness)."""
+
+    __slots__ = ("sets_scanned", "additions", "removals", "replacements", "peak_size")
+
+    def __init__(self) -> None:
+        self.sets_scanned = 0
+        self.additions = 0
+        self.removals = 0
+        self.replacements = 0
+        self.peak_size = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "sets_scanned": self.sets_scanned,
+            "additions": self.additions,
+            "removals": self.removals,
+            "replacements": self.replacements,
+            "peak_size": self.peak_size,
+        }
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(f"{key}={value}" for key, value in self.as_dict().items())
+        return f"PoolStatistics({rendered})"
+
+
+class CompleteStore:
+    """The ``Complete`` list: results already printed.
+
+    Parameters
+    ----------
+    anchor_relation:
+        Name of the relation ``R_i`` whose member tuple keys the hash index.
+        Only used when ``use_index`` is true.  In the priority algorithm the
+        store is shared by all indexes; the superset probe then passes the
+        anchor tuple explicitly.
+    use_index:
+        When true, stored sets are additionally hashed by *every* member
+        tuple, and superset probes restricted to the bucket of the probe's
+        anchor tuple (Section 7 optimization).
+    """
+
+    def __init__(self, anchor_relation: Optional[str] = None, use_index: bool = False):
+        self._anchor_relation = anchor_relation
+        self._use_index = use_index
+        self._sets: List[TupleSet] = []
+        self._members = set()
+        self._buckets: Dict[Tuple, List[TupleSet]] = {}
+        self.statistics = PoolStatistics()
+
+    def __len__(self) -> int:
+        return len(self._sets)
+
+    def __iter__(self) -> Iterator[TupleSet]:
+        return iter(self._sets)
+
+    def __contains__(self, tuple_set: TupleSet) -> bool:
+        return tuple_set in self._members
+
+    def add(self, tuple_set: TupleSet) -> None:
+        """Store a printed result."""
+        self._sets.append(tuple_set)
+        self._members.add(tuple_set)
+        self.statistics.additions += 1
+        self.statistics.peak_size = max(self.statistics.peak_size, len(self._sets))
+        if self._use_index:
+            for t in tuple_set:
+                self._buckets.setdefault(t, []).append(tuple_set)
+
+    def _candidates(self, probe: TupleSet, anchor: Optional[Tuple]) -> Iterable[TupleSet]:
+        if self._use_index:
+            key = anchor
+            if key is None and self._anchor_relation is not None:
+                key = probe.tuple_from(self._anchor_relation)
+            if key is not None:
+                return self._buckets.get(key, ())
+            # Fall back to a full scan when no anchor tuple is available.
+        return self._sets
+
+    def contains_superset(self, probe: TupleSet, anchor: Optional[Tuple] = None) -> bool:
+        """Line 11 of ``GetNextResult``: is ``probe`` contained in a stored set?"""
+        for stored in self._candidates(probe, anchor):
+            self.statistics.sets_scanned += 1
+            if probe.issubset(stored):
+                return True
+        return False
+
+    def as_list(self) -> List[TupleSet]:
+        """The stored sets in insertion (printing) order."""
+        return list(self._sets)
+
+
+class ListIncompletePool:
+    """The ``Incomplete`` list of ``IncrementalFD``, with positional semantics.
+
+    The list behaves like the paper's linked list: ``pop`` removes the head,
+    ``replace`` keeps the replaced set's position, and newly inserted sets go
+    where the ``extraction`` policy dictates.
+
+    Parameters
+    ----------
+    anchor_relation:
+        Name of ``R_i``; every member set contains exactly one tuple of this
+        relation, which keys the optional hash index.
+    use_index:
+        Enable the Section 7 hash index for the merge probe of Line 14.
+    extraction:
+        ``"paper"`` (default) reproduces the traversal of the paper's worked
+        example (Table 3): the head is removed and the candidates generated
+        while processing it are inserted at the head, in generation order, so
+        they are processed before older entries.  ``"fifo"`` appends new
+        candidates at the tail; ``"lifo"`` removes from the tail.  The choice
+        does not affect which tuple sets are produced, only their order.
+    """
+
+    EXTRACTION_ORDERS = ("paper", "fifo", "lifo")
+
+    def __init__(
+        self,
+        anchor_relation: str,
+        use_index: bool = False,
+        extraction: str = "paper",
+    ):
+        if extraction not in self.EXTRACTION_ORDERS:
+            raise ValueError(
+                f"unknown extraction order {extraction!r}; expected one of {self.EXTRACTION_ORDERS}"
+            )
+        self._anchor_relation = anchor_relation
+        self._use_index = use_index
+        self._extraction = extraction
+        self._items: List[TupleSet] = []
+        self._members = set()
+        self._insert_cursor = 0
+        self._buckets: Dict[Tuple, List[TupleSet]] = {}
+        self.statistics = PoolStatistics()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __iter__(self) -> Iterator[TupleSet]:
+        return iter(list(self._items))
+
+    def __contains__(self, tuple_set: TupleSet) -> bool:
+        return tuple_set in self._members
+
+    def _anchor_of(self, tuple_set: TupleSet) -> Optional[Tuple]:
+        return tuple_set.tuple_from(self._anchor_relation)
+
+    def _index_add(self, tuple_set: TupleSet) -> None:
+        if self._use_index:
+            anchor = self._anchor_of(tuple_set)
+            if anchor is not None:
+                self._buckets.setdefault(anchor, []).append(tuple_set)
+
+    def _index_discard(self, tuple_set: TupleSet) -> None:
+        if self._use_index:
+            anchor = self._anchor_of(tuple_set)
+            if anchor is not None:
+                bucket = self._buckets.get(anchor)
+                if bucket is not None and tuple_set in bucket:
+                    bucket.remove(tuple_set)
+
+    def add(self, tuple_set: TupleSet) -> None:
+        """Insert a tuple set (Line 18 of ``GetNextResult`` / initialization)."""
+        if tuple_set in self._members:
+            return
+        if self._extraction == "paper":
+            self._items.insert(self._insert_cursor, tuple_set)
+            self._insert_cursor += 1
+        else:
+            self._items.append(tuple_set)
+        self._members.add(tuple_set)
+        self.statistics.additions += 1
+        self.statistics.peak_size = max(self.statistics.peak_size, len(self._items))
+        self._index_add(tuple_set)
+
+    def pop(self) -> TupleSet:
+        """Remove and return the next tuple set to extend (Line 1)."""
+        if not self._items:
+            raise IndexError("pop from an empty Incomplete pool")
+        if self._extraction == "lifo":
+            tuple_set = self._items.pop()
+        else:
+            tuple_set = self._items.pop(0)
+        self._members.discard(tuple_set)
+        self._index_discard(tuple_set)
+        self._insert_cursor = 0
+        self.statistics.removals += 1
+        return tuple_set
+
+    def candidates(self, probe: TupleSet) -> List[TupleSet]:
+        """Member sets that might merge with ``probe`` (Line 14 probe).
+
+        With the index enabled only the bucket of ``probe``'s anchor tuple is
+        returned; a set with a different ``R_i`` tuple can never merge with
+        ``probe`` because their union would hold two tuples of ``R_i``.
+        """
+        if self._use_index:
+            anchor = self._anchor_of(probe)
+            if anchor is not None:
+                bucket = list(self._buckets.get(anchor, ()))
+                self.statistics.sets_scanned += len(bucket)
+                return bucket
+        live = list(self._items)
+        self.statistics.sets_scanned += len(live)
+        return live
+
+    def replace(self, old: TupleSet, new: TupleSet) -> None:
+        """Replace ``old`` by ``new`` (Line 15), in place."""
+        if old not in self._members:
+            raise KeyError(f"{old!r} is not in the Incomplete pool")
+        position = self._items.index(old)
+        self._members.discard(old)
+        self._index_discard(old)
+        self.statistics.replacements += 1
+        if new in self._members:
+            # The union already exists elsewhere in the list; just drop ``old``.
+            del self._items[position]
+            if position < self._insert_cursor:
+                self._insert_cursor -= 1
+            return
+        self._items[position] = new
+        self._members.add(new)
+        self._index_add(new)
+
+    def as_list(self) -> List[TupleSet]:
+        """The live member sets in list order (used by the trace harness)."""
+        return list(self._items)
+
+
+
+class PriorityIncompletePool:
+    """The ``Incomplete_i`` priority queue of ``PriorityIncrementalFD``.
+
+    Extraction returns the member set with the highest rank according to the
+    supplied ranking function.  Ties are broken by insertion order, which
+    keeps runs deterministic.
+    """
+
+    def __init__(
+        self,
+        anchor_relation: str,
+        ranking: Callable[[TupleSet], float],
+        use_index: bool = False,
+    ):
+        self._anchor_relation = anchor_relation
+        self._ranking = ranking
+        self._use_index = use_index
+        self._heap: List = []
+        self._members = set()
+        self._counter = itertools.count()
+        self._buckets: Dict[Tuple, List[TupleSet]] = {}
+        self.statistics = PoolStatistics()
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __bool__(self) -> bool:
+        return bool(self._members)
+
+    def __iter__(self) -> Iterator[TupleSet]:
+        return iter(list(self._members))
+
+    def __contains__(self, tuple_set: TupleSet) -> bool:
+        return tuple_set in self._members
+
+    def _anchor_of(self, tuple_set: TupleSet) -> Optional[Tuple]:
+        return tuple_set.tuple_from(self._anchor_relation)
+
+    def add(self, tuple_set: TupleSet) -> None:
+        """Insert a tuple set, keyed by its rank."""
+        if tuple_set in self._members:
+            return
+        score = self._ranking(tuple_set)
+        heapq.heappush(self._heap, (-score, next(self._counter), tuple_set))
+        self._members.add(tuple_set)
+        self.statistics.additions += 1
+        self.statistics.peak_size = max(self.statistics.peak_size, len(self._members))
+        if self._use_index:
+            anchor = self._anchor_of(tuple_set)
+            if anchor is not None:
+                self._buckets.setdefault(anchor, []).append(tuple_set)
+
+    def _prune(self) -> None:
+        while self._heap and self._heap[0][2] not in self._members:
+            heapq.heappop(self._heap)
+
+    def peek_score(self) -> Optional[float]:
+        """The rank of the highest-ranking member set, or ``None`` when empty."""
+        self._prune()
+        if not self._heap:
+            return None
+        return -self._heap[0][0]
+
+    def peek(self) -> Optional[TupleSet]:
+        """The highest-ranking member set, or ``None`` when empty."""
+        self._prune()
+        if not self._heap:
+            return None
+        return self._heap[0][2]
+
+    def pop(self) -> TupleSet:
+        """Remove and return the highest-ranking member set."""
+        self._prune()
+        if not self._heap:
+            raise IndexError("pop from an empty priority Incomplete pool")
+        _, _, tuple_set = heapq.heappop(self._heap)
+        self._discard(tuple_set)
+        self.statistics.removals += 1
+        return tuple_set
+
+    def _discard(self, tuple_set: TupleSet) -> None:
+        self._members.discard(tuple_set)
+        if self._use_index:
+            anchor = self._anchor_of(tuple_set)
+            if anchor is not None:
+                bucket = self._buckets.get(anchor)
+                if bucket is not None and tuple_set in bucket:
+                    bucket.remove(tuple_set)
+
+    def candidates(self, probe: TupleSet) -> List[TupleSet]:
+        """Member sets that might merge with ``probe`` (see :class:`ListIncompletePool`)."""
+        if self._use_index:
+            anchor = self._anchor_of(probe)
+            if anchor is not None:
+                bucket = [s for s in self._buckets.get(anchor, ()) if s in self._members]
+                self.statistics.sets_scanned += len(bucket)
+                return bucket
+        live = list(self._members)
+        self.statistics.sets_scanned += len(live)
+        return live
+
+    def replace(self, old: TupleSet, new: TupleSet) -> None:
+        """Replace ``old`` by ``new``; the new set is re-ranked."""
+        if old not in self._members:
+            raise KeyError(f"{old!r} is not in the Incomplete pool")
+        self._discard(old)
+        self.statistics.replacements += 1
+        if new not in self._members:
+            score = self._ranking(new)
+            heapq.heappush(self._heap, (-score, next(self._counter), new))
+            self._members.add(new)
+            if self._use_index:
+                anchor = self._anchor_of(new)
+                if anchor is not None:
+                    self._buckets.setdefault(anchor, []).append(new)
+
+    def as_list(self) -> List[TupleSet]:
+        """The live member sets in descending rank order."""
+        ordered = sorted(
+            self._members, key=lambda tuple_set: (-self._ranking(tuple_set), tuple_set.sort_key())
+        )
+        return ordered

@@ -1,0 +1,195 @@
+"""``PriorityIncrementalFD`` (Fig. 3): ranked retrieval of full disjunctions.
+
+For a ranking function ``f`` that is *monotonically c-determined* (see
+:mod:`repro.core.ranking`), ``priority_incremental_fd`` emits the members of
+``FD(R)`` in non-increasing rank order, so the top-``(k, f)`` problem is
+solved in polynomial time in the input and ``k`` (Theorem 5.5), and the
+``(τ, f)``-threshold problem by stopping at the first result below the
+threshold (Remark 5.6).
+
+The structure mirrors Fig. 3:
+
+1.  For every relation ``R_i`` build a priority queue ``Incomplete_i`` holding
+    all JCC tuple sets of size at most ``c`` that contain a tuple of ``R_i``
+    (Lines 3–4), then merge queue members whose union is JCC until no pair can
+    be merged (Lines 5–8) — this re-establishes the invariant of Remark 4.5.
+2.  Repeatedly pick the queue whose top has the highest rank (Lines 10–15),
+    call ``GetNextResult`` on it, and print the produced result unless it was
+    already printed (Line 17); ``Complete`` is shared by all the queues.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple as TupleType
+
+from repro.relational.database import Database
+from repro.core.incremental import FDStatistics, get_next_result
+from repro.core.pools import CompleteStore, PriorityIncompletePool
+from repro.core.ranking import RankingFunction, enumerate_connected_subsets
+from repro.core.scanner import TupleScanner
+from repro.core.tupleset import TupleSet
+
+#: A ranked result: the tuple set together with its rank.
+RankedResult = TupleType[TupleSet, float]
+
+
+def _merge_queue_members(pool: PriorityIncompletePool) -> None:
+    """Lines 5–8 of Fig. 3: merge queue members whose union is JCC, to a fixpoint.
+
+    After the merge no two members of the queue can be contained in the same
+    member of ``FD_i`` (two such members would share the ``R_i`` tuple and be
+    join consistent, hence mergeable).
+    """
+    changed = True
+    while changed:
+        changed = False
+        members: List[TupleSet] = list(pool)
+        for idx, first in enumerate(members):
+            if first not in pool:
+                continue
+            for second in members[idx + 1:]:
+                if second not in pool or first not in pool:
+                    continue
+                if first == second:
+                    continue
+                if first.union_is_jcc(second):
+                    merged = first.union(second)
+                    # Remove both members and insert the union once.
+                    pool.replace(first, merged)
+                    if second in pool and second != merged:
+                        pool.replace(second, merged)
+                    changed = True
+                    first = merged
+
+
+def build_priority_pools(
+    database: Database,
+    ranking: RankingFunction,
+    use_index: bool = False,
+) -> List[PriorityIncompletePool]:
+    """Initialization of Fig. 3: one merged priority queue per relation."""
+    ranking.require_monotonically_c_determined()
+    pools: List[PriorityIncompletePool] = []
+    for relation in database.relations:
+        pool = PriorityIncompletePool(relation.name, ranking, use_index=use_index)
+        for tuple_set in enumerate_connected_subsets(database, relation.name, ranking.c):
+            pool.add(tuple_set)
+        _merge_queue_members(pool)
+        pools.append(pool)
+    return pools
+
+
+def priority_incremental_fd(
+    database: Database,
+    ranking: RankingFunction,
+    k: Optional[int] = None,
+    threshold: Optional[float] = None,
+    use_index: bool = False,
+    statistics: Optional[FDStatistics] = None,
+) -> Iterator[RankedResult]:
+    """Generate ``FD(R)`` in non-increasing rank order.
+
+    Parameters
+    ----------
+    database:
+        The relations ``R_1, …, R_n``.
+    ranking:
+        A monotonically c-determined ranking function (otherwise
+        :class:`~repro.relational.errors.RankingError` is raised — see
+        Proposition 5.1 for why this restriction is necessary).
+    k:
+        Stop after ``k`` distinct results (the top-``(k, f)`` problem).
+        ``None`` means produce the whole full disjunction in ranking order.
+    threshold:
+        Stop as soon as no remaining result can rank at least ``threshold``
+        (the ``(τ, f)``-threshold problem of Remark 5.6).
+    use_index:
+        Enable the Section 7 hash index on the queues and on ``Complete``.
+    statistics:
+        Optional counters to fill in.
+
+    Yields
+    ------
+    (TupleSet, float)
+        Each member of ``FD(R)`` with its rank, highest rank first.
+    """
+    if k is not None and k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    ranking.require_monotonically_c_determined()
+    if k == 0:
+        return
+
+    pools = build_priority_pools(database, ranking, use_index=use_index)
+    anchors = [relation.name for relation in database.relations]
+    complete = CompleteStore(anchor_relation=None, use_index=use_index)
+    scanner = TupleScanner(database)
+    printed = 0
+
+    while True:
+        # Lines 10-15: find the queue whose top has the highest rank.
+        best_index = None
+        best_score = None
+        for index, pool in enumerate(pools):
+            score = pool.peek_score()
+            if score is None:
+                continue
+            if best_score is None or score > best_score:
+                best_score = score
+                best_index = index
+        if best_index is None:
+            return  # every queue is exhausted
+        if threshold is not None and best_score < threshold:
+            # No remaining result can reach the threshold: every member of
+            # FD(R) still to be produced has a c-sized witness subset stored
+            # in some queue, whose rank bounds the member's rank from below
+            # only; monotonicity gives the upper bound via Lemma 5.4.
+            return
+
+        result = get_next_result(
+            database,
+            anchors[best_index],
+            pools[best_index],
+            complete,
+            scanner,
+            statistics,
+        )
+        if result in complete:
+            # Line 17: the same result was already produced via another queue.
+            continue
+        complete.add(result)
+        if statistics is not None:
+            statistics.results += 1
+            statistics.tuple_reads = scanner.tuple_reads
+            statistics.scan_passes = scanner.passes
+
+        score = ranking(result)
+        if threshold is not None and score < threshold:
+            # Possible only through ties at the threshold boundary; skip but
+            # keep scanning, sibling queue tops may still reach the threshold.
+            continue
+        yield result, score
+        printed += 1
+        if k is not None and printed >= k:
+            return
+
+
+def top_k(
+    database: Database,
+    ranking: RankingFunction,
+    k: int,
+    use_index: bool = False,
+) -> List[RankedResult]:
+    """The top-``(k, f)`` full-disjunction problem (Theorem 5.5)."""
+    return list(priority_incremental_fd(database, ranking, k=k, use_index=use_index))
+
+
+def above_threshold(
+    database: Database,
+    ranking: RankingFunction,
+    threshold: float,
+    use_index: bool = False,
+) -> List[RankedResult]:
+    """The ``(τ, f)``-threshold full-disjunction problem (Remark 5.6)."""
+    return list(
+        priority_incremental_fd(database, ranking, threshold=threshold, use_index=use_index)
+    )

@@ -1,0 +1,238 @@
+"""Ranking functions over tuple sets (Section 5).
+
+Every tuple ``t`` carries a numeric importance ``imp(t)``; a *ranking
+function* ``f`` maps a tuple set to a number computable in polynomial time.
+The paper's tractability frontier is the class of **monotonically
+c-determined** functions: ``f`` is *c-determined* when the rank of any tuple
+set ``T`` is already achieved by some connected subset ``T' ⊆ T`` with at most
+``c`` tuples, and *monotonically* c-determined when, additionally, ``T' ⊆ T``
+implies ``f(T') ≤ f(T)`` for connected tuple sets.  ``f_max`` is monotonically
+1-determined; ``f_sum`` is not c-determined for any ``c`` and the top-1
+problem for it is NP-hard (Proposition 5.1).
+
+The classes here bundle the value function with the metadata
+(``c``, monotonicity) that :func:`repro.core.priority.priority_incremental_fd`
+needs to decide whether ranked retrieval is possible, plus the subset
+enumeration used to seed the priority queues.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Union
+
+from repro.relational.database import Database
+from repro.relational.errors import RankingError
+from repro.relational.tuples import Tuple
+from repro.core.tupleset import TupleSet
+
+#: How importances may be supplied: a mapping from tuple label, or a callable.
+ImportanceSpec = Union[Dict[str, float], Callable[[Tuple], float], None]
+
+
+def importance_function(spec: ImportanceSpec) -> Callable[[Tuple], float]:
+    """Normalise an importance specification into a ``tuple -> float`` callable.
+
+    * ``None`` — use the importance stored on each tuple (``t.importance``);
+    * a mapping — look the tuple's label up (missing labels get ``0.0``);
+    * a callable — used as is.
+    """
+    if spec is None:
+        return lambda t: t.importance
+    if callable(spec):
+        return spec
+    if isinstance(spec, dict):
+        return lambda t: float(spec.get(t.label, 0.0))
+    raise RankingError(f"cannot interpret importance specification {spec!r}")
+
+
+class RankingFunction:
+    """Base class of ranking functions.
+
+    Subclasses implement :meth:`score`; the metadata attributes describe where
+    the function sits relative to the paper's tractability frontier.
+
+    Attributes
+    ----------
+    c:
+        The determination bound ``c`` when the function is c-determined,
+        ``None`` otherwise.
+    monotone:
+        Whether the function is monotone under inclusion of connected tuple
+        sets.  Ranked retrieval requires ``c`` to be set and ``monotone`` to
+        be true.
+    """
+
+    name = "ranking"
+    c: Optional[int] = None
+    monotone: bool = False
+
+    def score(self, tuple_set: TupleSet) -> float:
+        raise NotImplementedError
+
+    def __call__(self, tuple_set: TupleSet) -> float:
+        return self.score(tuple_set)
+
+    @property
+    def is_monotonically_c_determined(self) -> bool:
+        """Whether the function admits ranked retrieval (Theorem 5.5)."""
+        return self.c is not None and self.monotone
+
+    def require_monotonically_c_determined(self) -> None:
+        """Raise :class:`RankingError` unless ranked retrieval is supported."""
+        if not self.is_monotonically_c_determined:
+            raise RankingError(
+                f"ranking function {self.name!r} is not monotonically c-determined; "
+                "ranked retrieval is not guaranteed (see Proposition 5.1)"
+            )
+
+
+class MaxRanking(RankingFunction):
+    """``f_max(T) = max { imp(t) | t ∈ T }`` — monotonically 1-determined."""
+
+    name = "f_max"
+    c = 1
+    monotone = True
+
+    def __init__(self, importance: ImportanceSpec = None):
+        self._imp = importance_function(importance)
+
+    def score(self, tuple_set: TupleSet) -> float:
+        if len(tuple_set) == 0:
+            return float("-inf")
+        return max(self._imp(t) for t in tuple_set)
+
+
+class SumRanking(RankingFunction):
+    """``f_sum(T) = Σ imp(t)`` — *not* c-determined; top-1 is NP-hard (Prop. 5.1)."""
+
+    name = "f_sum"
+    c = None
+    monotone = True
+
+    def __init__(self, importance: ImportanceSpec = None):
+        self._imp = importance_function(importance)
+
+    def score(self, tuple_set: TupleSet) -> float:
+        return sum(self._imp(t) for t in tuple_set)
+
+
+class CDeterminedRanking(RankingFunction):
+    """A generic monotonically c-determined ranking function.
+
+    The rank of ``T`` is the maximum of ``subset_score`` over the connected
+    subsets of ``T`` with at most ``c`` tuples (the empty subset is not
+    considered; singletons count as connected).  Any ``subset_score`` makes
+    the function c-determined by construction; it is monotone because adding
+    tuples to ``T`` can only enlarge the set of scored subsets.
+
+    Parameters
+    ----------
+    c:
+        The determination bound (a small constant).
+    subset_score:
+        A function from a tuple of member tuples (size between 1 and ``c``)
+        to a number.
+    name:
+        Optional display name.
+    """
+
+    monotone = True
+
+    def __init__(
+        self,
+        c: int,
+        subset_score: Callable[[Sequence[Tuple]], float],
+        name: str = "f_c",
+    ):
+        if c < 1:
+            raise RankingError(f"c must be at least 1, got {c}")
+        self.c = c
+        self.name = name
+        self._subset_score = subset_score
+
+    def score(self, tuple_set: TupleSet) -> float:
+        best = float("-inf")
+        members = sorted(tuple_set, key=lambda t: (t.relation_name, t.label))
+        for size in range(1, min(self.c, len(members)) + 1):
+            for subset in itertools.combinations(members, size):
+                if size > 1 and not TupleSet(subset).is_connected:
+                    continue
+                value = self._subset_score(subset)
+                if value > best:
+                    best = value
+        return best
+
+
+def paper_example_ranking(importance: ImportanceSpec = None) -> CDeterminedRanking:
+    """The monotonically 3-determined example of Section 5.
+
+    ``f(T) = max { imp(t1) + imp(t2) · imp(t3) | t1, t2, t3 ∈ T, {t1,t2,t3} connected }``
+
+    Subsets smaller than three are scored by padding with the best available
+    member (the paper's expression ranges over all triples of not necessarily
+    distinct tuples).
+    """
+    imp = importance_function(importance)
+
+    def subset_score(subset: Sequence[Tuple]) -> float:
+        values = [imp(t) for t in subset]
+        best = float("-inf")
+        for t1, t2, t3 in itertools.product(values, repeat=3):
+            best = max(best, t1 + t2 * t3)
+        return best
+
+    return CDeterminedRanking(3, subset_score, name="f_example_3det")
+
+
+def enumerate_connected_subsets(
+    database: Database,
+    anchor_name: str,
+    max_size: int,
+) -> Iterator[TupleSet]:
+    """Enumerate every JCC tuple set of size at most ``max_size`` containing a tuple of ``R_i``.
+
+    This is the initialization of ``PriorityIncrementalFD`` (Lines 3–4 of
+    Fig. 3).  The enumeration grows sets tuple by tuple, so its cost is
+    ``O(s^c)`` for ``c = max_size`` — polynomial for constant ``c``.
+    """
+    if max_size < 1:
+        raise RankingError(f"max_size must be at least 1, got {max_size}")
+    all_tuples = list(database.tuples())
+    seen = set()
+    frontier: List[TupleSet] = []
+    for t in database.relation(anchor_name):
+        singleton = TupleSet.singleton(t)
+        seen.add(singleton)
+        frontier.append(singleton)
+        yield singleton
+    for _ in range(max_size - 1):
+        next_frontier: List[TupleSet] = []
+        for current in frontier:
+            for t in all_tuples:
+                if t in current:
+                    continue
+                if not current.can_absorb(t):
+                    continue
+                grown = current.with_tuple(t)
+                if grown in seen:
+                    continue
+                seen.add(grown)
+                next_frontier.append(grown)
+                yield grown
+        frontier = next_frontier
+
+
+def top_k_by_exhaustive_ranking(
+    results: Iterable[TupleSet],
+    ranking: RankingFunction,
+    k: int,
+) -> List[TupleSet]:
+    """Rank an already-computed full disjunction and return its top ``k`` members.
+
+    This is the brute-force route the paper argues against: the whole (possibly
+    exponential) result must be materialised first.  It is used as a test
+    oracle and as the baseline of experiment E3.
+    """
+    ordered = sorted(results, key=lambda ts: (-ranking(ts), ts.sort_key()))
+    return ordered[:k]

@@ -1,0 +1,165 @@
+"""The paper's sorted triple-list representation of tuple sets.
+
+Right before Theorem 4.8 the paper describes the data structure it uses to
+store tuple sets: a linked list of triples ``(r, a, v)`` — relation name,
+attribute, value — one triple per attribute of each member tuple, sorted by
+ascending attribute name and, within equal attributes, by ascending relation
+name.  Together with the per-relation attribute-position table
+(:class:`~repro.relational.index.AttributePositions`) a singleton tuple set
+can be built in linear time with a bucket sort, and the two linear-merge
+operations used in the complexity analysis become possible:
+
+* :func:`merge_join_consistent` — decide in one pass over two sorted lists
+  whether their union is join consistent and whether they share an attribute;
+* :func:`merge_triples` — produce the sorted triple list of the union.
+
+The modern :class:`~repro.core.tupleset.TupleSet` class is the
+representation the rest of the library uses; this module exists to reproduce
+the paper's structure faithfully, to cross-check it against ``TupleSet`` in
+tests, and to compare the two in a micro-benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, NamedTuple, Optional, Tuple as TupleType
+
+from repro.relational.index import AttributePositions
+from repro.relational.nulls import is_null
+from repro.relational.tuples import Tuple
+from repro.core.tupleset import TupleSet
+
+
+class Triple(NamedTuple):
+    """One ``(relation, attribute, value)`` entry of the sorted representation."""
+
+    relation: str
+    attribute: str
+    value: object
+
+
+class TripleList:
+    """A tuple set stored as the paper's sorted list of triples."""
+
+    __slots__ = ("_triples",)
+
+    def __init__(self, triples: Iterable[Triple]):
+        self._triples: TupleType[Triple, ...] = tuple(triples)
+
+    @property
+    def triples(self) -> TupleType[Triple, ...]:
+        return self._triples
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self):
+        return iter(self._triples)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TripleList):
+            return NotImplemented
+        return self._triples == other._triples
+
+    def __hash__(self) -> int:
+        return hash(self._triples)
+
+    def __repr__(self) -> str:
+        return f"TripleList({list(self._triples)!r})"
+
+    def relations(self) -> List[str]:
+        """The distinct relation names, in first-appearance order."""
+        seen = []
+        for triple in self._triples:
+            if triple.relation not in seen:
+                seen.append(triple.relation)
+        return seen
+
+    @classmethod
+    def from_singleton(
+        cls, t: Tuple, positions: Optional[AttributePositions] = None
+    ) -> "TripleList":
+        """Build the triple list of ``{t}`` in linear time.
+
+        When the :class:`AttributePositions` auxiliary structure is supplied
+        the attributes are placed with a bucket sort, as in the paper;
+        otherwise they are sorted directly (the observable result is the same).
+        """
+        if positions is not None and t.relation_name in positions:
+            buckets: List[Optional[Triple]] = [None] * len(t.schema)
+            for attribute, value in t.items():
+                buckets[positions.position(t.relation_name, attribute)] = Triple(
+                    t.relation_name, attribute, value
+                )
+            return cls(triple for triple in buckets if triple is not None)
+        ordered = sorted(t.items(), key=lambda item: item[0])
+        return cls(Triple(t.relation_name, attribute, value) for attribute, value in ordered)
+
+    @classmethod
+    def from_tuple_set(
+        cls, tuple_set: TupleSet, positions: Optional[AttributePositions] = None
+    ) -> "TripleList":
+        """Build the triple list of an arbitrary tuple set."""
+        singletons = [
+            cls.from_singleton(t, positions)
+            for t in sorted(tuple_set, key=lambda t: (t.relation_name, t.label))
+        ]
+        merged = cls(())
+        for singleton in singletons:
+            merged = merge_triples(merged, singleton)
+        return merged
+
+
+def merge_triples(first: TripleList, second: TripleList) -> TripleList:
+    """Merge two sorted triple lists into the sorted triple list of the union."""
+    result: List[Triple] = []
+    i, j = 0, 0
+    a, b = first.triples, second.triples
+    while i < len(a) and j < len(b):
+        if (a[i].attribute, a[i].relation) <= (b[j].attribute, b[j].relation):
+            result.append(a[i])
+            i += 1
+        else:
+            result.append(b[j])
+            j += 1
+    result.extend(a[i:])
+    result.extend(b[j:])
+    # Duplicate triples (same relation & attribute) arise when the two lists
+    # represent overlapping tuple sets; keep a single copy.
+    deduplicated: List[Triple] = []
+    for triple in result:
+        if deduplicated and (
+            deduplicated[-1].relation == triple.relation
+            and deduplicated[-1].attribute == triple.attribute
+        ):
+            continue
+        deduplicated.append(triple)
+    return TripleList(deduplicated)
+
+
+def merge_join_consistent(first: TripleList, second: TripleList) -> TupleType[bool, bool]:
+    """Single linear pass deciding join consistency and attribute sharing.
+
+    Returns ``(join_consistent, shares_attribute)`` for the union of the two
+    represented tuple sets, exactly the two facts the Theorem 4.8 analysis
+    extracts with one pass over ``S`` and ``T'``:
+
+    * the union is join inconsistent as soon as the same attribute appears on
+      both sides with different values, or with a null value on either side;
+    * the union is connected (given that both operands are JCC and that no
+      relation contributes two distinct tuples) iff they share an attribute.
+    """
+    shares_attribute = False
+    join_consistent = True
+    by_attribute_first = {}
+    for triple in first.triples:
+        by_attribute_first.setdefault(triple.attribute, []).append(triple)
+    for triple in second.triples:
+        if triple.attribute not in by_attribute_first:
+            continue
+        shares_attribute = True
+        for mine in by_attribute_first[triple.attribute]:
+            if mine.relation == triple.relation and mine.value == triple.value:
+                continue
+            if is_null(mine.value) or is_null(triple.value) or mine.value != triple.value:
+                join_consistent = False
+    return join_consistent, shares_attribute

@@ -1,0 +1,376 @@
+"""Tuple sets and the JCC (join consistent and connected) predicate.
+
+A *tuple set* ``T ⊆ Tuples(R)`` is the unit the paper's algorithms work with.
+``T`` is *connected* when (i) no two tuples of ``T`` belong to the same
+relation and (ii) the relations of the tuples of ``T`` form a connected graph
+(two relations are adjacent when their schemas share an attribute).  ``T`` is
+*join consistent* when every two tuples agree, with a non-null value, on every
+attribute their schemas share.  ``JCC(T)`` holds when both do (Section 2).
+
+:class:`TupleSet` is immutable and caches everything needed to answer the
+operations the algorithms perform in their inner loops:
+
+* ``is_jcc`` — the JCC predicate for the set itself;
+* ``union_is_jcc(other)`` — the line-14 test ``JCC(S ∪ T')``;
+* ``can_absorb(t)`` — the extension test ``JCC(T ∪ {t})``;
+* ``maximal_jcc_subset_with(t_b)`` — footnote 3: the unique maximal subset of
+  ``T ∪ {t_b}`` that contains ``t_b`` and is join consistent and connected.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple as TupleType
+
+from repro.relational.nulls import is_null
+from repro.relational.tuples import Tuple
+
+
+class TupleSet:
+    """An immutable set of tuples, at most one per relation in the JCC case.
+
+    The constructor accepts any iterable of tuples; consistency and
+    connectivity are *computed*, not assumed, so the class can also represent
+    candidate sets that fail the JCC test.
+    """
+
+    __slots__ = (
+        "_tuples",
+        "_by_relation",
+        "_relation_conflict",
+        "_attribute_values",
+        "_join_consistent",
+        "_connected",
+        "_hash",
+    )
+
+    def __init__(self, tuples: Iterable[Tuple]):
+        frozen = frozenset(tuples)
+        self._tuples: FrozenSet[Tuple] = frozen
+        self._hash = hash(frozen)
+
+        by_relation: Dict[str, Tuple] = {}
+        relation_conflict = False
+        for t in frozen:
+            if t.relation_name in by_relation:
+                relation_conflict = True
+            by_relation[t.relation_name] = t
+        self._by_relation = by_relation
+        self._relation_conflict = relation_conflict
+
+        # attribute -> single value map; sound for join-consistent sets, and
+        # the computation simultaneously decides join consistency.
+        attribute_values: Dict[str, object] = {}
+        join_consistent = True
+        for t in frozen:
+            for attribute, value in t.items():
+                if attribute in attribute_values:
+                    existing = attribute_values[attribute]
+                    if is_null(existing) or is_null(value) or existing != value:
+                        join_consistent = False
+                    if is_null(existing) and not is_null(value):
+                        attribute_values[attribute] = value
+                else:
+                    attribute_values[attribute] = value
+        self._attribute_values = attribute_values
+        self._join_consistent = join_consistent and not relation_conflict
+        self._connected: Optional[bool] = None  # computed lazily
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def of(cls, *tuples: Tuple) -> "TupleSet":
+        """Build a tuple set from tuples given as positional arguments."""
+        return cls(tuples)
+
+    @classmethod
+    def singleton(cls, t: Tuple) -> "TupleSet":
+        """Build the singleton tuple set ``{t}``."""
+        return cls((t,))
+
+    @classmethod
+    def empty(cls) -> "TupleSet":
+        """The empty tuple set (connected and join consistent by convention)."""
+        return cls(())
+
+    # ------------------------------------------------------------------ #
+    # basic container protocol
+    # ------------------------------------------------------------------ #
+    @property
+    def tuples(self) -> FrozenSet[Tuple]:
+        """The member tuples."""
+        return self._tuples
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return iter(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __contains__(self, t: object) -> bool:
+        return t in self._tuples
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TupleSet):
+            return NotImplemented
+        return self._tuples == other._tuples
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __le__(self, other: "TupleSet") -> bool:
+        return self._tuples <= other._tuples
+
+    def __lt__(self, other: "TupleSet") -> bool:
+        return self._tuples < other._tuples
+
+    def issubset(self, other: "TupleSet") -> bool:
+        """Return ``True`` when every tuple of this set belongs to ``other``."""
+        return self._tuples <= other._tuples
+
+    def issuperset(self, other: "TupleSet") -> bool:
+        """Return ``True`` when this set contains every tuple of ``other``."""
+        return self._tuples >= other._tuples
+
+    def __repr__(self) -> str:
+        labels = ", ".join(sorted(t.label for t in self._tuples))
+        return "{" + labels + "}"
+
+    def labels(self) -> FrozenSet[str]:
+        """The labels of the member tuples, as a frozenset (handy in tests)."""
+        return frozenset(t.label for t in self._tuples)
+
+    def sort_key(self) -> TupleType:
+        """A deterministic ordering key (by sorted member labels)."""
+        return tuple(sorted((t.relation_name, t.label) for t in self._tuples))
+
+    def total_size(self) -> int:
+        """Size measure in the spirit of the paper's ``f``: attribute cells of all members."""
+        return sum(len(t.schema) for t in self._tuples)
+
+    # ------------------------------------------------------------------ #
+    # relations and attributes
+    # ------------------------------------------------------------------ #
+    @property
+    def relations(self) -> FrozenSet[str]:
+        """The names of the relations represented in the set."""
+        return frozenset(self._by_relation)
+
+    def tuple_from(self, relation_name: str) -> Optional[Tuple]:
+        """The member tuple of ``relation_name`` or ``None``.
+
+        When the set (illegally) holds several tuples of the same relation an
+        arbitrary one is returned; JCC sets hold at most one.
+        """
+        return self._by_relation.get(relation_name)
+
+    def contains_tuple_from(self, relation_name: str) -> bool:
+        """Return ``True`` when some member tuple belongs to ``relation_name``."""
+        return relation_name in self._by_relation
+
+    @property
+    def attributes(self) -> FrozenSet[str]:
+        """All attributes appearing in the schemas of member tuples."""
+        return frozenset(self._attribute_values)
+
+    def attribute_value(self, attribute: str) -> object:
+        """The (merged) value of ``attribute`` in the set.
+
+        Only meaningful for join-consistent sets, where all members sharing
+        the attribute agree on one non-null value.
+        """
+        return self._attribute_values[attribute]
+
+    # ------------------------------------------------------------------ #
+    # the JCC predicate
+    # ------------------------------------------------------------------ #
+    @property
+    def is_join_consistent(self) -> bool:
+        """Join consistency of the set (pairwise agreement on shared attributes).
+
+        A set with two distinct tuples of the same relation is reported as
+        inconsistent, because such a set can never be part of a full
+        disjunction and the cheap single-value cache would be unsound for it.
+        """
+        return self._join_consistent
+
+    @property
+    def is_connected(self) -> bool:
+        """Connectivity of the set, per the paper's definition.
+
+        The empty set and singletons are connected.  A set with two tuples of
+        the same relation is not connected (condition (i) of the definition).
+        """
+        if self._connected is None:
+            self._connected = self._compute_connected()
+        return self._connected
+
+    def _compute_connected(self) -> bool:
+        if self._relation_conflict:
+            return False
+        if len(self._tuples) <= 1:
+            return True
+        schemas = {name: t.schema for name, t in self._by_relation.items()}
+        names = list(schemas)
+        start = names[0]
+        seen = {start}
+        frontier = deque([start])
+        while frontier:
+            current = frontier.popleft()
+            for other in names:
+                if other not in seen and schemas[current].connects_to(schemas[other]):
+                    seen.add(other)
+                    frontier.append(other)
+        return len(seen) == len(names)
+
+    @property
+    def is_jcc(self) -> bool:
+        """``JCC(T)``: join consistent and connected."""
+        return self._join_consistent and self.is_connected
+
+    # ------------------------------------------------------------------ #
+    # derived sets
+    # ------------------------------------------------------------------ #
+    def with_tuple(self, t: Tuple) -> "TupleSet":
+        """Return ``T ∪ {t}`` as a new tuple set."""
+        if t in self._tuples:
+            return self
+        return TupleSet(self._tuples | {t})
+
+    def union(self, other: "TupleSet") -> "TupleSet":
+        """Return ``T ∪ S`` as a new tuple set."""
+        return TupleSet(self._tuples | other._tuples)
+
+    def difference(self, other: "TupleSet") -> "TupleSet":
+        """Return ``T \\ S`` as a new tuple set."""
+        return TupleSet(self._tuples - other._tuples)
+
+    def restrict_to_relations(self, relation_names: Iterable[str]) -> "TupleSet":
+        """Return the subset of member tuples belonging to the given relations."""
+        wanted = set(relation_names)
+        return TupleSet(t for t in self._tuples if t.relation_name in wanted)
+
+    # ------------------------------------------------------------------ #
+    # inner-loop tests
+    # ------------------------------------------------------------------ #
+    def can_absorb(self, t: Tuple) -> bool:
+        """Return ``True`` when ``JCC(T ∪ {t})`` holds, assuming ``JCC(T)``.
+
+        This is the test of the maximal-extension loop (Lines 2–6 of
+        ``GetNextResult``).  For the empty set it reduces to ``True`` (a
+        singleton is always JCC).
+        """
+        if t in self._tuples:
+            return True
+        if not self._tuples:
+            return True
+        if t.relation_name in self._by_relation:
+            return False
+        # Join consistency of the new tuple against the merged attribute map.
+        connected = False
+        for attribute, value in t.items():
+            if attribute in self._attribute_values:
+                connected = True
+                existing = self._attribute_values[attribute]
+                if is_null(existing) or is_null(value) or existing != value:
+                    return False
+        # Connectivity: t's relation must share an attribute with some member
+        # relation.  Sharing an attribute with the *merged* attribute map is
+        # exactly that, because the map's keys are the union of member schemas.
+        return connected
+
+    def union_is_jcc(self, other: "TupleSet") -> bool:
+        """Return ``True`` when ``JCC(T ∪ S)`` holds, assuming both are JCC.
+
+        This is the test of Line 14 of ``GetNextResult``.  The fast path
+        follows the complexity analysis of Theorem 4.8: compare the merged
+        attribute maps of the two sets in a single pass.  The fast path is
+        conclusive whenever every shared attribute agrees with a non-null
+        value; a disagreement involving a null needs the exact pairwise check
+        because the null may be carried by a tuple that belongs to *both*
+        sets (tuples never constrain themselves).
+
+        Connectivity of the union holds exactly when the two (internally
+        connected) operands share a member tuple or some cross pair of tuples
+        shares an attribute.
+        """
+        if not self._tuples:
+            return other.is_jcc
+        if not other._tuples:
+            return self.is_jcc
+        shares_member = False
+        for relation_name, t in other._by_relation.items():
+            mine = self._by_relation.get(relation_name)
+            if mine is not None:
+                if mine != t:
+                    return False  # two distinct tuples of the same relation
+                shares_member = True
+
+        # Fast path over the merged attribute maps.
+        needs_pairwise = False
+        shared_attribute = False
+        for attribute, value in other._attribute_values.items():
+            if attribute in self._attribute_values:
+                shared_attribute = True
+                existing = self._attribute_values[attribute]
+                if is_null(existing) or is_null(value) or existing != value:
+                    needs_pairwise = True
+                    break
+        if not needs_pairwise:
+            if shared_attribute or shares_member:
+                return True
+            return False
+
+        # Exact check: every cross pair of *distinct* tuples must agree with a
+        # non-null value on every attribute their schemas share.
+        cross_share = shares_member
+        for mine in self._tuples:
+            for theirs in other._tuples:
+                if mine == theirs:
+                    continue
+                shared = mine.schema.shared_attributes(theirs.schema)
+                if shared:
+                    cross_share = True
+                for attribute in shared:
+                    left = mine[attribute]
+                    right = theirs[attribute]
+                    if is_null(left) or is_null(right) or left != right:
+                        return False
+        return cross_share
+
+    def maximal_jcc_subset_with(self, t_b: Tuple) -> "TupleSet":
+        """Footnote 3: the unique maximal JCC subset of ``T ∪ {t_b}`` containing ``t_b``.
+
+        Obtained by (1) dropping every member tuple that is not join
+        consistent with ``t_b`` (in particular any member of ``t_b``'s own
+        relation), then (2) keeping only the tuples whose relations lie in the
+        connected component of ``t_b``'s relation within the remaining
+        relation graph.
+        """
+        survivors: List[Tuple] = [
+            t
+            for t in self._tuples
+            if t.relation_name != t_b.relation_name and t.join_consistent_with(t_b)
+        ]
+        if not survivors:
+            return TupleSet.singleton(t_b)
+        # Connected component of t_b's relation among the surviving relations.
+        schemas = {t.relation_name: t.schema for t in survivors}
+        schemas[t_b.relation_name] = t_b.schema
+        component = {t_b.relation_name}
+        frontier = deque([t_b.relation_name])
+        while frontier:
+            current = frontier.popleft()
+            for name, schema in schemas.items():
+                if name not in component and schemas[current].connects_to(schema):
+                    component.add(name)
+                    frontier.append(name)
+        kept = [t for t in survivors if t.relation_name in component]
+        kept.append(t_b)
+        return TupleSet(kept)
+
+
+def jcc(tuples: Iterable[Tuple]) -> bool:
+    """Convenience predicate: ``JCC`` of an arbitrary iterable of tuples."""
+    return TupleSet(tuples).is_jcc

@@ -1,0 +1,47 @@
+"""A small pull-based (Volcano-style) execution engine.
+
+The paper argues that ``IncrementalFD`` "can be integrated into a standard
+query processor" (block-based execution, Section 7), and the follow-up system
+paper [16] did exactly that by exposing the algorithm as a *polynomial-delay
+iterator*.  This package provides that integration surface: physical operators
+with ``open() / next() / close()`` semantics, so a full disjunction can be
+composed lazily with selections, projections, ordering and limits — answers
+keep streaming end to end, and a ``LIMIT k`` plan performs only the work the
+first ``k`` answers require.
+
+Operators produce :class:`~repro.engine.rows.Row` objects: a padded
+``attribute -> value`` mapping plus the provenance tuple set the row was
+assembled from (when it came from a full disjunction).
+"""
+
+from repro.engine.rows import Row
+from repro.engine.operators import (
+    Limit,
+    Operator,
+    Project,
+    RelationScan,
+    Select,
+    Sort,
+    collect,
+    explain,
+)
+from repro.engine.fd_operators import (
+    ApproximateFullDisjunctionScan,
+    FullDisjunctionScan,
+    RankedFullDisjunctionScan,
+)
+
+__all__ = [
+    "Row",
+    "Operator",
+    "RelationScan",
+    "Select",
+    "Project",
+    "Sort",
+    "Limit",
+    "collect",
+    "explain",
+    "FullDisjunctionScan",
+    "RankedFullDisjunctionScan",
+    "ApproximateFullDisjunctionScan",
+]

@@ -1,0 +1,214 @@
+"""Generic physical operators (scan, select, project, sort, limit).
+
+Every operator follows the classic iterator contract:
+
+* :meth:`Operator.open` — prepare for execution (recursively opens children);
+* :meth:`Operator.next` — return the next :class:`~repro.engine.rows.Row`
+  or ``None`` when exhausted;
+* :meth:`Operator.close` — release state (recursively closes children).
+
+Operators are also plain Python iterables (``for row in plan``), which opens
+and closes them automatically, and they count the rows they produce so tests
+and examples can verify how much work a ``LIMIT`` plan actually did.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Sequence
+
+from repro.relational.relation import Relation
+from repro.engine.rows import Row
+
+
+class Operator:
+    """Base class of physical operators."""
+
+    def __init__(self, children: Sequence["Operator"] = ()):
+        self._children: List[Operator] = list(children)
+        self._opened = False
+        self.rows_produced = 0
+
+    @property
+    def children(self) -> List["Operator"]:
+        return list(self._children)
+
+    # -- iterator contract ------------------------------------------------ #
+    def open(self) -> None:
+        """Prepare the operator (and its children) for execution."""
+        for child in self._children:
+            child.open()
+        self.rows_produced = 0
+        self._opened = True
+
+    def next(self) -> Optional[Row]:
+        """Return the next row or ``None``; must be called between open and close."""
+        if not self._opened:
+            raise RuntimeError(f"{type(self).__name__}.next() called before open()")
+        row = self._produce()
+        if row is not None:
+            self.rows_produced += 1
+        return row
+
+    def close(self) -> None:
+        """Release the operator's state (and its children's)."""
+        for child in self._children:
+            child.close()
+        self._opened = False
+
+    def _produce(self) -> Optional[Row]:
+        raise NotImplementedError
+
+    # -- convenience ------------------------------------------------------ #
+    def __iter__(self) -> Iterator[Row]:
+        self.open()
+        try:
+            while True:
+                row = self.next()
+                if row is None:
+                    return
+                yield row
+        finally:
+            self.close()
+
+    def name(self) -> str:
+        """The operator's display name used by :func:`explain`."""
+        return type(self).__name__
+
+
+class RelationScan(Operator):
+    """Scan a stored relation, producing one row per tuple."""
+
+    def __init__(self, relation: Relation):
+        super().__init__()
+        self._relation = relation
+        self._iterator = None
+
+    def open(self) -> None:
+        super().open()
+        self._iterator = iter(self._relation)
+
+    def _produce(self) -> Optional[Row]:
+        for t in self._iterator:
+            return Row(t.as_dict())
+        return None
+
+    def close(self) -> None:
+        self._iterator = None
+        super().close()
+
+    def name(self) -> str:
+        return f"RelationScan({self._relation.name})"
+
+
+class Select(Operator):
+    """Keep the child rows satisfying a predicate."""
+
+    def __init__(self, child: Operator, predicate: Callable[[Row], bool]):
+        super().__init__([child])
+        self._child = child
+        self._predicate = predicate
+
+    def _produce(self) -> Optional[Row]:
+        while True:
+            row = self._child.next()
+            if row is None:
+                return None
+            if self._predicate(row):
+                return row
+
+
+class Project(Operator):
+    """Restrict child rows to the given attributes."""
+
+    def __init__(self, child: Operator, attributes: Sequence[str]):
+        super().__init__([child])
+        self._child = child
+        self._attributes = list(attributes)
+
+    def _produce(self) -> Optional[Row]:
+        row = self._child.next()
+        if row is None:
+            return None
+        return row.project(self._attributes)
+
+    def name(self) -> str:
+        return f"Project({', '.join(self._attributes)})"
+
+
+class Limit(Operator):
+    """Stop after ``limit`` rows; the child does no further work afterwards."""
+
+    def __init__(self, child: Operator, limit: int):
+        if limit < 0:
+            raise ValueError(f"limit must be non-negative, got {limit}")
+        super().__init__([child])
+        self._child = child
+        self._limit = limit
+        self._emitted = 0
+
+    def open(self) -> None:
+        super().open()
+        self._emitted = 0
+
+    def _produce(self) -> Optional[Row]:
+        if self._emitted >= self._limit:
+            return None
+        row = self._child.next()
+        if row is None:
+            return None
+        self._emitted += 1
+        return row
+
+    def name(self) -> str:
+        return f"Limit({self._limit})"
+
+
+class Sort(Operator):
+    """Materialise the child and emit its rows in sorted order.
+
+    ``Sort`` is a blocking operator; placing it below a ``Limit`` therefore
+    loses the incremental behaviour — which is exactly why the ranked
+    full-disjunction scan (a *non-blocking* order-producing operator) exists.
+    """
+
+    def __init__(self, child: Operator, key: Callable[[Row], object], reverse: bool = False):
+        super().__init__([child])
+        self._child = child
+        self._key = key
+        self._reverse = reverse
+        self._buffer: Optional[List[Row]] = None
+        self._position = 0
+
+    def open(self) -> None:
+        super().open()
+        self._buffer = None
+        self._position = 0
+
+    def _produce(self) -> Optional[Row]:
+        if self._buffer is None:
+            rows = []
+            while True:
+                row = self._child.next()
+                if row is None:
+                    break
+                rows.append(row)
+            rows.sort(key=self._key, reverse=self._reverse)
+            self._buffer = rows
+        if self._position >= len(self._buffer):
+            return None
+        row = self._buffer[self._position]
+        self._position += 1
+        return row
+
+
+def collect(plan: Operator) -> List[Row]:
+    """Execute a plan to completion and return all produced rows."""
+    return list(plan)
+
+
+def explain(plan: Operator, indent: int = 0) -> str:
+    """Render a plan tree as an indented one-operator-per-line string."""
+    lines = [("  " * indent) + plan.name()]
+    for child in plan.children:
+        lines.append(explain(child, indent + 1))
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Rows flowing between physical operators."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple as TupleType
+
+from repro.relational.nulls import NULL, is_null
+from repro.core.tupleset import TupleSet
+
+
+class Row:
+    """One intermediate result of a physical plan.
+
+    A row is an ``attribute -> value`` mapping (missing attributes read as
+    null) plus, when it originates from a full-disjunction operator, the
+    provenance tuple set it was padded from — so downstream consumers can
+    still reach the source tuples, their labels, importances and
+    probabilities.
+    """
+
+    __slots__ = ("_values", "_provenance")
+
+    def __init__(self, values: Dict[str, object], provenance: Optional[TupleSet] = None):
+        self._values = {
+            attribute: (NULL if is_null(value) else value)
+            for attribute, value in values.items()
+        }
+        self._provenance = provenance
+
+    @property
+    def values(self) -> Dict[str, object]:
+        """The attribute values (a copy; rows are value objects)."""
+        return dict(self._values)
+
+    @property
+    def provenance(self) -> Optional[TupleSet]:
+        """The tuple set this row was derived from, if any."""
+        return self._provenance
+
+    @property
+    def attributes(self) -> TupleType[str, ...]:
+        return tuple(self._values)
+
+    def __getitem__(self, attribute: str) -> object:
+        return self._values.get(attribute, NULL)
+
+    def get(self, attribute: str, default: object = NULL) -> object:
+        return self._values.get(attribute, default)
+
+    def is_null(self, attribute: str) -> bool:
+        return is_null(self[attribute])
+
+    def project(self, attributes: Iterable[str]) -> "Row":
+        """Return a new row restricted to ``attributes`` (missing ones become null)."""
+        return Row({attribute: self[attribute] for attribute in attributes}, self._provenance)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Row):
+            return NotImplemented
+        return self._values == other._values and self._provenance == other._provenance
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self._values.items()), self._provenance))
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(f"{a}={v!r}" for a, v in self._values.items())
+        if self._provenance is not None:
+            return f"Row({rendered}; from {self._provenance!r})"
+        return f"Row({rendered})"

@@ -1,0 +1,45 @@
+"""Relational substrate used by the full-disjunction algorithms.
+
+This package provides a small, self-contained in-memory relational layer:
+null-tolerant tuples, relations, databases with their relation-connection
+graph, classic operators (including the full outerjoin needed by the
+Rajaraman–Ullman baseline), attribute indexes and CSV loading.
+
+The layer is deliberately independent of the algorithms in
+:mod:`repro.core`; it is the "database system" substrate the paper assumes.
+"""
+
+from repro.relational.nulls import NULL, Null, is_null
+from repro.relational.errors import (
+    ReproError,
+    SchemaError,
+    RelationError,
+    DatabaseError,
+    CSVFormatError,
+)
+from repro.relational.schema import Schema
+from repro.relational.tuples import Tuple
+from repro.relational.relation import Relation
+from repro.relational.database import Database
+from repro.relational.index import AttributeIndex, AttributePositions
+from repro.relational import operators
+from repro.relational import csv_io
+
+__all__ = [
+    "NULL",
+    "Null",
+    "is_null",
+    "ReproError",
+    "SchemaError",
+    "RelationError",
+    "DatabaseError",
+    "CSVFormatError",
+    "Schema",
+    "Tuple",
+    "Relation",
+    "Database",
+    "AttributeIndex",
+    "AttributePositions",
+    "operators",
+    "csv_io",
+]

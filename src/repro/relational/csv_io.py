@@ -1,0 +1,120 @@
+"""Loading and saving relations as CSV files.
+
+A relation is stored as a CSV file whose header row carries the attribute
+names.  Empty cells and cells equal to ``null_token`` (default ``"⊥"``) are
+read back as the null value.  An optional ``label`` column preserves tuple
+labels across a round trip.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.relational.database import Database
+from repro.relational.errors import CSVFormatError
+from repro.relational.nulls import NULL, is_null
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+#: Reserved column name used to persist tuple labels.
+LABEL_COLUMN = "label"
+
+#: Default textual representation of the null value in CSV files.
+DEFAULT_NULL_TOKEN = "⊥"
+
+
+def load_relation(
+    path: Union[str, Path],
+    name: Optional[str] = None,
+    null_token: str = DEFAULT_NULL_TOKEN,
+) -> Relation:
+    """Load a relation from a CSV file.
+
+    Parameters
+    ----------
+    path:
+        The CSV file to read.  The first row must be the header.
+    name:
+        Relation name; defaults to the file stem.
+    null_token:
+        Cells equal to this string (or empty cells) become null.
+    """
+    path = Path(path)
+    name = name or path.stem
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise CSVFormatError(f"{path}: empty file, expected a header row") from None
+        if not header:
+            raise CSVFormatError(f"{path}: empty header row")
+        has_labels = header[0] == LABEL_COLUMN
+        attributes = header[1:] if has_labels else header
+        if not attributes:
+            raise CSVFormatError(f"{path}: no attribute columns in header")
+        relation = Relation(name, Schema(attributes))
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(header):
+                raise CSVFormatError(
+                    f"{path}:{line_number}: expected {len(header)} cells, got {len(row)}"
+                )
+            label = row[0] if has_labels else None
+            cells = row[1:] if has_labels else row
+            values = [NULL if cell == "" or cell == null_token else cell for cell in cells]
+            relation.add(values, label=label)
+    return relation
+
+
+def save_relation(
+    relation: Relation,
+    path: Union[str, Path],
+    null_token: str = DEFAULT_NULL_TOKEN,
+    include_labels: bool = True,
+) -> Path:
+    """Write ``relation`` to a CSV file and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        header: List[str] = list(relation.schema.attributes)
+        if include_labels:
+            header = [LABEL_COLUMN] + header
+        writer.writerow(header)
+        for t in relation:
+            cells = [null_token if is_null(v) else str(v) for v in t.values]
+            if include_labels:
+                cells = [t.label] + cells
+            writer.writerow(cells)
+    return path
+
+
+def load_database(
+    paths: Iterable[Union[str, Path]],
+    null_token: str = DEFAULT_NULL_TOKEN,
+) -> Database:
+    """Load several CSV files into a single database (one relation per file)."""
+    database = Database()
+    for path in paths:
+        database.add_relation(load_relation(path, null_token=null_token))
+    return database
+
+
+def save_database(
+    database: Database,
+    directory: Union[str, Path],
+    null_token: str = DEFAULT_NULL_TOKEN,
+) -> List[Path]:
+    """Write every relation of ``database`` to ``directory`` as ``<name>.csv``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for relation in database:
+        written.append(
+            save_relation(relation, directory / f"{relation.name}.csv", null_token=null_token)
+        )
+    return written

@@ -1,0 +1,213 @@
+"""Databases: ordered collections of relations and their connection graph.
+
+A set of relations is *connected* when the graph whose vertices are the
+relations, with an edge between two relations that share an attribute, is
+connected (Section 2).  The :class:`Database` object materialises this graph
+once and answers connectivity queries about arbitrary subsets of relations,
+which is the operation the algorithms perform constantly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.relational.errors import DatabaseError
+from repro.relational.relation import Relation
+from repro.relational.tuples import Tuple
+
+
+class Database:
+    """An ordered set of relations ``R = {R_1, ..., R_n}``.
+
+    The order of relations matters: ``IncrementalFD`` is parameterised by an
+    index ``i`` and the full-disjunction driver iterates the relations in
+    order, suppressing duplicates by checking earlier relations.
+    """
+
+    def __init__(self, relations: Iterable[Relation] = ()):
+        self._relations: List[Relation] = []
+        self._by_name: Dict[str, Relation] = {}
+        self._adjacency: Dict[str, Set[str]] = {}
+        for relation in relations:
+            self.add_relation(relation)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_relation(self, relation: Relation) -> Relation:
+        """Add a relation to the database (names must be unique)."""
+        if relation.name in self._by_name:
+            raise DatabaseError(f"duplicate relation name {relation.name!r}")
+        self._relations.append(relation)
+        self._by_name[relation.name] = relation
+        self._adjacency[relation.name] = set()
+        for other in self._relations[:-1]:
+            if relation.schema.connects_to(other.schema):
+                self._adjacency[relation.name].add(other.name)
+                self._adjacency[other.name].add(relation.name)
+        return relation
+
+    @classmethod
+    def from_relations(cls, *relations: Relation) -> "Database":
+        """Build a database from relations given as positional arguments."""
+        return cls(relations)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def relations(self) -> Sequence[Relation]:
+        """The relations in database order."""
+        return tuple(self._relations)
+
+    @property
+    def relation_names(self) -> List[str]:
+        """The relation names in database order."""
+        return [relation.name for relation in self._relations]
+
+    def relation(self, name: str) -> Relation:
+        """Return the relation with the given name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise DatabaseError(f"no relation named {name!r}") from None
+
+    def relation_at(self, index: int) -> Relation:
+        """Return the relation at a zero-based index."""
+        try:
+            return self._relations[index]
+        except IndexError:
+            raise DatabaseError(
+                f"relation index {index} out of range (database has {len(self._relations)})"
+            ) from None
+
+    def index_of(self, name: str) -> int:
+        """Return the zero-based position of the relation named ``name``."""
+        for idx, relation in enumerate(self._relations):
+            if relation.name == name:
+                return idx
+        raise DatabaseError(f"no relation named {name!r}")
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __repr__(self) -> str:
+        return f"Database({', '.join(self.relation_names)})"
+
+    # ------------------------------------------------------------------ #
+    # tuples
+    # ------------------------------------------------------------------ #
+    def tuples(self) -> Iterator[Tuple]:
+        """Iterate over ``Tuples(R)``: every tuple of every relation, in order."""
+        for relation in self._relations:
+            yield from relation
+
+    def tuple_count(self) -> int:
+        """Return the total number of tuples in the database."""
+        return sum(len(relation) for relation in self._relations)
+
+    def total_size(self) -> int:
+        """The paper's ``s``: total size of all relations (tuples + attribute cells)."""
+        return sum(relation.total_size() for relation in self._relations)
+
+    def tuple_by_label(self, label: str) -> Tuple:
+        """Look up a tuple by its label across all relations."""
+        for relation in self._relations:
+            for t in relation:
+                if t.label == label:
+                    return t
+        raise DatabaseError(f"no tuple labelled {label!r} in the database")
+
+    # ------------------------------------------------------------------ #
+    # connection graph
+    # ------------------------------------------------------------------ #
+    @property
+    def adjacency(self) -> Dict[str, Set[str]]:
+        """The relation-connection graph as an adjacency mapping (copies)."""
+        return {name: set(neighbours) for name, neighbours in self._adjacency.items()}
+
+    def neighbours(self, name: str) -> Set[str]:
+        """Relations connected to (sharing an attribute with) ``name``."""
+        if name not in self._adjacency:
+            raise DatabaseError(f"no relation named {name!r}")
+        return set(self._adjacency[name])
+
+    def are_connected(self, first: str, second: str) -> bool:
+        """Return ``True`` when the two named relations share an attribute."""
+        return second in self._adjacency.get(first, ())
+
+    def is_connected(self, names: Optional[Iterable[str]] = None) -> bool:
+        """Return ``True`` when the given relations form a connected graph.
+
+        With no argument, the whole database is tested; this is the
+        connectivity condition the paper places on the input relations.
+        An empty set is considered connected; a singleton is connected.
+        """
+        if names is None:
+            selected = set(self._by_name)
+        else:
+            selected = set(names)
+            unknown = selected - set(self._by_name)
+            if unknown:
+                raise DatabaseError(f"unknown relations: {sorted(unknown)}")
+        if len(selected) <= 1:
+            return True
+        start = next(iter(selected))
+        seen = {start}
+        frontier = deque([start])
+        while frontier:
+            current = frontier.popleft()
+            for neighbour in self._adjacency[current]:
+                if neighbour in selected and neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return seen == selected
+
+    def connected_component(self, start: str, names: Iterable[str]) -> FrozenSet[str]:
+        """Return the connected component of ``start`` within the sub-graph induced by ``names``.
+
+        This is the operation of footnote 3: after discarding join-inconsistent
+        tuples, keep only those whose relations lie in the connected component
+        of ``t_b``'s relation.
+        """
+        selected = set(names)
+        selected.add(start)
+        seen = {start}
+        frontier = deque([start])
+        while frontier:
+            current = frontier.popleft()
+            for neighbour in self._adjacency.get(current, ()):
+                if neighbour in selected and neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return frozenset(seen)
+
+    def schema_edges(self) -> List[tuple]:
+        """Return the edges of the connection graph as sorted name pairs."""
+        edges = []
+        for idx, first in enumerate(self._relations):
+            for second in self._relations[idx + 1:]:
+                if first.schema.connects_to(second.schema):
+                    edges.append((first.name, second.name))
+        return edges
+
+    def validate_connected(self) -> None:
+        """Raise :class:`DatabaseError` unless the whole database is connected.
+
+        The paper defines the full disjunction for a connected set of
+        relations; the algorithms still work on disconnected databases (each
+        component is handled independently) but callers may want to enforce
+        the paper's precondition explicitly.
+        """
+        if not self.is_connected():
+            raise DatabaseError(
+                "the database is not connected: the full disjunction is defined "
+                "for a connected set of relations"
+            )

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the :mod:`repro` library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the library."""
+
+
+class SchemaError(ReproError):
+    """Raised when a schema is malformed or a value set does not match it."""
+
+
+class RelationError(ReproError):
+    """Raised when a relation is constructed or used inconsistently."""
+
+
+class DatabaseError(ReproError):
+    """Raised when a database is malformed (e.g. duplicate relation names)."""
+
+
+class CSVFormatError(ReproError):
+    """Raised when a CSV file cannot be parsed into a relation."""
+
+
+class RankingError(ReproError):
+    """Raised when a ranking function is used outside its contract.
+
+    For example, requesting ranked retrieval with a ranking function that is
+    not monotonically c-determined.
+    """
+
+
+class ApproximateJoinError(ReproError):
+    """Raised when an approximate-join function violates its contract."""

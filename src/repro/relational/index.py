@@ -1,0 +1,142 @@
+"""Attribute indexes and the paper's per-relation attribute-position table.
+
+Section 7 of the paper recommends hash indexes to speed up both the maximal
+extension loop of ``GetNextResult`` (which behaves like a natural join) and
+the management of the ``Complete``/``Incomplete`` lists.  This module supplies
+the building blocks on the relational side:
+
+* :class:`AttributeIndex` — a hash index from the value of an attribute to the
+  tuples holding that value (nulls are never indexed, since a null can never
+  participate in a join-consistent pair).
+* :class:`DatabaseIndex` — one :class:`AttributeIndex` per (relation,
+  attribute), plus a convenience lookup of all join-candidate tuples of a
+  given tuple.
+* :class:`AttributePositions` — the auxiliary structure described before
+  Theorem 4.8: the rank of each attribute of each relation when attributes are
+  sorted by name, allowing linear-time construction of the sorted triple-list
+  representation of a singleton tuple set.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Set, Tuple as TupleType
+
+from repro.relational.database import Database
+from repro.relational.nulls import is_null
+from repro.relational.relation import Relation
+from repro.relational.tuples import Tuple
+
+
+class AttributeIndex:
+    """Hash index of a single relation attribute.
+
+    Maps each non-null value of the attribute to the list of tuples holding
+    that value, in relation order.
+    """
+
+    def __init__(self, relation: Relation, attribute: str):
+        if attribute not in relation.schema:
+            raise KeyError(f"{attribute!r} is not an attribute of {relation.name!r}")
+        self._relation_name = relation.name
+        self._attribute = attribute
+        self._buckets: Dict[object, List[Tuple]] = defaultdict(list)
+        for t in relation:
+            value = t[attribute]
+            if not is_null(value):
+                self._buckets[value].append(t)
+
+    @property
+    def relation_name(self) -> str:
+        return self._relation_name
+
+    @property
+    def attribute(self) -> str:
+        return self._attribute
+
+    def lookup(self, value: object) -> List[Tuple]:
+        """Return the tuples whose attribute equals ``value`` (empty for nulls)."""
+        if is_null(value):
+            return []
+        return list(self._buckets.get(value, ()))
+
+    def values(self) -> Iterator[object]:
+        """Iterate over the distinct indexed values."""
+        return iter(self._buckets)
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+
+class DatabaseIndex:
+    """All attribute indexes of a database, built eagerly.
+
+    ``join_candidates(t)`` returns, for a tuple ``t``, every tuple of *other*
+    relations that agrees with ``t`` on at least one shared attribute.  Only
+    such tuples can ever be join consistent and connected with a set
+    containing ``t``, so the extension loops can restrict their scans to this
+    candidate set.
+    """
+
+    def __init__(self, database: Database):
+        self._database = database
+        self._indexes: Dict[TupleType[str, str], AttributeIndex] = {}
+        for relation in database:
+            for attribute in relation.schema:
+                self._indexes[(relation.name, attribute)] = AttributeIndex(relation, attribute)
+
+    def index(self, relation_name: str, attribute: str) -> AttributeIndex:
+        """Return the index of ``relation_name.attribute``."""
+        return self._indexes[(relation_name, attribute)]
+
+    def lookup(self, relation_name: str, attribute: str, value: object) -> List[Tuple]:
+        """Return the tuples of ``relation_name`` whose ``attribute`` equals ``value``."""
+        return self._indexes[(relation_name, attribute)].lookup(value)
+
+    def join_candidates(self, t: Tuple) -> List[Tuple]:
+        """Tuples of other relations sharing an equal non-null attribute value with ``t``."""
+        seen: Set[Tuple] = set()
+        ordered: List[Tuple] = []
+        for attribute, value in t.non_null_items():
+            for relation in self._database:
+                if relation.name == t.relation_name:
+                    continue
+                if attribute not in relation.schema:
+                    continue
+                for candidate in self.lookup(relation.name, attribute, value):
+                    if candidate not in seen:
+                        seen.add(candidate)
+                        ordered.append(candidate)
+        return ordered
+
+
+class AttributePositions:
+    """Per-relation map from attribute to its rank in attribute-name order.
+
+    The paper stores, for each relation, "the numerical position in which each
+    attribute would be placed if the attributes were sorted in ascending
+    order", so that a singleton tuple set can be converted to the sorted
+    triple-list representation in linear time using bucket sort.
+    """
+
+    def __init__(self, database_or_relations):
+        relations: Iterable[Relation]
+        if isinstance(database_or_relations, Database):
+            relations = database_or_relations.relations
+        else:
+            relations = database_or_relations
+        self._positions: Dict[str, Dict[str, int]] = {
+            relation.name: relation.schema.sorted_positions() for relation in relations
+        }
+
+    def position(self, relation_name: str, attribute: str) -> int:
+        """Return the sorted-order rank of ``attribute`` within ``relation_name``."""
+        return self._positions[relation_name][attribute]
+
+    def sorted_attributes(self, relation_name: str) -> List[str]:
+        """Return the attributes of ``relation_name`` in ascending name order."""
+        positions = self._positions[relation_name]
+        return sorted(positions, key=positions.__getitem__)
+
+    def __contains__(self, relation_name: str) -> bool:
+        return relation_name in self._positions

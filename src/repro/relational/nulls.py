@@ -1,0 +1,67 @@
+"""The null value (⊥) used throughout the library.
+
+The paper allows source relations to contain null values and uses ``⊥`` to
+denote them.  We model the null value with a dedicated singleton rather than
+``None`` so that ``None`` can never be confused with a missing attribute and
+so that nulls render as ``⊥`` in tables, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+
+class Null:
+    """Singleton type of the null value ``⊥``.
+
+    Nulls compare equal only to other nulls, are falsy and hashable.  The
+    module-level constant :data:`NULL` is the only instance client code should
+    ever use; the constructor always returns that instance.
+    """
+
+    _instance: "Null" = None
+
+    __slots__ = ()
+
+    def __new__(cls) -> "Null":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "⊥"
+
+    def __str__(self) -> str:
+        return "⊥"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Null)
+
+    def __ne__(self, other: object) -> bool:
+        return not isinstance(other, Null)
+
+    def __hash__(self) -> int:
+        return hash(Null)
+
+    def __reduce__(self):
+        # Pickling must preserve the singleton property.
+        return (Null, ())
+
+
+#: The null value ``⊥``.
+NULL = Null()
+
+
+def is_null(value: object) -> bool:
+    """Return ``True`` if ``value`` is the null value.
+
+    ``None`` is also treated as null so that plain Python rows (e.g. parsed
+    from CSV files with missing cells) can be ingested directly.
+    """
+    return value is None or isinstance(value, Null)
+
+
+def coalesce(value: object, default: object) -> object:
+    """Return ``value`` unless it is null, in which case return ``default``."""
+    return default if is_null(value) else value

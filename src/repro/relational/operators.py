@@ -1,0 +1,230 @@
+"""Classic relational operators on :class:`~repro.relational.Relation` objects.
+
+These operators are the substrate for the outerjoin-based baseline of
+Rajaraman and Ullman [2] and for rendering full-disjunction tuple sets as
+padded rows, exactly as in the last six columns of Table 2 of the paper.
+
+All operators are pure: they return new relations and never mutate their
+inputs.  Null semantics follow the paper: a null never joins with anything,
+not even with another null.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.relational.errors import RelationError
+from repro.relational.nulls import NULL, is_null
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.tuples import Tuple
+
+
+def select(relation: Relation, predicate: Callable[[Tuple], bool], name: Optional[str] = None) -> Relation:
+    """Return the tuples of ``relation`` satisfying ``predicate``."""
+    result = Relation(name or f"select({relation.name})", relation.schema)
+    for t in relation:
+        if predicate(t):
+            result.add(t.values, importance=t.importance, probability=t.probability)
+    return result
+
+
+def project(relation: Relation, attributes: Sequence[str], name: Optional[str] = None) -> Relation:
+    """Project ``relation`` onto ``attributes`` (duplicates are kept)."""
+    schema = relation.schema.project(attributes)
+    result = Relation(name or f"project({relation.name})", schema)
+    for t in relation:
+        result.add([t[a] for a in attributes], importance=t.importance, probability=t.probability)
+    return result
+
+
+def distinct(relation: Relation, name: Optional[str] = None) -> Relation:
+    """Remove duplicate value rows from ``relation`` (first occurrence wins)."""
+    result = Relation(name or f"distinct({relation.name})", relation.schema)
+    seen = set()
+    for t in relation:
+        if t.values not in seen:
+            seen.add(t.values)
+            result.add(t.values, importance=t.importance, probability=t.probability)
+    return result
+
+
+def union(first: Relation, second: Relation, name: Optional[str] = None) -> Relation:
+    """Set union of two relations over the same schema."""
+    if first.schema != second.schema:
+        raise RelationError(
+            f"cannot union relations with different schemas: {first.schema} vs {second.schema}"
+        )
+    result = Relation(name or f"union({first.name},{second.name})", first.schema)
+    seen = set()
+    for relation in (first, second):
+        for t in relation:
+            if t.values not in seen:
+                seen.add(t.values)
+                result.add(t.values)
+    return result
+
+
+def _rows_join_consistent(left: Dict[str, object], right: Dict[str, object], shared: Iterable[str]) -> bool:
+    """Join consistency of two attribute->value rows on their shared attributes.
+
+    Following the paper, a shared attribute must carry the *same non-null*
+    value on both sides.
+    """
+    for attribute in shared:
+        lhs = left[attribute]
+        rhs = right[attribute]
+        if is_null(lhs) or is_null(rhs) or lhs != rhs:
+            return False
+    return True
+
+
+def _merge_rows(left: Dict[str, object], right: Dict[str, object], schema: Schema) -> List[object]:
+    """Merge two consistent rows into a single value list over ``schema``."""
+    merged = []
+    for attribute in schema.attributes:
+        if attribute in left and not is_null(left[attribute]):
+            merged.append(left[attribute])
+        elif attribute in right and not is_null(right[attribute]):
+            merged.append(right[attribute])
+        elif attribute in left:
+            merged.append(left[attribute])
+        elif attribute in right:
+            merged.append(right[attribute])
+        else:
+            merged.append(NULL)
+    return merged
+
+
+def natural_join(first: Relation, second: Relation, name: Optional[str] = None) -> Relation:
+    """Natural join of two relations (nulls never match)."""
+    schema = first.schema.union(second.schema)
+    shared = first.schema.shared_attributes(second.schema)
+    result = Relation(name or f"join({first.name},{second.name})", schema)
+    for left in first:
+        left_row = left.as_dict()
+        for right in second:
+            right_row = right.as_dict()
+            if _rows_join_consistent(left_row, right_row, shared):
+                result.add(_merge_rows(left_row, right_row, schema))
+    return result
+
+
+def left_outerjoin(first: Relation, second: Relation, name: Optional[str] = None) -> Relation:
+    """Left outerjoin: every tuple of ``first`` survives, padded with nulls if unmatched."""
+    schema = first.schema.union(second.schema)
+    shared = first.schema.shared_attributes(second.schema)
+    result = Relation(name or f"lojoin({first.name},{second.name})", schema)
+    for left in first:
+        left_row = left.as_dict()
+        matched = False
+        for right in second:
+            right_row = right.as_dict()
+            if _rows_join_consistent(left_row, right_row, shared):
+                matched = True
+                result.add(_merge_rows(left_row, right_row, schema))
+        if not matched:
+            result.add(_merge_rows(left_row, {}, schema))
+    return result
+
+
+def full_outerjoin(first: Relation, second: Relation, name: Optional[str] = None) -> Relation:
+    """Full outerjoin: unmatched tuples of either side survive, padded with nulls."""
+    schema = first.schema.union(second.schema)
+    shared = first.schema.shared_attributes(second.schema)
+    result = Relation(name or f"fojoin({first.name},{second.name})", schema)
+    matched_right = set()
+    for left in first:
+        left_row = left.as_dict()
+        matched = False
+        for right in second:
+            right_row = right.as_dict()
+            if _rows_join_consistent(left_row, right_row, shared):
+                matched = True
+                matched_right.add(right)
+                result.add(_merge_rows(left_row, right_row, schema))
+        if not matched:
+            result.add(_merge_rows(left_row, {}, schema))
+    for right in second:
+        if right not in matched_right:
+            result.add(_merge_rows({}, right.as_dict(), schema))
+    return result
+
+
+def row_subsumes(stronger: Sequence[object], weaker: Sequence[object]) -> bool:
+    """Return ``True`` when row ``stronger`` subsumes row ``weaker``.
+
+    Row ``s`` subsumes row ``w`` (over the same schema) when ``s`` agrees with
+    ``w`` on every attribute where ``w`` is non-null.  Equal rows subsume each
+    other; the caller decides how to break that tie.
+    """
+    if len(stronger) != len(weaker):
+        raise RelationError("subsumption is only defined over a common schema")
+    for s_value, w_value in zip(stronger, weaker):
+        if is_null(w_value):
+            continue
+        if is_null(s_value) or s_value != w_value:
+            return False
+    return True
+
+
+def remove_subsumed(relation: Relation, name: Optional[str] = None) -> Relation:
+    """Remove rows that are strictly subsumed by (or duplicate) another row.
+
+    This is the "minimal union" clean-up step applied after a sequence of
+    outerjoins: without it, padded partial answers that are dominated by more
+    complete answers would survive.
+    """
+    rows = [t.values for t in relation]
+    kept: List[Sequence[object]] = []
+    for idx, row in enumerate(rows):
+        subsumed = False
+        for jdx, other in enumerate(rows):
+            if idx == jdx:
+                continue
+            if other == row:
+                # Exact duplicates: keep only the first occurrence.
+                if jdx < idx:
+                    subsumed = True
+                    break
+                continue
+            if row_subsumes(other, row):
+                subsumed = True
+                break
+        if not subsumed:
+            kept.append(row)
+    result = Relation(name or f"minimal({relation.name})", relation.schema)
+    for row in kept:
+        result.add(row)
+    return result
+
+
+def combined_schema(relations: Iterable[Relation]) -> Schema:
+    """The union schema of several relations, in first-appearance order."""
+    attributes: List[str] = []
+    seen = set()
+    for relation in relations:
+        for attribute in relation.schema.attributes:
+            if attribute not in seen:
+                seen.add(attribute)
+                attributes.append(attribute)
+    return Schema(attributes)
+
+
+def pad_tuple_set(tuples: Iterable[Tuple], schema: Schema) -> Dict[str, object]:
+    """Render a tuple set as a single padded row over ``schema``.
+
+    This is how Table 2 of the paper derives its last six columns: the natural
+    join of the tuples in the set, padded with nulls on the attributes no
+    tuple provides.  For a join-consistent set every member agrees on shared
+    attributes, so the choice of contributor is immaterial; for approximately
+    join-consistent sets (Section 6) members may disagree, and the first
+    non-null value in (relation, label) order wins, which keeps the rendering
+    deterministic.
+    """
+    row: Dict[str, object] = {attribute: NULL for attribute in schema.attributes}
+    for t in sorted(tuples, key=lambda member: (member.relation_name, member.label)):
+        for attribute, value in t.non_null_items():
+            if is_null(row[attribute]):
+                row[attribute] = value
+    return row

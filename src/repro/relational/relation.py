@@ -1,0 +1,203 @@
+"""Relations: named collections of tuples over a fixed schema."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Mapping, Optional, Sequence
+
+from repro.relational.errors import RelationError
+from repro.relational.nulls import NULL, is_null
+from repro.relational.schema import Schema
+from repro.relational.tuples import Tuple, tuple_from_mapping
+
+
+class Relation:
+    """A named relation with a fixed schema and an ordered list of tuples.
+
+    Tuples are stored in insertion order; the order is what the algorithms
+    scan when iterating over the database, so it is deterministic.
+
+    Parameters
+    ----------
+    name:
+        The relation name (``R_i`` in the paper); must be unique per database.
+    schema:
+        Either a :class:`Schema` or an iterable of attribute names.
+    label_prefix:
+        Prefix used when auto-generating tuple labels; defaults to the
+        lower-cased first character of the relation name, matching the
+        ``c1, a1, s1`` convention of the paper's examples.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema,
+        label_prefix: Optional[str] = None,
+    ):
+        if not name or not isinstance(name, str):
+            raise RelationError(f"relation name must be a non-empty string, got {name!r}")
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        self._name = name
+        self._schema = schema
+        self._tuples: List[Tuple] = []
+        self._labels = set()
+        self._label_prefix = label_prefix or name[0].lower()
+
+    @property
+    def name(self) -> str:
+        """The relation name."""
+        return self._name
+
+    @property
+    def schema(self) -> Schema:
+        """The relation schema."""
+        return self._schema
+
+    @property
+    def attributes(self) -> tuple:
+        """The schema attributes in column order."""
+        return self._schema.attributes
+
+    @property
+    def tuples(self) -> Sequence[Tuple]:
+        """The tuples in insertion order (read-only view)."""
+        return tuple(self._tuples)
+
+    def _next_label(self) -> str:
+        label = f"{self._label_prefix}{len(self._tuples) + 1}"
+        # Guard against collisions with explicitly provided labels.
+        suffix = len(self._tuples) + 1
+        while label in self._labels:
+            suffix += 1
+            label = f"{self._label_prefix}{suffix}"
+        return label
+
+    def add(
+        self,
+        values: Iterable[object],
+        label: Optional[str] = None,
+        importance: float = 0.0,
+        probability: float = 1.0,
+    ) -> Tuple:
+        """Append a tuple given its values in schema order and return it."""
+        label = label or self._next_label()
+        if label in self._labels:
+            raise RelationError(f"duplicate tuple label {label!r} in relation {self._name!r}")
+        t = Tuple(
+            self._name,
+            self._schema,
+            values,
+            label,
+            importance=importance,
+            probability=probability,
+        )
+        self._tuples.append(t)
+        self._labels.add(label)
+        return t
+
+    def add_mapping(
+        self,
+        mapping: Mapping[str, object],
+        label: Optional[str] = None,
+        importance: float = 0.0,
+        probability: float = 1.0,
+    ) -> Tuple:
+        """Append a tuple given as an ``attribute -> value`` mapping."""
+        label = label or self._next_label()
+        if label in self._labels:
+            raise RelationError(f"duplicate tuple label {label!r} in relation {self._name!r}")
+        t = tuple_from_mapping(
+            self._name,
+            self._schema,
+            mapping,
+            label,
+            importance=importance,
+            probability=probability,
+        )
+        self._tuples.append(t)
+        self._labels.add(label)
+        return t
+
+    def extend(self, rows: Iterable[Iterable[object]]) -> List[Tuple]:
+        """Append many tuples given their value rows; return the created tuples."""
+        return [self.add(row) for row in rows]
+
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        attributes: Sequence[str],
+        rows: Iterable[Iterable[object]],
+        label_prefix: Optional[str] = None,
+    ) -> "Relation":
+        """Build a relation from a schema and an iterable of value rows."""
+        relation = cls(name, Schema(attributes), label_prefix=label_prefix)
+        relation.extend(rows)
+        return relation
+
+    def tuple_by_label(self, label: str) -> Tuple:
+        """Return the tuple with the given label (raises if absent)."""
+        for t in self._tuples:
+            if t.label == label:
+                return t
+        raise RelationError(f"no tuple labelled {label!r} in relation {self._name!r}")
+
+    def total_size(self) -> int:
+        """A size measure in the spirit of the paper's ``s``.
+
+        Counts one unit per tuple plus one unit per attribute value (nulls
+        included), so that schemas with more attributes weigh more.
+        """
+        return sum(1 + len(self._schema) for _ in self._tuples)
+
+    def distinct_values(self, attribute: str) -> set:
+        """Return the set of distinct non-null values of ``attribute``."""
+        values = set()
+        for t in self._tuples:
+            value = t[attribute]
+            if not is_null(value):
+                values.add(value)
+        return values
+
+    def null_count(self) -> int:
+        """Return the number of null cells in the relation."""
+        return sum(1 for t in self._tuples for v in t.values if is_null(v))
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return iter(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._tuples
+
+    def __repr__(self) -> str:
+        return f"Relation({self._name!r}, {list(self._schema.attributes)!r}, {len(self)} tuples)"
+
+    def to_rows(self) -> List[tuple]:
+        """Return the relation contents as plain value rows (nulls as :data:`NULL`)."""
+        return [t.values for t in self._tuples]
+
+    def pretty(self, max_rows: Optional[int] = None) -> str:
+        """Render the relation as an aligned text table (nulls shown as ``⊥``)."""
+        headers = list(self._schema.attributes)
+        rows = [
+            [t.label] + ["⊥" if is_null(v) else str(v) for v in t.values]
+            for t in (self._tuples if max_rows is None else self._tuples[:max_rows])
+        ]
+        headers = [""] + headers
+        widths = [len(h) for h in headers]
+        for row in rows:
+            for idx, cell in enumerate(row):
+                widths[idx] = max(widths[idx], len(cell))
+        lines = [
+            "  ".join(h.ljust(widths[idx]) for idx, h in enumerate(headers)),
+            "  ".join("-" * widths[idx] for idx in range(len(headers))),
+        ]
+        for row in rows:
+            lines.append("  ".join(cell.ljust(widths[idx]) for idx, cell in enumerate(row)))
+        if max_rows is not None and len(self._tuples) > max_rows:
+            lines.append(f"... ({len(self._tuples) - max_rows} more rows)")
+        return "\n".join(lines)

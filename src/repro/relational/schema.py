@@ -1,0 +1,117 @@
+"""Relation schemas.
+
+A schema is an ordered collection of attribute names.  Two relations are
+*connected* exactly when their schemas share at least one attribute
+(Section 2 of the paper); the schema object exposes that test directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Tuple as TupleType
+
+from repro.relational.errors import SchemaError
+
+
+class Schema:
+    """An ordered, duplicate-free collection of attribute names.
+
+    Parameters
+    ----------
+    attributes:
+        The attribute names, in the column order used when rendering tuples.
+
+    Attribute names must be non-empty strings and must be unique within the
+    schema.
+    """
+
+    __slots__ = ("_attributes", "_attribute_set", "_positions")
+
+    def __init__(self, attributes: Iterable[str]):
+        attrs = tuple(attributes)
+        if not attrs:
+            raise SchemaError("a schema must have at least one attribute")
+        seen = set()
+        for attribute in attrs:
+            if not isinstance(attribute, str) or not attribute:
+                raise SchemaError(
+                    f"attribute names must be non-empty strings, got {attribute!r}"
+                )
+            if attribute in seen:
+                raise SchemaError(f"duplicate attribute {attribute!r} in schema")
+            seen.add(attribute)
+        self._attributes: TupleType[str, ...] = attrs
+        self._attribute_set = frozenset(attrs)
+        self._positions = {attribute: idx for idx, attribute in enumerate(attrs)}
+
+    @property
+    def attributes(self) -> TupleType[str, ...]:
+        """The attributes in declaration (column) order."""
+        return self._attributes
+
+    @property
+    def attribute_set(self) -> frozenset:
+        """The attributes as a frozenset, for O(1) membership tests."""
+        return self._attribute_set
+
+    def position(self, attribute: str) -> int:
+        """Return the column position of ``attribute``.
+
+        Raises :class:`SchemaError` if the attribute is not in the schema.
+        """
+        try:
+            return self._positions[attribute]
+        except KeyError:
+            raise SchemaError(f"attribute {attribute!r} not in schema {self}") from None
+
+    def sorted_positions(self) -> dict:
+        """Map each attribute to its rank when attributes are sorted by name.
+
+        This is the auxiliary per-relation structure described right before
+        Theorem 4.8 of the paper: it allows building the sorted triple-list
+        representation of a singleton tuple set in linear time (bucket sort).
+        """
+        return {attribute: rank for rank, attribute in enumerate(sorted(self._attributes))}
+
+    def __contains__(self, attribute: object) -> bool:
+        return attribute in self._attribute_set
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        return f"Schema({', '.join(self._attributes)})"
+
+    def shared_attributes(self, other: "Schema") -> frozenset:
+        """Return the attributes common to both schemas."""
+        return self._attribute_set & other._attribute_set
+
+    def connects_to(self, other: "Schema") -> bool:
+        """Return ``True`` if the two schemas share at least one attribute.
+
+        This is the paper's notion of two relations being *connected*.
+        """
+        return bool(self._attribute_set & other._attribute_set)
+
+    def project(self, attributes: Sequence[str]) -> "Schema":
+        """Return a new schema restricted to ``attributes`` (kept in the given order)."""
+        missing = [a for a in attributes if a not in self._attribute_set]
+        if missing:
+            raise SchemaError(f"cannot project on attributes not in schema: {missing}")
+        return Schema(attributes)
+
+    def union(self, other: "Schema") -> "Schema":
+        """Return the schema of a (outer)join result: this schema followed by
+        the attributes of ``other`` that are not already present."""
+        extra = [a for a in other.attributes if a not in self._attribute_set]
+        return Schema(self._attributes + tuple(extra))

@@ -1,0 +1,236 @@
+"""Null-tolerant, immutable tuples.
+
+A :class:`Tuple` knows the relation it belongs to, its label (``c1``, ``a2``
+and so on, used throughout the paper to identify tuples) and its values.
+Because a tuple carries its full schema, join consistency and connectivity of
+tuple sets can be decided without consulting the database.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Tuple as TupleType
+
+from repro.relational.errors import SchemaError
+from repro.relational.nulls import NULL, is_null
+from repro.relational.schema import Schema
+
+
+class Tuple:
+    """An immutable tuple of a relation.
+
+    Parameters
+    ----------
+    relation_name:
+        Name of the relation the tuple belongs to.
+    schema:
+        The schema of that relation (``Schema(t)`` in the paper).
+    values:
+        The attribute values, one per schema attribute, in schema order.
+        Null cells may be given as :data:`repro.relational.NULL` or ``None``.
+    label:
+        A short identifier used when printing tuple sets (e.g. ``"c1"``).
+        Labels are assigned automatically by :class:`~repro.relational.Relation`
+        when not provided.
+    importance:
+        Optional numeric importance ``imp(t)`` used by ranking functions
+        (Section 5).  Defaults to ``0.0``.
+    probability:
+        Optional probability ``prob(t)`` that the tuple is correct, used by
+        approximate-join functions (Section 6).  Defaults to ``1.0``.
+    """
+
+    __slots__ = (
+        "_relation_name",
+        "_schema",
+        "_values",
+        "_label",
+        "_importance",
+        "_probability",
+        "_hash",
+    )
+
+    def __init__(
+        self,
+        relation_name: str,
+        schema: Schema,
+        values: Iterable[object],
+        label: str,
+        importance: float = 0.0,
+        probability: float = 1.0,
+    ):
+        values = tuple(NULL if is_null(v) else v for v in values)
+        if len(values) != len(schema):
+            raise SchemaError(
+                f"tuple {label!r} of {relation_name!r} has {len(values)} values "
+                f"but the schema has {len(schema)} attributes"
+            )
+        if not (0.0 <= probability <= 1.0):
+            raise SchemaError(
+                f"tuple {label!r}: probability must be in [0, 1], got {probability}"
+            )
+        self._relation_name = relation_name
+        self._schema = schema
+        self._values: TupleType[object, ...] = values
+        self._label = label
+        self._importance = float(importance)
+        self._probability = float(probability)
+        self._hash = hash((relation_name, label, values))
+
+    @property
+    def relation_name(self) -> str:
+        """Name of the relation this tuple belongs to."""
+        return self._relation_name
+
+    @property
+    def schema(self) -> Schema:
+        """``Schema(t)``: the attributes of the relation this tuple belongs to."""
+        return self._schema
+
+    @property
+    def values(self) -> TupleType[object, ...]:
+        """The values in schema order (nulls are :data:`NULL`)."""
+        return self._values
+
+    @property
+    def label(self) -> str:
+        """The tuple's display label (e.g. ``"c1"``)."""
+        return self._label
+
+    @property
+    def importance(self) -> float:
+        """``imp(t)``: the tuple's importance for ranking functions."""
+        return self._importance
+
+    @property
+    def probability(self) -> float:
+        """``prob(t)``: the tuple's probability of being correct."""
+        return self._probability
+
+    def __getitem__(self, attribute: str) -> object:
+        """Return ``t[A]``, the value of attribute ``A`` (raises if A is not in the schema)."""
+        return self._values[self._schema.position(attribute)]
+
+    def get(self, attribute: str, default: object = NULL) -> object:
+        """Return ``t[A]`` or ``default`` when ``A`` is not in the schema."""
+        if attribute not in self._schema:
+            return default
+        return self._values[self._schema.position(attribute)]
+
+    def has_attribute(self, attribute: str) -> bool:
+        """Return ``True`` when ``attribute`` belongs to the tuple's schema."""
+        return attribute in self._schema
+
+    def is_null(self, attribute: str) -> bool:
+        """Return ``True`` when the value of ``attribute`` is null."""
+        return is_null(self[attribute])
+
+    def non_null_items(self) -> Iterable:
+        """Yield ``(attribute, value)`` pairs for the non-null attributes."""
+        for attribute, value in zip(self._schema.attributes, self._values):
+            if not is_null(value):
+                yield attribute, value
+
+    def items(self) -> Iterable:
+        """Yield all ``(attribute, value)`` pairs in schema order."""
+        return zip(self._schema.attributes, self._values)
+
+    def as_dict(self) -> dict:
+        """Return the tuple as an ``attribute -> value`` dictionary."""
+        return dict(self.items())
+
+    def join_consistent_with(self, other: "Tuple") -> bool:
+        """Return ``True`` when ``{self, other}`` is join consistent.
+
+        Two tuples are join consistent when, for every attribute common to
+        their schemas, both have the same non-null value (Section 2).
+        Tuples of the same relation that are distinct tuples can never belong
+        to the same connected tuple set, but join consistency by itself only
+        constrains shared attribute values.
+        """
+        shared = self._schema.shared_attributes(other._schema)
+        for attribute in shared:
+            mine = self[attribute]
+            theirs = other[attribute]
+            if is_null(mine) or is_null(theirs) or mine != theirs:
+                return False
+        return True
+
+    def connects_to(self, other: "Tuple") -> bool:
+        """Return ``True`` when the relations of the two tuples share an attribute."""
+        return self._schema.connects_to(other._schema)
+
+    def with_importance(self, importance: float) -> "Tuple":
+        """Return a copy of the tuple with a different importance value."""
+        return Tuple(
+            self._relation_name,
+            self._schema,
+            self._values,
+            self._label,
+            importance=importance,
+            probability=self._probability,
+        )
+
+    def with_probability(self, probability: float) -> "Tuple":
+        """Return a copy of the tuple with a different probability value."""
+        return Tuple(
+            self._relation_name,
+            self._schema,
+            self._values,
+            self._label,
+            importance=self._importance,
+            probability=probability,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Tuple):
+            return NotImplemented
+        return (
+            self._relation_name == other._relation_name
+            and self._label == other._label
+            and self._values == other._values
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "Tuple") -> bool:
+        # A deterministic, human-friendly order: by relation then label.
+        if not isinstance(other, Tuple):
+            return NotImplemented
+        return (self._relation_name, self._label) < (other._relation_name, other._label)
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(f"{a}={v!r}" for a, v in self.items())
+        return f"{self._label}:{self._relation_name}({rendered})"
+
+    def __str__(self) -> str:
+        return self._label
+
+
+def tuple_from_mapping(
+    relation_name: str,
+    schema: Schema,
+    mapping: Mapping[str, object],
+    label: str,
+    importance: float = 0.0,
+    probability: float = 1.0,
+) -> Tuple:
+    """Build a :class:`Tuple` from an ``attribute -> value`` mapping.
+
+    Attributes of the schema missing from the mapping become null.
+    Extra keys not present in the schema raise :class:`SchemaError`.
+    """
+    extra = set(mapping) - set(schema.attributes)
+    if extra:
+        raise SchemaError(
+            f"values {sorted(extra)} are not attributes of schema {schema}"
+        )
+    values = [mapping.get(attribute, NULL) for attribute in schema.attributes]
+    return Tuple(
+        relation_name,
+        schema,
+        values,
+        label,
+        importance=importance,
+        probability=probability,
+    )

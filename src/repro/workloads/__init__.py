@@ -1,0 +1,32 @@
+"""Workloads: the paper's running example and synthetic data generators."""
+
+from repro.workloads.tourist import (
+    tourist_database,
+    tourist_importance,
+    noisy_tourist_database,
+    noisy_tourist_similarity,
+    TABLE2_TUPLE_SETS,
+    TABLE3_TRACE,
+)
+from repro.workloads.generators import (
+    chain_database,
+    cycle_database,
+    star_database,
+    random_database,
+)
+from repro.workloads.dirty import dirty_sources_database, corrupt_string
+
+__all__ = [
+    "tourist_database",
+    "tourist_importance",
+    "noisy_tourist_database",
+    "noisy_tourist_similarity",
+    "TABLE2_TUPLE_SETS",
+    "TABLE3_TRACE",
+    "chain_database",
+    "cycle_database",
+    "star_database",
+    "random_database",
+    "dirty_sources_database",
+    "corrupt_string",
+]

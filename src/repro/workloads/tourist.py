@@ -1,0 +1,275 @@
+"""The paper's running example: the tourist-information relations of Table 1.
+
+This module encodes, verbatim:
+
+* **Table 1** — the relations ``Climates``, ``Accommodations`` and ``Sites``
+  (including the null ``Stars`` value of the Hilton);
+* **Table 2** — the expected full disjunction, as frozensets of tuple labels;
+* **Table 3** — the expected contents of ``Incomplete`` and ``Complete`` after
+  initialization and after each iteration of
+  ``IncrementalFD({Climates, Accommodations, Sites}, 1)``;
+* the ranked-retrieval scenario of the introduction (a tourist preferring a
+  tropical climate to a temperate one and a temperate one to a diverse one);
+* **Fig. 4 / Examples 6.1 and 6.3** — the noisy variant with the misspelled
+  ``Cannada`` tuple, per-tuple probabilities and pairwise similarities chosen
+  to reproduce the worked numbers ``A_min(T1) = 0.5`` and
+  ``A_prod(T1) = 0.32``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.relational.database import Database
+from repro.relational.nulls import NULL
+from repro.relational.relation import Relation
+from repro.core.approx_join import TableSimilarity
+
+#: Table 2, first column: the full disjunction as frozensets of tuple labels.
+TABLE2_TUPLE_SETS = [
+    frozenset({"c1", "a1"}),
+    frozenset({"c1", "a2", "s1"}),
+    frozenset({"c1", "s2"}),
+    frozenset({"c2", "s3"}),
+    frozenset({"c2", "s4"}),
+    frozenset({"c3", "a3"}),
+]
+
+#: Table 3: (snapshot label, Incomplete contents, Complete contents), each a
+#: list of frozensets of tuple labels, in the paper's column order.
+TABLE3_TRACE = [
+    (
+        "Initialization",
+        [frozenset({"c1"}), frozenset({"c2"}), frozenset({"c3"})],
+        [],
+    ),
+    (
+        "Iteration 1",
+        [frozenset({"c1", "a2", "s1"}), frozenset({"c1", "s2"}), frozenset({"c2"}), frozenset({"c3"})],
+        [frozenset({"c1", "a1"})],
+    ),
+    (
+        "Iteration 2",
+        [frozenset({"c1", "s2"}), frozenset({"c2"}), frozenset({"c3"})],
+        [frozenset({"c1", "a1"}), frozenset({"c1", "a2", "s1"})],
+    ),
+    (
+        "Iteration 3",
+        [frozenset({"c2"}), frozenset({"c3"})],
+        [frozenset({"c1", "a1"}), frozenset({"c1", "a2", "s1"}), frozenset({"c1", "s2"})],
+    ),
+    (
+        "Iteration 4",
+        [frozenset({"c2", "s4"}), frozenset({"c3"})],
+        [
+            frozenset({"c1", "a1"}),
+            frozenset({"c1", "a2", "s1"}),
+            frozenset({"c1", "s2"}),
+            frozenset({"c2", "s3"}),
+        ],
+    ),
+    (
+        "Iteration 5",
+        [frozenset({"c3"})],
+        [
+            frozenset({"c1", "a1"}),
+            frozenset({"c1", "a2", "s1"}),
+            frozenset({"c1", "s2"}),
+            frozenset({"c2", "s3"}),
+            frozenset({"c2", "s4"}),
+        ],
+    ),
+    (
+        "Iteration 6",
+        [],
+        [
+            frozenset({"c1", "a1"}),
+            frozenset({"c1", "a2", "s1"}),
+            frozenset({"c1", "s2"}),
+            frozenset({"c2", "s3"}),
+            frozenset({"c2", "s4"}),
+            frozenset({"c3", "a3"}),
+        ],
+    ),
+]
+
+#: Climate preference of the introduction's tourist: tropical > temperate > diverse.
+CLIMATE_PREFERENCE = {"tropical": 3.0, "temperate": 2.0, "diverse": 1.0}
+
+
+def tourist_database() -> Database:
+    """Build the three relations of Table 1 (with the paper's tuple labels)."""
+    climates = Relation("Climates", ["Country", "Climate"], label_prefix="c")
+    climates.add(["Canada", "diverse"], label="c1")
+    climates.add(["UK", "temperate"], label="c2")
+    climates.add(["Bahamas", "tropical"], label="c3")
+
+    accommodations = Relation(
+        "Accommodations", ["Country", "City", "Hotel", "Stars"], label_prefix="a"
+    )
+    accommodations.add(["Canada", "Toronto", "Plaza", 4], label="a1")
+    accommodations.add(["Canada", "London", "Ramada", 3], label="a2")
+    accommodations.add(["Bahamas", "Nassau", "Hilton", NULL], label="a3")
+
+    sites = Relation("Sites", ["Country", "City", "Site"], label_prefix="s")
+    sites.add(["Canada", "London", "Air Show"], label="s1")
+    sites.add(["Canada", NULL, "Mount Logan"], label="s2")
+    sites.add(["UK", "London", "Buckingham"], label="s3")
+    sites.add(["UK", "London", "Hyde Park"], label="s4")
+
+    return Database([climates, accommodations, sites])
+
+
+def tourist_importance() -> Dict[str, float]:
+    """Per-tuple importance for the introduction's ranking scenario.
+
+    Climate tuples are scored by the tourist's climate preference; hotels by
+    their star rating; sites get a small constant bonus.
+    """
+    importance: Dict[str, float] = {
+        "c1": CLIMATE_PREFERENCE["diverse"],
+        "c2": CLIMATE_PREFERENCE["temperate"],
+        "c3": CLIMATE_PREFERENCE["tropical"],
+        "a1": 4.0,
+        "a2": 3.0,
+        "a3": 0.0,
+        "s1": 1.0,
+        "s2": 1.0,
+        "s3": 1.0,
+        "s4": 1.0,
+    }
+    return importance
+
+
+#: Per-tuple probabilities of the Fig. 4 scenario (all at least 0.5 so that the
+#: worked value ``A_min({c1, a2, s2}) = 0.5`` is decided by the similarities).
+FIG4_PROBABILITIES = {
+    "c1": 0.7,
+    "c2": 0.9,
+    "c3": 0.9,
+    "a1": 0.9,
+    "a2": 0.9,
+    "a3": 0.8,
+    "s1": 0.9,
+    "s2": 0.6,
+    "s3": 0.9,
+    "s4": 0.9,
+}
+
+#: Pairwise similarities of Fig. 4 (Examples 6.1 and 6.3).  The values satisfy
+#: the worked examples: A_min({c1, a2, s2}) = 0.5, A_prod({c1, a2, s2}) = 0.32,
+#: and with τ = 0.4 the maximal A_prod-qualifying subsets of {c1, s1, a2} ∪ {s2}
+#: containing s2 are {c1, s2} and {s2, a2}.
+FIG4_SIMILARITIES = [
+    ("c1", "a2", 0.5),
+    ("c1", "s2", 0.8),
+    ("a2", "s2", 0.8),
+    ("c1", "a1", 0.7),
+    ("c1", "s1", 0.9),
+    ("a2", "s1", 0.9),
+    ("a1", "s1", 0.0),
+    ("a1", "s2", 0.7),
+    ("s1", "s2", 0.0),
+]
+
+
+def noisy_tourist_database() -> Database:
+    """The Fig. 4 variant: tuple ``c1`` is misspelled ``Cannada`` and tuples carry probabilities."""
+    climates = Relation("Climates", ["Country", "Climate"], label_prefix="c")
+    climates.add(["Cannada", "diverse"], label="c1", probability=FIG4_PROBABILITIES["c1"])
+    climates.add(["UK", "temperate"], label="c2", probability=FIG4_PROBABILITIES["c2"])
+    climates.add(["Bahamas", "tropical"], label="c3", probability=FIG4_PROBABILITIES["c3"])
+
+    accommodations = Relation(
+        "Accommodations", ["Country", "City", "Hotel", "Stars"], label_prefix="a"
+    )
+    accommodations.add(
+        ["Canada", "Toronto", "Plaza", 4], label="a1", probability=FIG4_PROBABILITIES["a1"]
+    )
+    accommodations.add(
+        ["Canada", "London", "Ramada", 3], label="a2", probability=FIG4_PROBABILITIES["a2"]
+    )
+    accommodations.add(
+        ["Bahamas", "Nassau", "Hilton", NULL], label="a3", probability=FIG4_PROBABILITIES["a3"]
+    )
+
+    sites = Relation("Sites", ["Country", "City", "Site"], label_prefix="s")
+    sites.add(["Canada", "London", "Air Show"], label="s1", probability=FIG4_PROBABILITIES["s1"])
+    sites.add(["Canada", NULL, "Mount Logan"], label="s2", probability=FIG4_PROBABILITIES["s2"])
+    sites.add(["UK", "London", "Buckingham"], label="s3", probability=FIG4_PROBABILITIES["s3"])
+    sites.add(["UK", "London", "Hyde Park"], label="s4", probability=FIG4_PROBABILITIES["s4"])
+
+    return Database([climates, accommodations, sites])
+
+
+def noisy_tourist_similarity() -> TableSimilarity:
+    """The pairwise similarity function of Fig. 4, as a lookup table.
+
+    Pairs not listed fall back to exact matching (1 when join consistent,
+    0 otherwise) via the default of 0.0 combined with the explicit entries for
+    every pair Fig. 4 draws an edge for; exact-match pairs among the clean
+    tuples are listed explicitly where the examples need them.
+    """
+    from repro.core.approx_join import ExactMatchSimilarity
+
+    return TableSimilarity.from_pairs(FIG4_SIMILARITIES, default=ExactMatchSimilarity())
+
+
+def table2_padded_rows() -> List[Dict[str, object]]:
+    """The last six columns of Table 2, keyed by the tuple-set labels."""
+    return [
+        {
+            "labels": frozenset({"c1", "a1"}),
+            "Country": "Canada",
+            "City": "Toronto",
+            "Climate": "diverse",
+            "Hotel": "Plaza",
+            "Stars": 4,
+            "Site": NULL,
+        },
+        {
+            "labels": frozenset({"c1", "a2", "s1"}),
+            "Country": "Canada",
+            "City": "London",
+            "Climate": "diverse",
+            "Hotel": "Ramada",
+            "Stars": 3,
+            "Site": "Air Show",
+        },
+        {
+            "labels": frozenset({"c1", "s2"}),
+            "Country": "Canada",
+            "City": NULL,
+            "Climate": "diverse",
+            "Hotel": NULL,
+            "Stars": NULL,
+            "Site": "Mount Logan",
+        },
+        {
+            "labels": frozenset({"c2", "s3"}),
+            "Country": "UK",
+            "City": "London",
+            "Climate": "temperate",
+            "Hotel": NULL,
+            "Stars": NULL,
+            "Site": "Buckingham",
+        },
+        {
+            "labels": frozenset({"c2", "s4"}),
+            "Country": "UK",
+            "City": "London",
+            "Climate": "temperate",
+            "Hotel": NULL,
+            "Stars": NULL,
+            "Site": "Hyde Park",
+        },
+        {
+            "labels": frozenset({"c3", "a3"}),
+            "Country": "Bahamas",
+            "City": "Nassau",
+            "Climate": "tropical",
+            "Hotel": "Hilton",
+            "Stars": NULL,
+            "Site": NULL,
+        },
+    ]

@@ -1,0 +1,63 @@
+"""Tests for α- and γ-acyclicity of schema hypergraphs."""
+
+from repro.baselines.acyclicity import is_alpha_acyclic, is_gamma_acyclic, schema_hypergraph
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.workloads.generators import chain_database, cycle_database, star_database
+from repro.workloads.tourist import tourist_database
+
+
+class TestSchemaHypergraph:
+    def test_from_database(self):
+        hypergraph = schema_hypergraph(tourist_database())
+        assert hypergraph["Climates"] == frozenset({"Country", "Climate"})
+        assert len(hypergraph) == 3
+
+    def test_from_schemas_and_attribute_lists(self):
+        from_schemas = schema_hypergraph([Schema(["A", "B"]), Schema(["B", "C"])])
+        from_lists = schema_hypergraph([["A", "B"], ["B", "C"]])
+        assert list(from_schemas.values()) == list(from_lists.values())
+
+    def test_from_relations(self):
+        relations = [Relation("X", ["A", "B"]), Relation("Y", ["B"])]
+        hypergraph = schema_hypergraph(relations)
+        assert hypergraph["Y"] == frozenset({"B"})
+
+
+class TestAlphaAcyclicity:
+    def test_chain_and_star_are_alpha_acyclic(self):
+        assert is_alpha_acyclic(chain_database(4, 2, seed=0))
+        assert is_alpha_acyclic(star_database(4, 2, seed=0))
+        assert is_alpha_acyclic(tourist_database())
+
+    def test_cycle_is_not_alpha_acyclic(self):
+        assert not is_alpha_acyclic(cycle_database(3, 2, seed=0))
+        assert not is_alpha_acyclic([["A", "B"], ["B", "C"], ["C", "A"]])
+
+    def test_triangle_with_covering_edge_is_alpha_acyclic(self):
+        # Adding the edge {A, B, C} makes the classic triangle α-acyclic.
+        assert is_alpha_acyclic([["A", "B"], ["B", "C"], ["C", "A"], ["A", "B", "C"]])
+
+
+class TestGammaAcyclicity:
+    def test_chain_and_star_are_gamma_acyclic(self):
+        assert is_gamma_acyclic(chain_database(4, 2, seed=0))
+        assert is_gamma_acyclic(star_database(4, 2, seed=0))
+
+    def test_tourist_schema_is_gamma_acyclic(self):
+        assert is_gamma_acyclic(tourist_database())
+
+    def test_cycle_is_not_gamma_acyclic(self):
+        assert not is_gamma_acyclic(cycle_database(3, 2, seed=0))
+        assert not is_gamma_acyclic(cycle_database(4, 2, seed=0))
+
+    def test_triangle_with_covering_edge_is_still_not_gamma_acyclic(self):
+        # γ-acyclicity is strictly stronger than α-acyclicity: the covering
+        # edge does not remove the γ-cycle through A, B, C.
+        assert not is_gamma_acyclic([["A", "B"], ["B", "C"], ["C", "A"], ["A", "B", "C"]])
+
+    def test_two_relations_are_always_gamma_acyclic(self):
+        assert is_gamma_acyclic([["A", "B"], ["B", "C"]])
+
+    def test_duplicate_schemas_do_not_create_cycles(self):
+        assert is_gamma_acyclic([["A", "B"], ["A", "B"], ["B", "C"]])

@@ -1,0 +1,58 @@
+"""Tests for the batch (Kanza–Sagiv-style) baseline."""
+
+from repro.baselines.batch import BatchFD, BatchStatistics, batch_full_disjunction
+from repro.core.full_disjunction import full_disjunction
+from repro.workloads.generators import chain_database
+from repro.workloads.tourist import TABLE2_TUPLE_SETS
+
+from tests.conftest import labels_of
+
+
+class TestBatchFD:
+    def test_produces_the_full_disjunction(self, tourist_db):
+        results = BatchFD(tourist_db).compute()
+        assert labels_of(results) == set(TABLE2_TUPLE_SETS)
+        assert len(results) == 6
+
+    def test_recomputes_each_result_once_per_member_tuple(self, tourist_db):
+        algorithm = BatchFD(tourist_db)
+        results = algorithm.compute()
+        # Every result with j tuples is produced j times before deduplication:
+        # Table 2 has 5 results of size 2 and 1 of size 3 -> 13 raw results.
+        assert algorithm.statistics.raw_results == 13
+        assert algorithm.statistics.duplicate_results == 13 - 6
+        assert algorithm.statistics.final_results == len(results) == 6
+        assert algorithm.statistics.dedup_comparisons > 0
+        assert algorithm.statistics.elapsed_seconds >= 0.0
+
+    def test_per_pass_statistics_are_kept(self, tourist_db):
+        algorithm = BatchFD(tourist_db)
+        algorithm.compute()
+        assert len(algorithm.statistics.per_pass) == 3
+        assert [s.results for s in algorithm.statistics.per_pass] == [6, 3, 4]
+
+    def test_agrees_with_incremental_driver_on_synthetic_data(self):
+        database = chain_database(relations=3, tuples_per_relation=6, domain_size=3, seed=9)
+        assert labels_of(batch_full_disjunction(database)) == labels_of(
+            full_disjunction(database)
+        )
+
+    def test_wrapper_fills_caller_statistics(self, tourist_db):
+        statistics = BatchStatistics()
+        batch_full_disjunction(tourist_db, statistics=statistics)
+        assert statistics.raw_results == 13
+        assert statistics.final_results == 6
+        assert statistics.as_dict()["raw_results"] == 13
+
+    def test_batch_does_more_work_than_the_incremental_driver(self, tourist_db):
+        """The behavioural property the paper's comparison relies on."""
+        from repro.core.incremental import FDStatistics
+
+        incremental_stats = FDStatistics()
+        full_disjunction(tourist_db, statistics=incremental_stats)
+        batch = BatchFD(tourist_db)
+        batch.compute()
+        batch_results = sum(s.results for s in batch.statistics.per_pass)
+        assert batch_results > incremental_stats.results or (
+            batch.statistics.dedup_comparisons > 0
+        )

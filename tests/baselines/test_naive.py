@@ -1,0 +1,68 @@
+"""Tests for the brute-force oracle."""
+
+from repro.baselines.naive import (
+    all_approx_tuple_sets,
+    all_jcc_tuple_sets,
+    naive_approx_full_disjunction,
+    naive_full_disjunction,
+)
+from repro.core.approx_join import MinJoin
+from repro.workloads.tourist import (
+    TABLE2_TUPLE_SETS,
+    noisy_tourist_similarity,
+)
+
+from tests.conftest import labels_of
+
+
+class TestAllJccTupleSets:
+    def test_every_enumerated_set_is_jcc(self, tourist_db):
+        for ts in all_jcc_tuple_sets(tourist_db):
+            assert ts.is_jcc
+
+    def test_contains_singletons_and_paper_results(self, tourist_db):
+        enumerated = labels_of(all_jcc_tuple_sets(tourist_db))
+        assert frozenset({"c1"}) in enumerated
+        assert frozenset({"a3"}) in enumerated
+        for result in TABLE2_TUPLE_SETS:
+            assert result in enumerated
+
+    def test_does_not_contain_inconsistent_sets(self, tourist_db):
+        enumerated = labels_of(all_jcc_tuple_sets(tourist_db))
+        assert frozenset({"c2", "a1"}) not in enumerated
+        assert frozenset({"c1", "c2"}) not in enumerated
+
+    def test_definition_property_every_jcc_set_is_under_some_result(self, tourist_db):
+        """Definition 2.1(iii) verified against the oracle's own enumeration."""
+        results = naive_full_disjunction(tourist_db)
+        for candidate in all_jcc_tuple_sets(tourist_db):
+            assert any(candidate.issubset(result) for result in results)
+
+
+class TestNaiveFullDisjunction:
+    def test_reproduces_table2(self, tourist_db):
+        assert labels_of(naive_full_disjunction(tourist_db)) == set(TABLE2_TUPLE_SETS)
+
+    def test_no_redundancy(self, tourist_db):
+        """Definition 2.1(i): no result is contained in another."""
+        results = naive_full_disjunction(tourist_db)
+        for first in results:
+            for second in results:
+                if first != second:
+                    assert not first.issubset(second)
+
+
+class TestNaiveApproximateOracle:
+    def test_enumerated_sets_qualify(self, noisy_db):
+        amin = MinJoin(noisy_tourist_similarity())
+        for ts in all_approx_tuple_sets(noisy_db, amin, 0.5):
+            assert amin(ts) >= 0.5
+            assert ts.is_connected
+
+    def test_maximality_of_approx_results(self, noisy_db):
+        amin = MinJoin(noisy_tourist_similarity())
+        results = naive_approx_full_disjunction(noisy_db, amin, 0.5)
+        for first in results:
+            for second in results:
+                if first != second:
+                    assert not first.issubset(second)

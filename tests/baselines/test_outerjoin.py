@@ -1,0 +1,81 @@
+"""Tests for the outerjoin-sequence baseline of Rajaraman & Ullman [2]."""
+
+import pytest
+
+from repro.baselines.acyclicity import is_gamma_acyclic
+from repro.baselines.outerjoin import exists_correct_outerjoin_order, outerjoin_sequence
+from repro.core.full_disjunction import full_disjunction
+from repro.workloads.generators import chain_database, cycle_database, star_database
+from repro.workloads.tourist import TABLE2_TUPLE_SETS
+
+from tests.conftest import labels_of
+
+
+class TestOuterjoinSequence:
+    def test_rejects_orders_that_are_not_permutations(self, tourist_db):
+        with pytest.raises(ValueError):
+            outerjoin_sequence(tourist_db, ["Climates", "Sites"])
+        with pytest.raises(ValueError):
+            outerjoin_sequence(tourist_db, ["Climates", "Sites", "Sites"])
+
+    def test_results_are_maximal_jcc_tuple_sets(self, tourist_db):
+        results = outerjoin_sequence(tourist_db)
+        for first in results:
+            assert first.is_jcc or len(first) == 1
+            for second in results:
+                if first != second:
+                    assert not first.issubset(second)
+
+    def test_some_order_reproduces_table2_on_the_tourist_schema(self, tourist_db):
+        # Accommodations ⟗ Sites ⟗ Climates is one order that works.
+        results = outerjoin_sequence(
+            tourist_db, ["Accommodations", "Sites", "Climates"]
+        )
+        assert labels_of(results) == set(TABLE2_TUPLE_SETS)
+
+    def test_a_bad_order_misses_results(self, tourist_db):
+        # Joining Climates with Accommodations first loses {c2, s3}/{c2, s4}
+        # combinations only if the intermediate padding forbids the later
+        # match; the database order happens to be such a case for {c1, s2}.
+        results = outerjoin_sequence(tourist_db, ["Climates", "Accommodations", "Sites"])
+        assert labels_of(results) != set(TABLE2_TUPLE_SETS)
+
+    def test_every_source_tuple_is_preserved(self, tourist_db):
+        """Outerjoins never lose information: every tuple appears somewhere."""
+        results = outerjoin_sequence(tourist_db)
+        covered = set()
+        for ts in results:
+            covered |= ts.labels()
+        assert covered == {t.label for t in tourist_db.tuples()}
+
+
+class TestExistsCorrectOuterjoinOrder:
+    def test_gamma_acyclic_schemas_admit_an_order(self, tourist_db):
+        assert is_gamma_acyclic(tourist_db)
+        order = exists_correct_outerjoin_order(tourist_db, full_disjunction(tourist_db))
+        assert order is not None
+        assert labels_of(outerjoin_sequence(tourist_db, order)) == set(TABLE2_TUPLE_SETS)
+
+    def test_chain_schema_admits_an_order(self):
+        database = chain_database(relations=3, tuples_per_relation=5, domain_size=3, seed=4)
+        assert is_gamma_acyclic(database)
+        reference = full_disjunction(database)
+        assert exists_correct_outerjoin_order(database, reference) is not None
+
+    def test_star_schema_admits_an_order(self):
+        database = star_database(spokes=3, tuples_per_relation=3, hub_domain=2, seed=4)
+        assert is_gamma_acyclic(database)
+        reference = full_disjunction(database)
+        assert exists_correct_outerjoin_order(database, reference) is not None
+
+    def test_cyclic_schema_admits_no_order(self):
+        """Beyond the γ-acyclic class the outerjoin approach fails — the gap
+        the paper's algorithm closes."""
+        database = cycle_database(relations=3, tuples_per_relation=4, domain_size=2, seed=6)
+        assert not is_gamma_acyclic(database)
+        reference = full_disjunction(database)
+        assert exists_correct_outerjoin_order(database, reference) is None
+
+    def test_max_orders_caps_the_search(self, tourist_db):
+        reference = full_disjunction(tourist_db)
+        assert exists_correct_outerjoin_order(tourist_db, reference, max_orders=0) is None

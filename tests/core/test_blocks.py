@@ -1,0 +1,65 @@
+"""Tests for block-based execution (Section 7)."""
+
+import pytest
+
+from repro.core.blocks import (
+    BlockExecutionReport,
+    block_based_full_disjunction,
+    compare_block_sizes,
+)
+from repro.core.full_disjunction import full_disjunction
+from repro.workloads.generators import chain_database
+
+from tests.conftest import labels_of
+
+
+class TestBlockBasedFullDisjunction:
+    def test_results_are_identical_to_tuple_based(self, tourist_db):
+        tuple_based, _ = block_based_full_disjunction(tourist_db, None)
+        for block_size in (1, 2, 5, 100):
+            block_based, report = block_based_full_disjunction(tourist_db, block_size)
+            assert labels_of(block_based) == labels_of(tuple_based)
+            assert report.block_size == block_size
+            assert report.results == 6
+
+    def test_report_fields(self, tourist_db):
+        _, report = block_based_full_disjunction(tourist_db, 4)
+        assert report.tuple_reads > 0
+        assert report.block_reads > 0
+        assert report.scan_passes > 0
+        assert report.io_requests == report.block_reads
+        as_dict = report.as_dict()
+        assert as_dict["block_size"] == 4
+
+    def test_tuple_based_report_counts_tuple_reads_as_io(self, tourist_db):
+        _, report = block_based_full_disjunction(tourist_db, None)
+        assert report.block_reads == 0
+        assert report.io_requests == report.tuple_reads
+
+    def test_larger_blocks_mean_fewer_io_requests(self, tourist_db):
+        _, small = block_based_full_disjunction(tourist_db, 1)
+        _, large = block_based_full_disjunction(tourist_db, 4)
+        assert large.io_requests < small.io_requests
+
+    def test_block_reads_scale_inversely_with_block_size(self):
+        database = chain_database(relations=3, tuples_per_relation=10, domain_size=4, seed=1)
+        _, by_two = block_based_full_disjunction(database, 2)
+        _, by_ten = block_based_full_disjunction(database, 10)
+        assert by_two.tuple_reads == by_ten.tuple_reads
+        assert by_two.block_reads > by_ten.block_reads
+        assert by_two.block_reads <= -(-by_two.tuple_reads // 2) * 1  # ceil bound per scan
+
+
+class TestCompareBlockSizes:
+    def test_reports_one_entry_per_block_size(self, tourist_db):
+        reports = compare_block_sizes(tourist_db, [None, 2, 4])
+        assert [report.block_size for report in reports] == [None, 2, 4]
+        assert all(isinstance(report, BlockExecutionReport) for report in reports)
+
+    def test_all_runs_produce_the_same_results(self, tourist_db):
+        reports = compare_block_sizes(tourist_db, [None, 1, 3])
+        assert len({report.results for report in reports}) == 1
+
+    def test_results_match_plain_full_disjunction(self, tourist_db):
+        reports = compare_block_sizes(tourist_db, [2])
+        assert reports[0].results == len(full_disjunction(tourist_db))

@@ -1,0 +1,134 @@
+"""Edge-case behaviour of the full-disjunction algorithms.
+
+These scenarios sit at the boundary of the definitions: a single relation,
+empty relations, all-null tuples, duplicate rows, identical schemas and
+disconnected databases.  The brute-force oracle provides the ground truth in
+every case.
+"""
+
+import pytest
+
+from repro.baselines.naive import naive_full_disjunction
+from repro.core.full_disjunction import FullDisjunction, full_disjunction
+from repro.core.incremental import incremental_fd
+from repro.core.priority import priority_incremental_fd
+from repro.core.ranking import MaxRanking
+from repro.relational.database import Database
+from repro.relational.nulls import NULL
+from repro.relational.relation import Relation
+
+from tests.conftest import labels_of
+
+
+class TestSingleRelation:
+    def test_fd_of_one_relation_is_its_singletons(self):
+        relation = Relation.from_rows("R", ["A", "B"], [["x", 1], ["y", 2], ["x", 1]])
+        database = Database([relation])
+        results = full_disjunction(database)
+        assert len(results) == 3
+        assert all(len(ts) == 1 for ts in results)
+        assert labels_of(results) == labels_of(naive_full_disjunction(database))
+
+    def test_ranked_retrieval_over_one_relation(self):
+        relation = Relation.from_rows("R", ["A"], [["x"], ["y"]])
+        database = Database([relation])
+        ranking = MaxRanking(lambda t: 1.0 if t.label == "r2" else 0.0)
+        ranked = list(priority_incremental_fd(database, ranking))
+        assert [ts.labels() for ts, _ in ranked] == [frozenset({"r2"}), frozenset({"r1"})]
+
+
+class TestEmptyRelations:
+    def test_empty_anchor_relation_yields_nothing(self):
+        empty = Relation("Empty", ["A"])
+        other = Relation.from_rows("Other", ["A"], [["x"]])
+        database = Database([empty, other])
+        assert list(incremental_fd(database, "Empty")) == []
+
+    def test_driver_skips_empty_relations_but_keeps_the_rest(self):
+        empty = Relation("Empty", ["A"])
+        other = Relation.from_rows("Other", ["A", "B"], [["x", 1], ["y", 2]])
+        database = Database([empty, other])
+        results = full_disjunction(database)
+        assert labels_of(results) == labels_of(naive_full_disjunction(database))
+        assert len(results) == 2
+
+    def test_all_relations_empty(self):
+        database = Database([Relation("R1", ["A"]), Relation("R2", ["A"])])
+        assert full_disjunction(database) == []
+
+
+class TestNullHeavyData:
+    def test_all_null_join_attribute_produces_only_singletons(self):
+        left = Relation.from_rows("L", ["K", "A"], [[NULL, "a1"], [NULL, "a2"]])
+        right = Relation.from_rows("R", ["K", "B"], [[NULL, "b1"]])
+        database = Database([left, right])
+        results = full_disjunction(database)
+        assert all(len(ts) == 1 for ts in results)
+        assert len(results) == 3
+        assert labels_of(results) == labels_of(naive_full_disjunction(database))
+
+    def test_partially_null_rows_combine_where_possible(self):
+        left = Relation.from_rows("L", ["K", "A"], [["k", "a1"], [NULL, "a2"]])
+        right = Relation.from_rows("R", ["K", "B"], [["k", "b1"]])
+        database = Database([left, right])
+        results = full_disjunction(database)
+        assert labels_of(results) == {
+            frozenset({"l1", "r1"}),
+            frozenset({"l2"}),
+        }
+
+
+class TestDuplicateRowsAndIdenticalSchemas:
+    def test_duplicate_rows_are_distinct_tuples(self):
+        left = Relation.from_rows("L", ["K"], [["k"], ["k"]])
+        right = Relation.from_rows("R", ["K", "B"], [["k", "b"]])
+        database = Database([left, right])
+        results = full_disjunction(database)
+        # Each duplicate combines with the right-hand tuple separately.
+        assert labels_of(results) == {
+            frozenset({"l1", "r1"}),
+            frozenset({"l2", "r1"}),
+        }
+        assert labels_of(results) == labels_of(naive_full_disjunction(database))
+
+    def test_two_relations_with_identical_schemas(self):
+        first = Relation.from_rows("First", ["A", "B"], [["x", 1], ["y", 2]])
+        second = Relation.from_rows("Second", ["A", "B"], [["x", 1], ["z", 3]])
+        database = Database([first, second])
+        results = full_disjunction(database)
+        assert labels_of(results) == labels_of(naive_full_disjunction(database))
+        assert frozenset({"f1", "s1"}) in labels_of(results)
+
+
+class TestDisconnectedDatabase:
+    def test_results_never_span_components(self):
+        left = Relation.from_rows("L", ["A"], [["x"]])
+        right = Relation.from_rows("R", ["B"], [["y"]])
+        database = Database([left, right])
+        assert not database.is_connected()
+        results = full_disjunction(database)
+        assert labels_of(results) == {frozenset({"l1"}), frozenset({"r1"})}
+        assert labels_of(results) == labels_of(naive_full_disjunction(database))
+
+    def test_two_components_each_combine_internally(self):
+        a1 = Relation("A1", ["K", "X"], label_prefix="p")
+        a1.add(["k", 1])
+        a2 = Relation("A2", ["K", "Y"], label_prefix="q")
+        a2.add(["k", 2])
+        b1 = Relation("B1", ["M"], label_prefix="b")
+        b1.add(["m"])
+        database = Database([a1, a2, b1])
+        results = full_disjunction(database)
+        assert labels_of(results) == {frozenset({"p1", "q1"}), frozenset({"b1"})}
+        assert labels_of(results) == labels_of(naive_full_disjunction(database))
+
+
+class TestFacadeOnEdgeCases:
+    def test_pretty_on_singleton_only_result(self):
+        database = Database([Relation.from_rows("R", ["A"], [["x"]])])
+        rendered = FullDisjunction(database).pretty()
+        assert "{r1}" in rendered
+
+    def test_first_k_on_tiny_database(self):
+        database = Database([Relation.from_rows("R", ["A"], [["x"], ["y"]])])
+        assert len(FullDisjunction(database).first(5)) == 2

@@ -1,0 +1,161 @@
+"""Tests for the ``FD(R)`` driver and the :class:`FullDisjunction` facade."""
+
+import pytest
+
+from repro.core.full_disjunction import (
+    FullDisjunction,
+    first_k,
+    full_disjunction,
+    full_disjunction_sets,
+)
+from repro.core.incremental import FDStatistics
+from repro.relational.nulls import is_null
+from repro.workloads.generators import chain_database, star_database
+from repro.workloads.tourist import TABLE2_TUPLE_SETS, table2_padded_rows
+from repro.baselines.naive import naive_full_disjunction
+
+from tests.conftest import labels_of
+
+
+class TestFullDisjunctionDriver:
+    def test_reproduces_table2(self, tourist_db):
+        assert labels_of(full_disjunction(tourist_db)) == set(TABLE2_TUPLE_SETS)
+
+    def test_no_duplicates_across_passes(self, tourist_db):
+        results = full_disjunction(tourist_db)
+        assert len(results) == len(set(results)) == 6
+
+    def test_unknown_strategy_raises(self, tourist_db):
+        with pytest.raises(ValueError):
+            full_disjunction(tourist_db, initialization="bogus")
+
+    @pytest.mark.parametrize("use_index", [False, True])
+    @pytest.mark.parametrize(
+        "initialization", ["singletons", "previous-results", "reduced-previous"]
+    )
+    def test_all_configurations_agree(self, tourist_db, use_index, initialization):
+        results = full_disjunction(
+            tourist_db, use_index=use_index, initialization=initialization
+        )
+        assert labels_of(results) == set(TABLE2_TUPLE_SETS)
+        assert len(results) == 6
+
+    def test_matches_oracle_on_chain_workload(self):
+        database = chain_database(relations=3, tuples_per_relation=6, domain_size=3, seed=2)
+        assert labels_of(full_disjunction(database)) == labels_of(
+            naive_full_disjunction(database)
+        )
+
+    def test_matches_oracle_on_star_workload(self):
+        database = star_database(spokes=3, tuples_per_relation=4, hub_domain=2, seed=3)
+        assert labels_of(full_disjunction(database)) == labels_of(
+            naive_full_disjunction(database)
+        )
+
+    def test_statistics_accumulate_across_passes(self, tourist_db):
+        statistics = FDStatistics()
+        full_disjunction(tourist_db, statistics=statistics)
+        # Every pass contributes its results (6 + 3 + 4 for the three anchors).
+        assert statistics.results == 13
+        assert statistics.tuple_reads > 0
+
+    def test_block_size_does_not_change_results(self, tourist_db):
+        assert labels_of(full_disjunction(tourist_db, block_size=2)) == set(
+            TABLE2_TUPLE_SETS
+        )
+
+
+class TestStreamingAndFirstK:
+    def test_first_k_returns_k_distinct_results(self, tourist_db):
+        results = first_k(tourist_db, 3)
+        assert len(results) == 3
+        assert len(set(results)) == 3
+        assert labels_of(results) <= set(TABLE2_TUPLE_SETS)
+
+    def test_first_k_larger_than_result_returns_everything(self, tourist_db):
+        assert len(first_k(tourist_db, 99)) == 6
+
+    def test_first_zero(self, tourist_db):
+        assert first_k(tourist_db, 0) == []
+
+    def test_first_k_negative_raises(self, tourist_db):
+        with pytest.raises(ValueError):
+            first_k(tourist_db, -1)
+
+    def test_generator_is_lazy(self, tourist_db):
+        generator = full_disjunction_sets(tourist_db)
+        first = next(generator)
+        assert first.labels() in set(TABLE2_TUPLE_SETS)
+        generator.close()
+
+    def test_first_k_on_exponential_star_is_cheap(self):
+        # The full result of a 5-spoke star is large; asking for 5 members
+        # must not require materialising it.
+        database = star_database(spokes=5, tuples_per_relation=6, hub_domain=2, seed=0)
+        statistics = FDStatistics()
+        results = []
+        for result in full_disjunction_sets(database, statistics=statistics):
+            results.append(result)
+            if len(results) == 5:
+                break
+        assert len(results) == 5
+        assert statistics.results <= 6  # barely more work than the answers asked for
+
+
+class TestFullDisjunctionFacade:
+    def test_compute_is_cached(self, tourist_db):
+        fd = FullDisjunction(tourist_db)
+        first = fd.compute()
+        second = fd.compute()
+        assert first == second
+        assert first is not second  # defensive copy
+
+    def test_iteration_streams(self, tourist_db):
+        fd = FullDisjunction(tourist_db)
+        assert labels_of(list(iter(fd))) == set(TABLE2_TUPLE_SETS)
+
+    def test_first(self, tourist_db):
+        fd = FullDisjunction(tourist_db)
+        assert len(fd.first(2)) == 2
+
+    def test_result_schema_covers_all_attributes(self, tourist_db):
+        fd = FullDisjunction(tourist_db)
+        assert set(fd.result_schema().attributes) == {
+            "Country",
+            "Climate",
+            "City",
+            "Hotel",
+            "Stars",
+            "Site",
+        }
+
+    def test_padded_rows_match_table2(self, tourist_db):
+        fd = FullDisjunction(tourist_db)
+        rows = fd.padded_rows()
+        results = fd.compute()
+        by_labels = {
+            results[index].labels(): rows[index] for index in range(len(results))
+        }
+        for expected in table2_padded_rows():
+            row = by_labels[expected["labels"]]
+            for attribute in ("Country", "City", "Climate", "Hotel", "Stars", "Site"):
+                value = expected[attribute]
+                if is_null(value):
+                    assert is_null(row[attribute])
+                else:
+                    assert row[attribute] == value
+
+    def test_to_relation(self, tourist_db):
+        fd = FullDisjunction(tourist_db)
+        relation = fd.to_relation()
+        assert len(relation) == 6
+        assert set(relation.schema.attributes) == set(fd.result_schema().attributes)
+
+    def test_pretty_renders_all_tuple_sets(self, tourist_db):
+        rendered = FullDisjunction(tourist_db).pretty()
+        assert "{a1, c1}" in rendered
+        assert "Mount Logan" in rendered
+        assert "⊥" in rendered
+
+    def test_database_property(self, tourist_db):
+        assert FullDisjunction(tourist_db).database is tourist_db

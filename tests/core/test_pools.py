@@ -1,0 +1,237 @@
+"""Tests for the Complete store and the Incomplete pools."""
+
+import pytest
+
+from repro.core.pools import CompleteStore, ListIncompletePool, PriorityIncompletePool
+from repro.core.ranking import MaxRanking
+from repro.core.tupleset import TupleSet
+from repro.workloads.tourist import tourist_importance
+
+
+def by_label(db, *labels):
+    return TupleSet(db.tuple_by_label(label) for label in labels)
+
+
+class TestCompleteStore:
+    def test_add_and_membership(self, tourist_db):
+        store = CompleteStore("Climates")
+        ts = by_label(tourist_db, "c1", "a1")
+        assert ts not in store
+        store.add(ts)
+        assert ts in store and len(store) == 1
+        assert store.as_list() == [ts]
+
+    def test_contains_superset_linear(self, tourist_db):
+        store = CompleteStore("Climates")
+        store.add(by_label(tourist_db, "c1", "a2", "s1"))
+        assert store.contains_superset(by_label(tourist_db, "c1", "a2"))
+        assert store.contains_superset(by_label(tourist_db, "c1", "s1"))
+        assert not store.contains_superset(by_label(tourist_db, "c1", "s2"))
+
+    def test_contains_superset_indexed_with_explicit_anchor(self, tourist_db):
+        store = CompleteStore(anchor_relation=None, use_index=True)
+        result = by_label(tourist_db, "c1", "a2", "s1")
+        store.add(result)
+        probe = by_label(tourist_db, "c1", "a2")
+        anchor = tourist_db.tuple_by_label("c1")
+        assert store.contains_superset(probe, anchor=anchor)
+        other_anchor = tourist_db.tuple_by_label("c2")
+        assert not store.contains_superset(by_label(tourist_db, "c2"), anchor=other_anchor)
+
+    def test_indexed_probe_scans_fewer_sets(self, tourist_db):
+        linear = CompleteStore("Climates", use_index=False)
+        indexed = CompleteStore("Climates", use_index=True)
+        for labels in (("c1", "a1"), ("c1", "a2", "s1"), ("c2", "s3"), ("c2", "s4")):
+            linear.add(by_label(tourist_db, *labels))
+            indexed.add(by_label(tourist_db, *labels))
+        probe = by_label(tourist_db, "c3")
+        anchor = tourist_db.tuple_by_label("c3")
+        linear.contains_superset(probe, anchor=anchor)
+        indexed.contains_superset(probe, anchor=anchor)
+        assert indexed.statistics.sets_scanned < linear.statistics.sets_scanned
+
+    def test_indexed_probe_falls_back_to_full_scan_without_anchor(self, tourist_db):
+        store = CompleteStore(anchor_relation=None, use_index=True)
+        store.add(by_label(tourist_db, "c1", "a1"))
+        # No anchor tuple available: the probe still works (full scan).
+        assert store.contains_superset(by_label(tourist_db, "a1"))
+
+
+class TestListIncompletePool:
+    def test_add_pop_and_membership(self, tourist_db):
+        pool = ListIncompletePool("Climates")
+        first = by_label(tourist_db, "c1")
+        second = by_label(tourist_db, "c2")
+        pool.add(first)
+        pool.add(second)
+        assert len(pool) == 2 and bool(pool)
+        assert first in pool
+        assert pool.pop() == first
+        assert first not in pool
+        assert pool.pop() == second
+        assert not pool
+
+    def test_pop_empty_raises(self, tourist_db):
+        with pytest.raises(IndexError):
+            ListIncompletePool("Climates").pop()
+
+    def test_duplicate_add_is_ignored(self, tourist_db):
+        pool = ListIncompletePool("Climates")
+        ts = by_label(tourist_db, "c1")
+        pool.add(ts)
+        pool.add(ts)
+        assert len(pool) == 1
+
+    def test_paper_extraction_order(self, tourist_db):
+        """New candidates are processed before older entries, as in Table 3."""
+        pool = ListIncompletePool("Climates", extraction="paper")
+        a = by_label(tourist_db, "c1")
+        b = by_label(tourist_db, "c2")
+        pool.add(a)
+        pool.add(b)
+        assert pool.pop() == a
+        fresh1 = by_label(tourist_db, "c1", "a2")
+        fresh2 = by_label(tourist_db, "c1", "s2")
+        pool.add(fresh1)
+        pool.add(fresh2)
+        assert pool.as_list() == [fresh1, fresh2, b]
+        assert pool.pop() == fresh1
+
+    def test_fifo_extraction_order(self, tourist_db):
+        pool = ListIncompletePool("Climates", extraction="fifo")
+        a, b = by_label(tourist_db, "c1"), by_label(tourist_db, "c2")
+        pool.add(a)
+        pool.add(b)
+        assert pool.pop() == a
+        c = by_label(tourist_db, "c1", "a2")
+        pool.add(c)
+        assert pool.as_list() == [b, c]
+
+    def test_lifo_extraction_order(self, tourist_db):
+        pool = ListIncompletePool("Climates", extraction="lifo")
+        a, b = by_label(tourist_db, "c1"), by_label(tourist_db, "c2")
+        pool.add(a)
+        pool.add(b)
+        assert pool.pop() == b
+
+    def test_invalid_extraction_order(self):
+        with pytest.raises(ValueError):
+            ListIncompletePool("Climates", extraction="random")
+
+    def test_replace_keeps_position(self, tourist_db):
+        pool = ListIncompletePool("Climates")
+        a = by_label(tourist_db, "c1", "a2")
+        b = by_label(tourist_db, "c2")
+        pool.add(a)
+        pool.add(b)
+        merged = by_label(tourist_db, "c1", "a2", "s1")
+        pool.replace(a, merged)
+        assert pool.as_list() == [merged, b]
+
+    def test_replace_with_existing_member_just_drops_old(self, tourist_db):
+        pool = ListIncompletePool("Climates")
+        a = by_label(tourist_db, "c1", "a2")
+        b = by_label(tourist_db, "c1", "a2", "s1")
+        pool.add(a)
+        pool.add(b)
+        pool.replace(a, b)
+        assert pool.as_list() == [b]
+
+    def test_replace_of_absent_member_raises(self, tourist_db):
+        pool = ListIncompletePool("Climates")
+        with pytest.raises(KeyError):
+            pool.replace(by_label(tourist_db, "c1"), by_label(tourist_db, "c2"))
+
+    def test_candidates_with_index_filters_by_anchor_tuple(self, tourist_db):
+        pool = ListIncompletePool("Climates", use_index=True)
+        a = by_label(tourist_db, "c1", "a2")
+        b = by_label(tourist_db, "c2", "s3")
+        pool.add(a)
+        pool.add(b)
+        probe = by_label(tourist_db, "c1", "s2")
+        assert pool.candidates(probe) == [a]
+        probe2 = by_label(tourist_db, "c3")
+        assert pool.candidates(probe2) == []
+
+    def test_candidates_without_index_returns_all(self, tourist_db):
+        pool = ListIncompletePool("Climates", use_index=False)
+        a = by_label(tourist_db, "c1", "a2")
+        b = by_label(tourist_db, "c2", "s3")
+        pool.add(a)
+        pool.add(b)
+        assert set(pool.candidates(by_label(tourist_db, "c3"))) == {a, b}
+
+    def test_statistics_are_tracked(self, tourist_db):
+        pool = ListIncompletePool("Climates")
+        a = by_label(tourist_db, "c1")
+        pool.add(a)
+        pool.candidates(a)
+        pool.pop()
+        stats = pool.statistics.as_dict()
+        assert stats["additions"] == 1
+        assert stats["removals"] == 1
+        assert stats["sets_scanned"] == 1
+        assert stats["peak_size"] == 1
+
+
+class TestPriorityIncompletePool:
+    @pytest.fixture
+    def ranking(self):
+        return MaxRanking(tourist_importance())
+
+    def test_pop_returns_highest_ranked(self, tourist_db, ranking):
+        pool = PriorityIncompletePool("Climates", ranking)
+        low = by_label(tourist_db, "c1")       # imp 1
+        high = by_label(tourist_db, "c3")      # imp 3
+        middle = by_label(tourist_db, "c2")    # imp 2
+        for ts in (low, high, middle):
+            pool.add(ts)
+        assert pool.peek() == high
+        assert pool.peek_score() == 3.0
+        assert pool.pop() == high
+        assert pool.pop() == middle
+        assert pool.pop() == low
+
+    def test_peek_on_empty_pool(self, tourist_db, ranking):
+        pool = PriorityIncompletePool("Climates", ranking)
+        assert pool.peek() is None and pool.peek_score() is None
+        with pytest.raises(IndexError):
+            pool.pop()
+
+    def test_replace_reranks(self, tourist_db, ranking):
+        pool = PriorityIncompletePool("Climates", ranking)
+        low = by_label(tourist_db, "c1")
+        middle = by_label(tourist_db, "c2")
+        pool.add(low)
+        pool.add(middle)
+        # Merging c1 with the 4-star hotel lifts it above c2.
+        boosted = by_label(tourist_db, "c1", "a1")
+        pool.replace(low, boosted)
+        assert pool.pop() == boosted
+
+    def test_duplicate_add_ignored(self, tourist_db, ranking):
+        pool = PriorityIncompletePool("Climates", ranking)
+        ts = by_label(tourist_db, "c1")
+        pool.add(ts)
+        pool.add(ts)
+        assert len(pool) == 1
+
+    def test_candidates_with_index(self, tourist_db, ranking):
+        pool = PriorityIncompletePool("Climates", ranking, use_index=True)
+        a = by_label(tourist_db, "c1", "a2")
+        b = by_label(tourist_db, "c2", "s3")
+        pool.add(a)
+        pool.add(b)
+        assert pool.candidates(by_label(tourist_db, "c1")) == [a]
+
+    def test_as_list_is_rank_ordered(self, tourist_db, ranking):
+        pool = PriorityIncompletePool("Climates", ranking)
+        for label in ("c1", "c2", "c3"):
+            pool.add(by_label(tourist_db, label))
+        ordered = pool.as_list()
+        assert [ranking(ts) for ts in ordered] == [3.0, 2.0, 1.0]
+
+    def test_replace_of_absent_member_raises(self, tourist_db, ranking):
+        pool = PriorityIncompletePool("Climates", ranking)
+        with pytest.raises(KeyError):
+            pool.replace(by_label(tourist_db, "c1"), by_label(tourist_db, "c2"))

@@ -1,0 +1,154 @@
+"""Tests for ``PriorityIncrementalFD`` (Fig. 3): ranked and threshold retrieval."""
+
+import pytest
+
+from repro.core.full_disjunction import full_disjunction
+from repro.core.incremental import FDStatistics
+from repro.core.priority import (
+    above_threshold,
+    build_priority_pools,
+    priority_incremental_fd,
+    top_k,
+)
+from repro.core.ranking import (
+    CDeterminedRanking,
+    MaxRanking,
+    SumRanking,
+    importance_function,
+    paper_example_ranking,
+    top_k_by_exhaustive_ranking,
+)
+from repro.relational.errors import RankingError
+from repro.workloads.generators import chain_database, star_database
+from repro.workloads.tourist import tourist_importance
+
+from tests.conftest import labels_of
+
+
+@pytest.fixture
+def ranking():
+    return MaxRanking(tourist_importance())
+
+
+class TestBuildPriorityPools:
+    def test_one_pool_per_relation(self, tourist_db, ranking):
+        pools = build_priority_pools(tourist_db, ranking)
+        assert len(pools) == 3
+
+    def test_no_two_pool_members_share_an_fd_member(self, tourist_db, ranking):
+        """The merge loop re-establishes the Remark 4.5 invariant."""
+        pools = build_priority_pools(tourist_db, ranking)
+        results = full_disjunction(tourist_db)
+        for pool in pools:
+            members = list(pool)
+            for result in results:
+                inside = [m for m in members if m.issubset(result)]
+                assert len(inside) <= 1
+
+    def test_rejects_non_c_determined_ranking(self, tourist_db):
+        with pytest.raises(RankingError):
+            build_priority_pools(tourist_db, SumRanking(tourist_importance()))
+
+
+class TestRankedOrder:
+    def test_produces_whole_fd_in_non_increasing_order(self, tourist_db, ranking):
+        ranked = list(priority_incremental_fd(tourist_db, ranking))
+        assert labels_of(ts for ts, _ in ranked) == labels_of(full_disjunction(tourist_db))
+        scores = [score for _, score in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_reported_scores_match_the_ranking_function(self, tourist_db, ranking):
+        for tuple_set, score in priority_incremental_fd(tourist_db, ranking):
+            assert score == ranking(tuple_set)
+
+    def test_intro_scenario_best_destination_first(self, tourist_db, ranking):
+        # The tourist prefers the 4-star Plaza (imp 4) above everything else.
+        best, score = next(iter(priority_incremental_fd(tourist_db, ranking)))
+        assert best.labels() == frozenset({"c1", "a1"})
+        assert score == 4.0
+
+    def test_works_with_3_determined_ranking(self, tourist_db):
+        ranking = paper_example_ranking(tourist_importance())
+        ranked = list(priority_incremental_fd(tourist_db, ranking))
+        scores = [score for _, score in ranked]
+        assert scores == sorted(scores, reverse=True)
+        assert labels_of(ts for ts, _ in ranked) == labels_of(full_disjunction(tourist_db))
+
+    def test_works_with_2_determined_ranking_on_synthetic_data(self):
+        database = chain_database(relations=3, tuples_per_relation=5, domain_size=3, seed=11)
+        imp = importance_function(lambda t: float(len(t.label)))
+        ranking = CDeterminedRanking(2, lambda subset: max(imp(t) for t in subset))
+        ranked = list(priority_incremental_fd(database, ranking))
+        scores = [score for _, score in ranked]
+        assert scores == sorted(scores, reverse=True)
+        assert labels_of(ts for ts, _ in ranked) == labels_of(full_disjunction(database))
+
+    def test_use_index_does_not_change_the_output(self, tourist_db, ranking):
+        plain = [(ts.labels(), score) for ts, score in priority_incremental_fd(tourist_db, ranking)]
+        indexed = [
+            (ts.labels(), score)
+            for ts, score in priority_incremental_fd(tourist_db, ranking, use_index=True)
+        ]
+        assert {p[0] for p in plain} == {p[0] for p in indexed}
+        assert [p[1] for p in plain] == [p[1] for p in indexed]
+
+    def test_statistics_are_populated(self, tourist_db, ranking):
+        statistics = FDStatistics()
+        list(priority_incremental_fd(tourist_db, ranking, statistics=statistics))
+        assert statistics.results == 6
+        assert statistics.tuple_reads > 0
+
+
+class TestTopK:
+    def test_top_k_matches_exhaustive_ranking(self, tourist_db, ranking):
+        all_results = full_disjunction(tourist_db)
+        for k in (1, 2, 3, 6):
+            expected_scores = sorted(
+                (ranking(ts) for ts in all_results), reverse=True
+            )[:k]
+            got = top_k(tourist_db, ranking, k)
+            assert [score for _, score in got] == expected_scores
+
+    def test_top_k_on_star_matches_exhaustive(self, ranking):
+        database = star_database(spokes=3, tuples_per_relation=4, hub_domain=2, seed=1)
+        imp = importance_function(lambda t: float(hash(t.label) % 13))
+        star_ranking = MaxRanking(imp)
+        expected = top_k_by_exhaustive_ranking(
+            full_disjunction(database), star_ranking, 5
+        )
+        got = top_k(database, star_ranking, 5)
+        assert [star_ranking(ts) for ts, _ in got] == [star_ranking(ts) for ts in expected]
+
+    def test_k_zero_returns_nothing(self, tourist_db, ranking):
+        assert top_k(tourist_db, ranking, 0) == []
+
+    def test_k_larger_than_result_returns_everything(self, tourist_db, ranking):
+        assert len(top_k(tourist_db, ranking, 50)) == 6
+
+    def test_negative_k_raises(self, tourist_db, ranking):
+        with pytest.raises(ValueError):
+            list(priority_incremental_fd(tourist_db, ranking, k=-1))
+
+    def test_results_are_distinct(self, tourist_db, ranking):
+        results = [ts for ts, _ in top_k(tourist_db, ranking, 6)]
+        assert len(results) == len(set(results))
+
+    def test_non_c_determined_ranking_is_rejected(self, tourist_db):
+        with pytest.raises(RankingError):
+            top_k(tourist_db, SumRanking(tourist_importance()), 1)
+
+
+class TestThreshold:
+    def test_returns_exactly_the_results_at_or_above_tau(self, tourist_db, ranking):
+        all_results = full_disjunction(tourist_db)
+        for tau in (1.0, 2.0, 2.5, 3.0, 4.0, 5.0):
+            expected = {ts.labels() for ts in all_results if ranking(ts) >= tau}
+            got = above_threshold(tourist_db, ranking, tau)
+            assert {ts.labels() for ts, _ in got} == expected, tau
+
+    def test_threshold_output_is_rank_ordered(self, tourist_db, ranking):
+        scores = [score for _, score in above_threshold(tourist_db, ranking, 2.0)]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_threshold_above_everything_returns_nothing(self, tourist_db, ranking):
+        assert above_threshold(tourist_db, ranking, 99.0) == []

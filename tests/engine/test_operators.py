@@ -1,0 +1,122 @@
+"""Tests for the generic physical operators."""
+
+import pytest
+
+from repro.engine.operators import (
+    Limit,
+    Project,
+    RelationScan,
+    Select,
+    Sort,
+    collect,
+    explain,
+)
+from repro.relational.nulls import is_null
+
+
+class TestRelationScan:
+    def test_produces_one_row_per_tuple(self, tourist_db):
+        rows = collect(RelationScan(tourist_db.relation("Climates")))
+        assert len(rows) == 3
+        assert rows[0]["Country"] == "Canada"
+
+    def test_next_before_open_raises(self, tourist_db):
+        scan = RelationScan(tourist_db.relation("Climates"))
+        with pytest.raises(RuntimeError):
+            scan.next()
+
+    def test_reopen_restarts_the_scan(self, tourist_db):
+        scan = RelationScan(tourist_db.relation("Climates"))
+        assert len(collect(scan)) == 3
+        assert len(collect(scan)) == 3
+
+    def test_rows_produced_counter(self, tourist_db):
+        scan = RelationScan(tourist_db.relation("Sites"))
+        collect(scan)
+        assert scan.rows_produced == 4
+        scan.open()  # re-opening resets the counter
+        scan.next()
+        scan.next()
+        assert scan.rows_produced == 2
+        scan.close()
+
+
+class TestSelectProjectLimitSort:
+    def test_select_filters_rows(self, tourist_db):
+        plan = Select(
+            RelationScan(tourist_db.relation("Sites")),
+            lambda row: row["Country"] == "UK",
+        )
+        rows = collect(plan)
+        assert len(rows) == 2
+        assert all(row["Country"] == "UK" for row in rows)
+
+    def test_project_restricts_attributes(self, tourist_db):
+        plan = Project(RelationScan(tourist_db.relation("Accommodations")), ["Hotel"])
+        rows = collect(plan)
+        assert all(row.attributes == ("Hotel",) for row in rows)
+
+    def test_project_on_missing_attribute_gives_null(self, tourist_db):
+        plan = Project(RelationScan(tourist_db.relation("Climates")), ["Hotel"])
+        assert all(is_null(row["Hotel"]) for row in collect(plan))
+
+    def test_limit_stops_the_child(self, tourist_db):
+        scan = RelationScan(tourist_db.relation("Sites"))
+        plan = Limit(scan, 2)
+        plan.open()
+        rows = [plan.next(), plan.next(), plan.next()]
+        assert rows[2] is None
+        # The child produced only the two rows the limit required.
+        assert scan.rows_produced == 2
+        plan.close()
+
+    def test_limit_rejects_negative(self, tourist_db):
+        with pytest.raises(ValueError):
+            Limit(RelationScan(tourist_db.relation("Sites")), -1)
+
+    def test_limit_zero(self, tourist_db):
+        assert collect(Limit(RelationScan(tourist_db.relation("Sites")), 0)) == []
+
+    def test_sort_orders_rows(self, tourist_db):
+        plan = Sort(
+            RelationScan(tourist_db.relation("Accommodations")),
+            key=lambda row: str(row["Hotel"]),
+        )
+        hotels = [row["Hotel"] for row in collect(plan)]
+        assert hotels == sorted(hotels)
+
+    def test_sort_reverse(self, tourist_db):
+        plan = Sort(
+            RelationScan(tourist_db.relation("Climates")),
+            key=lambda row: str(row["Country"]),
+            reverse=True,
+        )
+        countries = [row["Country"] for row in collect(plan)]
+        assert countries == sorted(countries, reverse=True)
+
+
+class TestComposition:
+    def test_select_project_limit_pipeline(self, tourist_db):
+        plan = Limit(
+            Project(
+                Select(
+                    RelationScan(tourist_db.relation("Sites")),
+                    lambda row: row["Country"] == "Canada",
+                ),
+                ["Site"],
+            ),
+            1,
+        )
+        rows = collect(plan)
+        assert len(rows) == 1
+        assert rows[0].attributes == ("Site",)
+
+    def test_explain_renders_the_tree(self, tourist_db):
+        plan = Limit(
+            Project(RelationScan(tourist_db.relation("Sites")), ["Site"]), 1
+        )
+        rendered = explain(plan)
+        lines = rendered.splitlines()
+        assert lines[0] == "Limit(1)"
+        assert lines[1].strip() == "Project(Site)"
+        assert lines[2].strip() == "RelationScan(Sites)"

@@ -1,0 +1,84 @@
+"""Property-based tests for the approximate full disjunction (Section 6)."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.naive import naive_approx_full_disjunction
+from repro.core.approx import approx_full_disjunction
+from repro.core.approx_join import (
+    EditDistanceSimilarity,
+    ExactJoin,
+    ExactMatchSimilarity,
+    MinJoin,
+    ProductJoin,
+)
+from repro.core.full_disjunction import full_disjunction
+
+from tests.conftest import labels_of, small_databases
+
+RELAXED = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+THRESHOLDS = st.sampled_from([0.25, 0.5, 0.75, 1.0])
+
+
+@RELAXED
+@given(database=small_databases(max_relations=3, max_tuples=3), threshold=THRESHOLDS)
+def test_min_join_matches_the_brute_force_oracle(database, threshold):
+    amin = MinJoin(ExactMatchSimilarity())
+    expected = labels_of(naive_approx_full_disjunction(database, amin, threshold))
+    produced = approx_full_disjunction(database, amin, threshold)
+    assert labels_of(produced) == expected
+    assert len(produced) == len(expected)
+
+
+@RELAXED
+@given(database=small_databases(max_relations=3, max_tuples=3), threshold=THRESHOLDS)
+def test_edit_distance_min_join_matches_the_oracle(database, threshold):
+    amin = MinJoin(EditDistanceSimilarity())
+    expected = labels_of(naive_approx_full_disjunction(database, amin, threshold))
+    assert labels_of(approx_full_disjunction(database, amin, threshold)) == expected
+
+
+@RELAXED
+@given(database=small_databases(max_relations=3, max_tuples=3))
+def test_product_join_matches_the_oracle(database):
+    aprod = ProductJoin(EditDistanceSimilarity())
+    for threshold in (0.4, 0.8):
+        expected = labels_of(naive_approx_full_disjunction(database, aprod, threshold))
+        assert labels_of(approx_full_disjunction(database, aprod, threshold)) == expected
+
+
+@RELAXED
+@given(database=small_databases())
+def test_exact_join_adapter_reduces_to_the_exact_full_disjunction(database):
+    assert labels_of(approx_full_disjunction(database, ExactJoin(), 1.0)) == labels_of(
+        full_disjunction(database)
+    )
+
+
+@RELAXED
+@given(database=small_databases(max_relations=3, max_tuples=3), threshold=THRESHOLDS)
+def test_results_qualify_are_maximal_and_unique(database, threshold):
+    amin = MinJoin(EditDistanceSimilarity())
+    results = approx_full_disjunction(database, amin, threshold)
+    assert len(results) == len(set(results))
+    for result in results:
+        assert amin(result) >= threshold
+        for other in results:
+            if result != other:
+                assert not result.issubset(other)
+
+
+@RELAXED
+@given(database=small_databases(max_relations=3, max_tuples=3))
+def test_coverage_is_monotone_in_the_threshold(database):
+    """Lowering τ never loses information: every stricter result stays covered."""
+    amin = MinJoin(EditDistanceSimilarity())
+    strict = approx_full_disjunction(database, amin, 0.9)
+    loose = approx_full_disjunction(database, amin, 0.3)
+    for result in strict:
+        assert any(result.issubset(other) for other in loose)

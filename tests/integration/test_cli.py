@@ -1,0 +1,106 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.relational import csv_io
+from repro.workloads.tourist import tourist_database
+
+
+@pytest.fixture
+def csv_paths(tmp_path):
+    """The tourist relations saved as CSV files, as the CLI expects them."""
+    paths = csv_io.save_database(tourist_database(), tmp_path / "tourist")
+    return [str(path) for path in sorted(paths)]
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fd_defaults(self, csv_paths):
+        arguments = build_parser().parse_args(["fd", *csv_paths])
+        assert arguments.command == "fd"
+        assert arguments.limit is None
+        assert arguments.initialization == "singletons"
+
+    def test_topk_requires_k(self, csv_paths):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["topk", *csv_paths])
+
+
+class TestFdCommand:
+    def test_prints_all_six_answers(self, csv_paths, capsys):
+        assert main(["fd", *csv_paths]) == 0
+        output = capsys.readouterr().out
+        assert "{a1, c1}" in output
+        assert "(6 answers)" in output
+
+    def test_limit_stops_early(self, csv_paths, capsys):
+        assert main(["fd", *csv_paths, "--limit", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "(2 answers shown; computation stopped early)" in output
+
+    def test_output_file_is_written(self, csv_paths, tmp_path, capsys):
+        target = tmp_path / "fd.csv"
+        assert main(["fd", *csv_paths, "--output", str(target)]) == 0
+        assert target.exists()
+        assert len(csv_io.load_relation(target)) == 6
+
+    def test_initialization_and_index_flags(self, csv_paths, capsys):
+        assert main(
+            ["fd", *csv_paths, "--use-index", "--initialization", "previous-results"]
+        ) == 0
+        assert "(6 answers)" in capsys.readouterr().out
+
+    def test_block_size_flag(self, csv_paths, capsys):
+        assert main(["fd", *csv_paths, "--block-size", "2"]) == 0
+        assert "(6 answers)" in capsys.readouterr().out
+
+    def test_no_csv_files_is_an_error(self):
+        with pytest.raises(SystemExit):
+            main(["fd"])
+
+
+class TestTopkCommand:
+    def test_ranks_by_numeric_attribute(self, csv_paths, capsys):
+        assert main(
+            ["topk", *csv_paths, "--k", "2", "--importance-attribute", "Stars"]
+        ) == 0
+        lines = [line for line in capsys.readouterr().out.splitlines() if line.strip()]
+        assert len(lines) == 2
+        # The 4-star Plaza destination ranks first.
+        assert "a1" in lines[0]
+        assert "4.0" in lines[0]
+
+    def test_without_importance_attribute_all_scores_are_zero(self, csv_paths, capsys):
+        assert main(["topk", *csv_paths, "--k", "3"]) == 0
+        lines = [line for line in capsys.readouterr().out.splitlines() if line.strip()]
+        assert len(lines) == 3
+        assert all("0.0000" in line for line in lines)
+
+
+class TestApproxCommand:
+    def test_exact_similarity_at_threshold_one_matches_fd(self, csv_paths, capsys):
+        assert main(
+            ["approx", *csv_paths, "--threshold", "1.0", "--similarity", "exact"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "(6 answers at threshold 1.0)" in output
+
+    def test_edit_similarity_runs(self, csv_paths, capsys):
+        assert main(["approx", *csv_paths, "--threshold", "0.8"]) == 0
+        assert "answers at threshold 0.8" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_trace_of_named_anchor(self, csv_paths, capsys):
+        assert main(["trace", *csv_paths, "--anchor", "Climates"]) == 0
+        output = capsys.readouterr().out
+        assert "Initialization" in output
+        assert "(6 iterations, anchor relation 'Climates')" in output
+
+    def test_trace_defaults_to_first_relation(self, csv_paths, capsys):
+        assert main(["trace", *csv_paths]) == 0
+        assert "iterations, anchor relation 'Accommodations'" in capsys.readouterr().out

@@ -1,0 +1,68 @@
+"""Property-based tests for ranked retrieval (Section 5)."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.full_disjunction import full_disjunction
+from repro.core.priority import priority_incremental_fd, top_k
+from repro.core.ranking import CDeterminedRanking, MaxRanking, importance_function
+
+from tests.conftest import labels_of, small_databases
+
+RELAXED = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def label_hash_importance(t):
+    """A deterministic pseudo-random importance derived from the tuple label."""
+    return float(sum(ord(ch) for ch in t.label) % 17)
+
+
+@RELAXED
+@given(database=small_databases())
+def test_priority_fd_produces_the_whole_fd_in_ranking_order(database):
+    ranking = MaxRanking(label_hash_importance)
+    ranked = list(priority_incremental_fd(database, ranking))
+    assert labels_of(ts for ts, _ in ranked) == labels_of(full_disjunction(database))
+    scores = [score for _, score in ranked]
+    assert scores == sorted(scores, reverse=True)
+
+
+@RELAXED
+@given(database=small_databases(), k=st.integers(min_value=1, max_value=6))
+def test_top_k_scores_match_exhaustive_ranking(database, k):
+    ranking = MaxRanking(label_hash_importance)
+    everything = sorted(
+        (ranking(ts) for ts in full_disjunction(database)), reverse=True
+    )
+    got = [score for _, score in top_k(database, ranking, k)]
+    assert got == everything[: len(got)]
+    assert len(got) == min(k, len(everything))
+
+
+@RELAXED
+@given(database=small_databases(max_relations=3, max_tuples=3))
+def test_2_determined_ranking_is_also_served_in_order(database):
+    imp = importance_function(label_hash_importance)
+    ranking = CDeterminedRanking(
+        2, lambda subset: sum(imp(t) for t in subset), name="pair_sum"
+    )
+    ranked = list(priority_incremental_fd(database, ranking))
+    scores = [score for _, score in ranked]
+    assert scores == sorted(scores, reverse=True)
+    assert labels_of(ts for ts, _ in ranked) == labels_of(full_disjunction(database))
+
+
+@RELAXED
+@given(database=small_databases(), threshold=st.floats(min_value=0.0, max_value=16.0))
+def test_threshold_variant_returns_exactly_the_qualifying_results(database, threshold):
+    ranking = MaxRanking(label_hash_importance)
+    expected = {
+        ts.labels() for ts in full_disjunction(database) if ranking(ts) >= threshold
+    }
+    got = list(priority_incremental_fd(database, ranking, threshold=threshold))
+    assert {ts.labels() for ts, _ in got} == expected
+    assert all(score >= threshold for _, score in got)

@@ -1,0 +1,119 @@
+"""Tests for databases and their relation-connection graph."""
+
+import pytest
+
+from repro.relational.database import Database
+from repro.relational.errors import DatabaseError
+from repro.relational.relation import Relation
+
+
+def relation(name, attributes, rows=()):
+    return Relation.from_rows(name, attributes, rows)
+
+
+@pytest.fixture
+def chain_db():
+    """R1(A,B) - R2(B,C) - R3(C,D): a path in the connection graph."""
+    return Database(
+        [
+            relation("R1", ["A", "B"], [["a", "b"]]),
+            relation("R2", ["B", "C"], [["b", "c"]]),
+            relation("R3", ["C", "D"], [["c", "d"]]),
+        ]
+    )
+
+
+class TestDatabaseConstruction:
+    def test_duplicate_relation_names_rejected(self):
+        database = Database([relation("R", ["A"])])
+        with pytest.raises(DatabaseError):
+            database.add_relation(relation("R", ["B"]))
+
+    def test_relations_keep_insertion_order(self, chain_db):
+        assert chain_db.relation_names == ["R1", "R2", "R3"]
+
+    def test_from_relations(self):
+        database = Database.from_relations(relation("X", ["A"]), relation("Y", ["A"]))
+        assert len(database) == 2
+
+
+class TestDatabaseAccess:
+    def test_relation_by_name_and_index(self, chain_db):
+        assert chain_db.relation("R2").name == "R2"
+        assert chain_db.relation_at(0).name == "R1"
+        assert chain_db.index_of("R3") == 2
+
+    def test_unknown_relation_raises(self, chain_db):
+        with pytest.raises(DatabaseError):
+            chain_db.relation("Nope")
+        with pytest.raises(DatabaseError):
+            chain_db.relation_at(9)
+        with pytest.raises(DatabaseError):
+            chain_db.index_of("Nope")
+
+    def test_contains_and_iteration(self, chain_db):
+        assert "R1" in chain_db and "Zed" not in chain_db
+        assert [r.name for r in chain_db] == ["R1", "R2", "R3"]
+
+    def test_tuples_and_counts(self, chain_db):
+        assert chain_db.tuple_count() == 3
+        assert len(list(chain_db.tuples())) == 3
+        assert chain_db.total_size() == 3 * (1 + 2)
+
+    def test_tuple_by_label_returns_first_match_across_relations(self, chain_db):
+        # All three relations auto-label their single tuple "r1"; the lookup
+        # scans relations in database order.
+        t = chain_db.tuple_by_label("r1")
+        assert t.relation_name == "R1"
+
+    def test_tuple_by_label_missing_raises(self, chain_db):
+        with pytest.raises(DatabaseError):
+            chain_db.tuple_by_label("nope")
+
+
+class TestConnectionGraph:
+    def test_adjacency_of_chain(self, chain_db):
+        adjacency = chain_db.adjacency
+        assert adjacency["R1"] == {"R2"}
+        assert adjacency["R2"] == {"R1", "R3"}
+        assert adjacency["R3"] == {"R2"}
+
+    def test_neighbours_and_are_connected(self, chain_db):
+        assert chain_db.neighbours("R2") == {"R1", "R3"}
+        assert chain_db.are_connected("R1", "R2")
+        assert not chain_db.are_connected("R1", "R3")
+
+    def test_neighbours_of_unknown_relation_raises(self, chain_db):
+        with pytest.raises(DatabaseError):
+            chain_db.neighbours("Nope")
+
+    def test_whole_database_connectivity(self, chain_db):
+        assert chain_db.is_connected()
+        chain_db.validate_connected()
+
+    def test_subset_connectivity(self, chain_db):
+        assert chain_db.is_connected({"R1", "R2"})
+        assert not chain_db.is_connected({"R1", "R3"})
+        assert chain_db.is_connected({"R2"})
+        assert chain_db.is_connected(set())
+
+    def test_subset_connectivity_with_unknown_name_raises(self, chain_db):
+        with pytest.raises(DatabaseError):
+            chain_db.is_connected({"R1", "Nope"})
+
+    def test_disconnected_database_detected(self):
+        database = Database(
+            [relation("R1", ["A"]), relation("R2", ["B"])]
+        )
+        assert not database.is_connected()
+        with pytest.raises(DatabaseError):
+            database.validate_connected()
+
+    def test_connected_component(self, chain_db):
+        component = chain_db.connected_component("R1", {"R1", "R2"})
+        assert component == {"R1", "R2"}
+        component = chain_db.connected_component("R1", {"R1", "R3"})
+        assert component == {"R1"}
+
+    def test_schema_edges(self, chain_db):
+        assert chain_db.schema_edges() == [("R1", "R2"), ("R2", "R3")]

@@ -1,0 +1,91 @@
+"""Tests for attribute indexes and the attribute-position table."""
+
+import pytest
+
+from repro.relational.index import AttributeIndex, AttributePositions, DatabaseIndex
+from repro.relational.nulls import NULL
+from repro.relational.relation import Relation
+from repro.workloads.tourist import tourist_database
+
+
+@pytest.fixture
+def sites():
+    relation = Relation("Sites", ["Country", "City", "Site"], label_prefix="s")
+    relation.add(["Canada", "London", "Air Show"], label="s1")
+    relation.add(["Canada", NULL, "Mount Logan"], label="s2")
+    relation.add(["UK", "London", "Buckingham"], label="s3")
+    return relation
+
+
+class TestAttributeIndex:
+    def test_lookup_returns_matching_tuples_in_order(self, sites):
+        index = AttributeIndex(sites, "Country")
+        assert [t.label for t in index.lookup("Canada")] == ["s1", "s2"]
+
+    def test_nulls_are_not_indexed(self, sites):
+        index = AttributeIndex(sites, "City")
+        assert len(index) == 2
+        assert index.lookup(NULL) == []
+
+    def test_lookup_of_absent_value_is_empty(self, sites):
+        index = AttributeIndex(sites, "Country")
+        assert index.lookup("France") == []
+
+    def test_values_iterates_distinct_values(self, sites):
+        index = AttributeIndex(sites, "Country")
+        assert set(index.values()) == {"Canada", "UK"}
+
+    def test_unknown_attribute_raises(self, sites):
+        with pytest.raises(KeyError):
+            AttributeIndex(sites, "Stars")
+
+    def test_metadata(self, sites):
+        index = AttributeIndex(sites, "Country")
+        assert index.relation_name == "Sites"
+        assert index.attribute == "Country"
+
+
+class TestDatabaseIndex:
+    def test_lookup_per_relation(self):
+        database = tourist_database()
+        index = DatabaseIndex(database)
+        labels = [t.label for t in index.lookup("Accommodations", "Country", "Canada")]
+        assert labels == ["a1", "a2"]
+
+    def test_join_candidates_excludes_own_relation(self):
+        database = tourist_database()
+        index = DatabaseIndex(database)
+        c1 = database.tuple_by_label("c1")
+        candidates = index.join_candidates(c1)
+        assert all(t.relation_name != "Climates" for t in candidates)
+        labels = {t.label for t in candidates}
+        # Tuples of other relations sharing Country=Canada.
+        assert labels == {"a1", "a2", "s1", "s2"}
+
+    def test_join_candidates_of_null_key_tuple(self):
+        database = tourist_database()
+        index = DatabaseIndex(database)
+        s2 = database.tuple_by_label("s2")  # City is null
+        labels = {t.label for t in index.join_candidates(s2)}
+        # Only the Country value can produce candidates.
+        assert labels == {"c1", "a1", "a2"}
+
+
+class TestAttributePositions:
+    def test_positions_follow_sorted_attribute_order(self):
+        database = tourist_database()
+        positions = AttributePositions(database)
+        assert positions.position("Accommodations", "City") == 0
+        assert positions.position("Accommodations", "Country") == 1
+        assert positions.position("Accommodations", "Hotel") == 2
+        assert positions.position("Accommodations", "Stars") == 3
+
+    def test_sorted_attributes(self):
+        database = tourist_database()
+        positions = AttributePositions(database)
+        assert positions.sorted_attributes("Sites") == ["City", "Country", "Site"]
+
+    def test_accepts_plain_relation_list(self, sites):
+        positions = AttributePositions([sites])
+        assert "Sites" in positions
+        assert positions.position("Sites", "City") == 0

@@ -1,0 +1,57 @@
+"""Tests for the null value ``⊥``."""
+
+import pickle
+
+from repro.relational.nulls import NULL, Null, coalesce, is_null
+
+
+class TestNullSingleton:
+    def test_constructor_returns_the_singleton(self):
+        assert Null() is NULL
+
+    def test_repr_is_bottom(self):
+        assert repr(NULL) == "⊥"
+        assert str(NULL) == "⊥"
+
+    def test_null_is_falsy(self):
+        assert not NULL
+        assert bool(NULL) is False
+
+    def test_nulls_compare_equal_to_each_other(self):
+        assert NULL == Null()
+        assert not (NULL != Null())
+
+    def test_null_not_equal_to_other_values(self):
+        assert NULL != 0
+        assert NULL != ""
+        assert NULL != "⊥"
+        assert not (NULL == 0)
+
+    def test_null_is_hashable_and_stable(self):
+        assert hash(NULL) == hash(Null())
+        assert len({NULL, Null()}) == 1
+
+    def test_pickle_round_trip_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(NULL)) is NULL
+
+
+class TestIsNull:
+    def test_null_and_none_are_null(self):
+        assert is_null(NULL)
+        assert is_null(None)
+
+    def test_other_values_are_not_null(self):
+        assert not is_null(0)
+        assert not is_null("")
+        assert not is_null("⊥")
+        assert not is_null(False)
+
+
+class TestCoalesce:
+    def test_returns_value_when_not_null(self):
+        assert coalesce(5, 0) == 5
+        assert coalesce("", "x") == ""
+
+    def test_returns_default_when_null(self):
+        assert coalesce(NULL, "fallback") == "fallback"
+        assert coalesce(None, 3) == 3

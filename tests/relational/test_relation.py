@@ -1,0 +1,106 @@
+"""Tests for relations."""
+
+import pytest
+
+from repro.relational.errors import RelationError
+from repro.relational.nulls import NULL
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+class TestRelationConstruction:
+    def test_accepts_schema_or_attribute_list(self):
+        by_list = Relation("R", ["A", "B"])
+        by_schema = Relation("S", Schema(["A", "B"]))
+        assert by_list.attributes == by_schema.attributes == ("A", "B")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(RelationError):
+            Relation("", ["A"])
+
+    def test_from_rows(self):
+        relation = Relation.from_rows("R", ["A", "B"], [["x", 1], ["y", 2]])
+        assert len(relation) == 2
+        assert relation.tuples[0]["A"] == "x"
+
+
+class TestAddingTuples:
+    def test_auto_labels_follow_prefix(self):
+        relation = Relation("Climates", ["Country"], label_prefix="c")
+        first = relation.add(["Canada"])
+        second = relation.add(["UK"])
+        assert first.label == "c1" and second.label == "c2"
+
+    def test_default_prefix_is_first_letter(self):
+        relation = Relation("Sites", ["Site"])
+        assert relation.add(["Louvre"]).label == "s1"
+
+    def test_explicit_labels_and_collision(self):
+        relation = Relation("R", ["A"])
+        relation.add(["x"], label="t1")
+        with pytest.raises(RelationError):
+            relation.add(["y"], label="t1")
+
+    def test_auto_label_skips_taken_labels(self):
+        relation = Relation("R", ["A"], label_prefix="r")
+        relation.add(["x"], label="r1")
+        t = relation.add(["y"])
+        assert t.label != "r1"
+
+    def test_add_mapping_fills_nulls(self):
+        relation = Relation("R", ["A", "B"])
+        t = relation.add_mapping({"A": "x"})
+        assert t["B"] is NULL
+
+    def test_extend(self):
+        relation = Relation("R", ["A"])
+        created = relation.extend([["x"], ["y"], ["z"]])
+        assert len(created) == 3 and len(relation) == 3
+
+    def test_importance_and_probability_are_stored(self):
+        relation = Relation("R", ["A"])
+        t = relation.add(["x"], importance=2.5, probability=0.4)
+        assert t.importance == 2.5 and t.probability == 0.4
+
+
+class TestRelationQueries:
+    @pytest.fixture
+    def relation(self):
+        relation = Relation("Sites", ["Country", "City"], label_prefix="s")
+        relation.add(["Canada", "London"], label="s1")
+        relation.add(["Canada", NULL], label="s2")
+        relation.add(["UK", "London"], label="s3")
+        return relation
+
+    def test_tuple_by_label(self, relation):
+        assert relation.tuple_by_label("s2")["City"] is NULL
+
+    def test_tuple_by_label_missing_raises(self, relation):
+        with pytest.raises(RelationError):
+            relation.tuple_by_label("zz")
+
+    def test_distinct_values_skip_nulls(self, relation):
+        assert relation.distinct_values("City") == {"London"}
+        assert relation.distinct_values("Country") == {"Canada", "UK"}
+
+    def test_null_count(self, relation):
+        assert relation.null_count() == 1
+
+    def test_total_size_counts_tuples_and_cells(self, relation):
+        # 3 tuples, 2 attributes each: 3 * (1 + 2)
+        assert relation.total_size() == 9
+
+    def test_iteration_and_membership(self, relation):
+        labels = [t.label for t in relation]
+        assert labels == ["s1", "s2", "s3"]
+        assert relation.tuple_by_label("s1") in relation
+
+    def test_to_rows_and_pretty(self, relation):
+        rows = relation.to_rows()
+        assert rows[0] == ("Canada", "London")
+        rendered = relation.pretty()
+        assert "⊥" in rendered and "s2" in rendered
+
+    def test_pretty_with_max_rows(self, relation):
+        rendered = relation.pretty(max_rows=1)
+        assert "more rows" in rendered

@@ -1,0 +1,87 @@
+"""Tests for relation schemas."""
+
+import pytest
+
+from repro.relational.errors import SchemaError
+from repro.relational.schema import Schema
+
+
+class TestSchemaConstruction:
+    def test_preserves_attribute_order(self):
+        schema = Schema(["Country", "City", "Hotel"])
+        assert schema.attributes == ("Country", "City", "Hotel")
+
+    def test_rejects_empty_schema(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_rejects_duplicate_attributes(self):
+        with pytest.raises(SchemaError):
+            Schema(["A", "B", "A"])
+
+    def test_rejects_non_string_attributes(self):
+        with pytest.raises(SchemaError):
+            Schema(["A", 7])
+
+    def test_rejects_empty_attribute_name(self):
+        with pytest.raises(SchemaError):
+            Schema(["A", ""])
+
+
+class TestSchemaAccess:
+    def test_contains_and_len_and_iter(self):
+        schema = Schema(["A", "B"])
+        assert "A" in schema and "B" in schema and "C" not in schema
+        assert len(schema) == 2
+        assert list(schema) == ["A", "B"]
+
+    def test_position(self):
+        schema = Schema(["A", "B", "C"])
+        assert schema.position("B") == 1
+
+    def test_position_of_unknown_attribute_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["A"]).position("Z")
+
+    def test_equality_and_hash(self):
+        assert Schema(["A", "B"]) == Schema(["A", "B"])
+        assert Schema(["A", "B"]) != Schema(["B", "A"])
+        assert hash(Schema(["A", "B"])) == hash(Schema(["A", "B"]))
+
+    def test_sorted_positions(self):
+        schema = Schema(["City", "Country", "Site"])
+        assert schema.sorted_positions() == {"City": 0, "Country": 1, "Site": 2}
+
+    def test_sorted_positions_unsorted_declaration(self):
+        schema = Schema(["Site", "Country", "City"])
+        assert schema.sorted_positions() == {"City": 0, "Country": 1, "Site": 2}
+
+
+class TestSchemaConnectivity:
+    def test_shared_attributes(self):
+        first = Schema(["Country", "Climate"])
+        second = Schema(["Country", "City", "Hotel"])
+        assert first.shared_attributes(second) == {"Country"}
+
+    def test_connects_to(self):
+        first = Schema(["Country", "Climate"])
+        second = Schema(["Country", "City"])
+        third = Schema(["Site", "City"])
+        assert first.connects_to(second)
+        assert second.connects_to(third)
+        assert not first.connects_to(third)
+
+
+class TestSchemaDerivation:
+    def test_project_keeps_requested_order(self):
+        schema = Schema(["A", "B", "C"])
+        assert schema.project(["C", "A"]).attributes == ("C", "A")
+
+    def test_project_on_unknown_attribute_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["A"]).project(["B"])
+
+    def test_union_appends_new_attributes(self):
+        first = Schema(["A", "B"])
+        second = Schema(["B", "C"])
+        assert first.union(second).attributes == ("A", "B", "C")

@@ -1,0 +1,141 @@
+"""Tests for null-tolerant tuples."""
+
+import pytest
+
+from repro.relational.errors import SchemaError
+from repro.relational.nulls import NULL
+from repro.relational.schema import Schema
+from repro.relational.tuples import Tuple, tuple_from_mapping
+
+
+@pytest.fixture
+def climates_schema():
+    return Schema(["Country", "Climate"])
+
+
+@pytest.fixture
+def sites_schema():
+    return Schema(["Country", "City", "Site"])
+
+
+def make_tuple(schema, values, label="t1", name="R", **kwargs):
+    return Tuple(name, schema, values, label, **kwargs)
+
+
+class TestTupleConstruction:
+    def test_value_count_must_match_schema(self, climates_schema):
+        with pytest.raises(SchemaError):
+            make_tuple(climates_schema, ["Canada"])
+
+    def test_none_becomes_null(self, climates_schema):
+        t = make_tuple(climates_schema, ["Canada", None])
+        assert t["Climate"] is NULL
+
+    def test_probability_must_be_in_unit_interval(self, climates_schema):
+        with pytest.raises(SchemaError):
+            make_tuple(climates_schema, ["Canada", "diverse"], probability=1.5)
+
+    def test_importance_and_probability_defaults(self, climates_schema):
+        t = make_tuple(climates_schema, ["Canada", "diverse"])
+        assert t.importance == 0.0
+        assert t.probability == 1.0
+
+
+class TestTupleAccess:
+    def test_getitem_and_get(self, climates_schema):
+        t = make_tuple(climates_schema, ["Canada", "diverse"])
+        assert t["Country"] == "Canada"
+        assert t.get("Missing", "fallback") == "fallback"
+
+    def test_getitem_unknown_attribute_raises(self, climates_schema):
+        t = make_tuple(climates_schema, ["Canada", "diverse"])
+        with pytest.raises(SchemaError):
+            t["Hotel"]
+
+    def test_is_null_and_non_null_items(self, sites_schema):
+        t = make_tuple(sites_schema, ["Canada", NULL, "Mount Logan"])
+        assert t.is_null("City")
+        assert not t.is_null("Country")
+        assert dict(t.non_null_items()) == {"Country": "Canada", "Site": "Mount Logan"}
+
+    def test_as_dict_and_items(self, climates_schema):
+        t = make_tuple(climates_schema, ["UK", "temperate"])
+        assert t.as_dict() == {"Country": "UK", "Climate": "temperate"}
+        assert list(t.items()) == [("Country", "UK"), ("Climate", "temperate")]
+
+    def test_has_attribute(self, climates_schema):
+        t = make_tuple(climates_schema, ["UK", "temperate"])
+        assert t.has_attribute("Country")
+        assert not t.has_attribute("City")
+
+
+class TestTupleEqualityAndOrdering:
+    def test_equal_tuples_hash_equal(self, climates_schema):
+        first = make_tuple(climates_schema, ["Canada", "diverse"], label="c1")
+        second = make_tuple(climates_schema, ["Canada", "diverse"], label="c1")
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_label_distinguishes_tuples(self, climates_schema):
+        first = make_tuple(climates_schema, ["Canada", "diverse"], label="c1")
+        second = make_tuple(climates_schema, ["Canada", "diverse"], label="c2")
+        assert first != second
+
+    def test_ordering_by_relation_then_label(self, climates_schema):
+        first = make_tuple(climates_schema, ["Canada", "diverse"], label="c1", name="A")
+        second = make_tuple(climates_schema, ["UK", "temperate"], label="c2", name="B")
+        assert first < second
+        assert sorted([second, first]) == [first, second]
+
+
+class TestJoinConsistency:
+    def test_agreeing_shared_attribute_is_consistent(self, climates_schema, sites_schema):
+        climate = make_tuple(climates_schema, ["Canada", "diverse"], name="Climates")
+        site = make_tuple(sites_schema, ["Canada", "London", "Air Show"], name="Sites")
+        assert climate.join_consistent_with(site)
+        assert site.join_consistent_with(climate)
+
+    def test_disagreeing_shared_attribute_is_inconsistent(self, climates_schema, sites_schema):
+        climate = make_tuple(climates_schema, ["UK", "temperate"], name="Climates")
+        site = make_tuple(sites_schema, ["Canada", "London", "Air Show"], name="Sites")
+        assert not climate.join_consistent_with(site)
+
+    def test_null_shared_attribute_is_inconsistent(self, climates_schema, sites_schema):
+        climate = make_tuple(climates_schema, ["Canada", "diverse"], name="Climates")
+        site = make_tuple(sites_schema, [NULL, "London", "Air Show"], name="Sites")
+        assert not climate.join_consistent_with(site)
+
+    def test_no_shared_attributes_is_vacuously_consistent(self):
+        left = make_tuple(Schema(["A"]), ["x"], name="L")
+        right = make_tuple(Schema(["B"]), ["y"], name="R2")
+        assert left.join_consistent_with(right)
+
+    def test_connects_to_follows_schema_sharing(self, climates_schema, sites_schema):
+        climate = make_tuple(climates_schema, ["Canada", "diverse"], name="Climates")
+        site = make_tuple(sites_schema, ["Canada", "London", "Air Show"], name="Sites")
+        isolated = make_tuple(Schema(["Altitude"]), [12], name="Peaks")
+        assert climate.connects_to(site)
+        assert not climate.connects_to(isolated)
+
+
+class TestTupleDerivation:
+    def test_with_importance_returns_new_tuple(self, climates_schema):
+        t = make_tuple(climates_schema, ["Canada", "diverse"])
+        changed = t.with_importance(7.0)
+        assert changed.importance == 7.0
+        assert t.importance == 0.0
+        assert changed == t  # identity is (relation, label, values)
+
+    def test_with_probability_returns_new_tuple(self, climates_schema):
+        t = make_tuple(climates_schema, ["Canada", "diverse"])
+        assert t.with_probability(0.25).probability == 0.25
+
+    def test_tuple_from_mapping_fills_missing_with_null(self, sites_schema):
+        t = tuple_from_mapping("Sites", sites_schema, {"Country": "UK"}, "s9")
+        assert t["Country"] == "UK"
+        assert t["City"] is NULL
+        assert t["Site"] is NULL
+
+    def test_tuple_from_mapping_rejects_unknown_keys(self, climates_schema):
+        with pytest.raises(SchemaError):
+            tuple_from_mapping("Climates", climates_schema, {"Stars": 5}, "c9")

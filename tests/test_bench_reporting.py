@@ -1,0 +1,62 @@
+"""Tests for the benchmark reporting helpers and the package metadata."""
+
+import pytest
+
+import repro
+from repro.bench.reporting import Table, format_table, print_table, time_call
+
+
+class TestFormatTable:
+    def test_columns_are_aligned(self):
+        rendered = format_table("Demo", ["name", "value"], [["a", "1"], ["longer", "22"]])
+        lines = rendered.splitlines()
+        assert lines[0] == "Demo"
+        assert lines[1] == "===="
+        assert lines[2].startswith("name")
+        header_width = len(lines[2])
+        assert all(len(line) <= header_width + 2 for line in lines[3:])
+        assert "longer" in rendered
+
+    def test_table_class_accumulates_rows(self):
+        table = Table("T", ["a", "b"])
+        table.add_row(1, 2.5)
+        table.add_row("x", None)
+        rendered = table.render()
+        assert "2.5000" in rendered
+        assert "None" in rendered
+
+    def test_row_arity_is_checked(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_float_rendering(self):
+        table = Table("T", ["v"])
+        table.add_row(0.000001)
+        table.add_row(123456.0)
+        table.add_row(float("nan"))
+        rendered = table.render()
+        assert "e-06" in rendered
+        assert "e+05" in rendered or "123456" in rendered
+        assert "nan" in rendered
+
+    def test_print_table_writes_to_stdout(self, capsys):
+        print_table("Printed", ["x"], [[1], [2]])
+        output = capsys.readouterr().out
+        assert "Printed" in output and "2" in output
+
+
+class TestTimeCall:
+    def test_returns_result_and_elapsed(self):
+        result, elapsed = time_call(lambda: sum(range(1000)))
+        assert result == 499500
+        assert elapsed >= 0.0
+
+
+class TestPackageMetadata:
+    def test_version_is_exposed(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_api_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name

@@ -1,0 +1,89 @@
+"""Tests for the dirty-data workload generator."""
+
+import random
+
+import pytest
+
+from repro.core.approx_join import levenshtein
+from repro.relational.nulls import is_null
+from repro.workloads.dirty import clean_and_dirty_pair, corrupt_string, dirty_sources_database
+
+
+class TestCorruptString:
+    def test_zero_edits_is_identity(self):
+        rng = random.Random(0)
+        assert corrupt_string("canada", 0, rng) == "canada"
+
+    def test_edit_distance_is_bounded_by_edit_count(self):
+        rng = random.Random(1)
+        for edits in (1, 2, 3):
+            for _ in range(20):
+                corrupted = corrupt_string("entity_007", edits, rng)
+                assert levenshtein("entity_007", corrupted) <= 2 * edits
+
+    def test_corrupting_empty_string_inserts_characters(self):
+        rng = random.Random(2)
+        assert corrupt_string("", 2, rng) != ""
+
+
+class TestDirtySourcesDatabase:
+    def test_shape_and_schema(self):
+        database = dirty_sources_database(entities=10, sources=3, coverage=1.0, seed=0)
+        assert len(database) == 3
+        assert database.relation("Source1").attributes == ("Entity", "F1")
+        assert all(len(relation) == 10 for relation in database)
+
+    def test_sources_share_the_entity_attribute(self):
+        database = dirty_sources_database(entities=5, sources=3, seed=0)
+        assert database.is_connected()
+
+    def test_reliability_is_attached_as_probability(self):
+        database = dirty_sources_database(
+            entities=5, sources=2, seed=0, source_reliability=[0.9, 0.6]
+        )
+        assert all(t.probability == 0.9 for t in database.relation("Source1"))
+        assert all(t.probability == 0.6 for t in database.relation("Source2"))
+
+    def test_typo_rate_zero_keeps_keys_clean(self):
+        database = dirty_sources_database(
+            entities=8, sources=2, coverage=1.0, typo_rate=0.0, null_rate=0.0, seed=0
+        )
+        for t in database.tuples():
+            assert not is_null(t["Entity"])
+            assert str(t["Entity"]).startswith("entity_")
+
+    def test_typo_rate_one_corrupts_some_keys(self):
+        clean = dirty_sources_database(
+            entities=10, sources=2, coverage=1.0, typo_rate=0.0, null_rate=0.0, seed=5
+        )
+        dirty = dirty_sources_database(
+            entities=10, sources=2, coverage=1.0, typo_rate=1.0, null_rate=0.0, seed=5
+        )
+        clean_keys = {t["Entity"] for t in clean.tuples()}
+        dirty_keys = {t["Entity"] for t in dirty.tuples()}
+        assert dirty_keys != clean_keys
+
+    def test_coverage_controls_relation_size(self):
+        database = dirty_sources_database(entities=20, sources=2, coverage=0.5, seed=1)
+        assert all(len(relation) < 20 for relation in database)
+
+    def test_determinism(self):
+        first = dirty_sources_database(seed=3)
+        second = dirty_sources_database(seed=3)
+        assert [t.values for t in first.tuples()] == [t.values for t in second.tuples()]
+
+    def test_rejects_single_source(self):
+        with pytest.raises(ValueError):
+            dirty_sources_database(sources=1)
+
+
+class TestCleanAndDirtyPair:
+    def test_pair_covers_the_same_entities(self):
+        clean, dirty = clean_and_dirty_pair(entities=6, sources=2, typo_rate=0.5, seed=2)
+        assert clean.relation_names == dirty.relation_names
+        assert [len(r) for r in clean.relations] == [len(r) for r in dirty.relations]
+
+    def test_clean_database_has_no_typos(self):
+        clean, _ = clean_and_dirty_pair(entities=6, sources=2, seed=2)
+        for t in clean.tuples():
+            assert str(t["Entity"]).startswith("entity_")

@@ -1,0 +1,109 @@
+"""Tests for the encoded running example (Table 1 / Fig. 4)."""
+
+import pytest
+
+from repro.relational.nulls import is_null
+from repro.workloads.tourist import (
+    CLIMATE_PREFERENCE,
+    FIG4_PROBABILITIES,
+    FIG4_SIMILARITIES,
+    TABLE2_TUPLE_SETS,
+    TABLE3_TRACE,
+    noisy_tourist_database,
+    noisy_tourist_similarity,
+    table2_padded_rows,
+    tourist_database,
+    tourist_importance,
+)
+
+
+class TestTable1Data:
+    def test_relations_and_schemas(self):
+        database = tourist_database()
+        assert database.relation_names == ["Climates", "Accommodations", "Sites"]
+        assert database.relation("Climates").attributes == ("Country", "Climate")
+        assert database.relation("Accommodations").attributes == (
+            "Country",
+            "City",
+            "Hotel",
+            "Stars",
+        )
+        assert database.relation("Sites").attributes == ("Country", "City", "Site")
+
+    def test_tuple_counts(self):
+        database = tourist_database()
+        assert [len(r) for r in database.relations] == [3, 3, 4]
+
+    def test_exact_cell_values(self):
+        database = tourist_database()
+        assert database.tuple_by_label("c3").as_dict() == {
+            "Country": "Bahamas",
+            "Climate": "tropical",
+        }
+        assert database.tuple_by_label("a2")["Hotel"] == "Ramada"
+        assert database.tuple_by_label("s1")["Site"] == "Air Show"
+
+    def test_the_two_null_cells_of_table1(self):
+        database = tourist_database()
+        assert database.tuple_by_label("a3").is_null("Stars")
+        assert database.tuple_by_label("s2").is_null("City")
+        total_nulls = sum(relation.null_count() for relation in database.relations)
+        assert total_nulls == 2
+
+    def test_database_is_connected(self):
+        tourist_database().validate_connected()
+
+    def test_expected_constants_are_consistent(self):
+        assert len(TABLE2_TUPLE_SETS) == 6
+        assert len(TABLE3_TRACE) == 7  # initialization + 6 iterations
+        final_complete = TABLE3_TRACE[-1][2]
+        assert set(final_complete) == set(TABLE2_TUPLE_SETS)
+        for row in table2_padded_rows():
+            assert row["labels"] in TABLE2_TUPLE_SETS
+
+
+class TestImportanceScenario:
+    def test_climate_preference_ordering(self):
+        assert (
+            CLIMATE_PREFERENCE["tropical"]
+            > CLIMATE_PREFERENCE["temperate"]
+            > CLIMATE_PREFERENCE["diverse"]
+        )
+
+    def test_importance_covers_every_tuple(self):
+        database = tourist_database()
+        importance = tourist_importance()
+        for t in database.tuples():
+            assert t.label in importance
+
+    def test_hotel_importance_tracks_stars(self):
+        importance = tourist_importance()
+        assert importance["a1"] > importance["a2"] > importance["a3"]
+
+
+class TestFig4Scenario:
+    def test_misspelled_country(self):
+        database = noisy_tourist_database()
+        assert database.tuple_by_label("c1")["Country"] == "Cannada"
+        assert database.tuple_by_label("a1")["Country"] == "Canada"
+
+    def test_probabilities_are_attached_to_tuples(self):
+        database = noisy_tourist_database()
+        for label, probability in FIG4_PROBABILITIES.items():
+            assert database.tuple_by_label(label).probability == pytest.approx(probability)
+
+    def test_similarity_table_is_symmetric_and_in_range(self):
+        database = noisy_tourist_database()
+        sim = noisy_tourist_similarity()
+        for first, second, value in FIG4_SIMILARITIES:
+            t1 = database.tuple_by_label(first)
+            t2 = database.tuple_by_label(second)
+            assert sim(t1, t2) == pytest.approx(value)
+            assert sim(t2, t1) == pytest.approx(value)
+            assert 0.0 <= value <= 1.0
+
+    def test_clean_and_noisy_database_have_the_same_shape(self):
+        clean = tourist_database()
+        noisy = noisy_tourist_database()
+        assert clean.relation_names == noisy.relation_names
+        assert [len(r) for r in clean.relations] == [len(r) for r in noisy.relations]
