@@ -14,6 +14,7 @@ import time
 from repro.baselines.batch import batch_full_disjunction
 from repro.baselines.naive import naive_full_disjunction
 from repro.core.full_disjunction import full_disjunction
+from repro.core.incremental import FDStatistics
 from repro.workloads.generators import chain_database
 
 SIZES = (6, 12, 18, 24)
@@ -23,6 +24,13 @@ def _timed(function):
     started = time.perf_counter()
     result = function()
     return len(result), time.perf_counter() - started
+
+
+def _sets_scanned(statistics: FDStatistics) -> int:
+    """Total Complete+Incomplete sets subjected to a subsumption/merge test."""
+    return statistics.extras.get("complete_sets_scanned", 0) + statistics.extras.get(
+        "incomplete_sets_scanned", 0
+    )
 
 
 def test_e1_total_runtime_vs_baselines(benchmark, report_table):
@@ -35,8 +43,16 @@ def test_e1_total_runtime_vs_baselines(benchmark, report_table):
             null_rate=0.1,
             seed=1,
         )
-        fd_size, incremental_seconds = _timed(lambda: full_disjunction(database))
-        _, indexed_seconds = _timed(lambda: full_disjunction(database, use_index=True))
+        plain_statistics = FDStatistics()
+        fd_size, incremental_seconds = _timed(
+            lambda: full_disjunction(database, statistics=plain_statistics)
+        )
+        indexed_statistics = FDStatistics()
+        _, indexed_seconds = _timed(
+            lambda: full_disjunction(
+                database, use_index=True, statistics=indexed_statistics
+            )
+        )
         _, best_seconds = _timed(
             lambda: full_disjunction(
                 database, use_index=True, initialization="reduced-previous"
@@ -50,6 +66,8 @@ def test_e1_total_runtime_vs_baselines(benchmark, report_table):
             oracle_cell = f"{oracle_seconds:.3f}"
         else:
             oracle_cell = "-"
+        plain_scanned = _sets_scanned(plain_statistics)
+        indexed_scanned = _sets_scanned(indexed_statistics)
         rows.append(
             [
                 tuples_per_relation,
@@ -61,6 +79,9 @@ def test_e1_total_runtime_vs_baselines(benchmark, report_table):
                 f"{batch_seconds:.3f}",
                 oracle_cell,
                 f"{batch_seconds / best_seconds:.2f}x",
+                plain_scanned,
+                indexed_scanned,
+                f"{plain_scanned / max(indexed_scanned, 1):.1f}x",
             ]
         )
 
@@ -76,6 +97,9 @@ def test_e1_total_runtime_vs_baselines(benchmark, report_table):
             "Batch baseline (s)",
             "Naive oracle (s)",
             "batch/best incremental",
+            "sets scanned (lists)",
+            "sets scanned (indexed)",
+            "scan drop",
         ],
         rows,
     )

@@ -18,11 +18,12 @@ algorithm for computing ranked full disjunctions*:
 from repro.core.tupleset import TupleSet, jcc
 from repro.core.triples import Triple, TripleList, merge_join_consistent, merge_triples
 from repro.core.scanner import BlockScanner, TupleScanner
-from repro.core.pools import (
+from repro.core.store import (
     CompleteStore,
     ListIncompletePool,
     PoolStatistics,
     PriorityIncompletePool,
+    record_store_statistics,
 )
 from repro.core.incremental import (
     FDStatistics,
@@ -100,6 +101,7 @@ __all__ = [
     "ListIncompletePool",
     "PriorityIncompletePool",
     "PoolStatistics",
+    "record_store_statistics",
     # exact algorithm
     "FDStatistics",
     "incremental_fd",

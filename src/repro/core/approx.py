@@ -22,7 +22,7 @@ from repro.relational.nulls import is_null
 from repro.relational.operators import combined_schema, pad_tuple_set
 from repro.core.approx_join import ApproximateJoinFunction
 from repro.core.incremental import AnchorSpec, FDStatistics, resolve_anchor
-from repro.core.pools import CompleteStore, ListIncompletePool
+from repro.core.store import CompleteStore, ListIncompletePool, record_store_statistics
 from repro.core.scanner import TupleScanner
 from repro.core.tupleset import TupleSet
 
@@ -130,33 +130,40 @@ def approx_incremental_fd(
     anchor_name = resolve_anchor(database, anchor)
     if scanner is None:
         scanner = TupleScanner(database)
+    catalog = database.catalog()
 
     incomplete = ListIncompletePool(anchor_name, use_index=use_index)
     complete = CompleteStore(anchor_name, use_index=use_index)
 
     # Lines 1-4 (starred line 3): only singletons that themselves qualify.
     for t in database.relation(anchor_name):
-        singleton = TupleSet.singleton(t)
+        singleton = TupleSet.singleton(t, catalog=catalog)
         if join_function(singleton) >= threshold:
             incomplete.add(singleton)
 
-    while incomplete:
-        result = approx_get_next_result(
-            database,
-            anchor_name,
-            join_function,
-            threshold,
-            incomplete,
-            complete,
-            scanner,
-            statistics,
+    try:
+        while incomplete:
+            result = approx_get_next_result(
+                database,
+                anchor_name,
+                join_function,
+                threshold,
+                incomplete,
+                complete,
+                scanner,
+                statistics,
+            )
+            complete.add(result)
+            if statistics is not None:
+                statistics.results += 1
+                statistics.tuple_reads = scanner.tuple_reads
+                statistics.scan_passes = scanner.passes
+            yield result
+    finally:
+        # Record store counters on every exit, including abandonment.
+        record_store_statistics(
+            statistics, ("incomplete", incomplete), ("complete", complete)
         )
-        complete.add(result)
-        if statistics is not None:
-            statistics.results += 1
-            statistics.tuple_reads = scanner.tuple_reads
-            statistics.scan_passes = scanner.passes
-        yield result
 
 
 def approx_full_disjunction_sets(

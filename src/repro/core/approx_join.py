@@ -312,7 +312,7 @@ class MinJoin(ApproximateJoinFunction):
         ]
         # Keep the connected component of t_b among the survivors.
         component = _connected_component_with(survivors, t_b)
-        result = TupleSet(component + [t_b])
+        result = TupleSet(component + [t_b], catalog=tuple_set.catalog)
         return [result]
 
 

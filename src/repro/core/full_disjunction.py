@@ -35,7 +35,7 @@ from repro.core.initialization import (
     earlier_relations,
     initial_sets,
 )
-from repro.core.pools import CompleteStore, ListIncompletePool
+from repro.core.store import CompleteStore, ListIncompletePool, record_store_statistics
 from repro.core.scanner import BlockScanner, TupleScanner
 from repro.core.tupleset import TupleSet
 
@@ -124,42 +124,57 @@ def _run_reusing_passes(
 ) -> Iterator[TupleSet]:
     """The Section 7 reuse strategies: shared ``Complete``, restricted scans."""
     produced: List[TupleSet] = []
+    catalog = database.catalog()
     shared_complete = CompleteStore(anchor_relation=None, use_index=use_index)
-    for index, relation in enumerate(database.relations):
-        anchor_name = relation.name
-        skip = earlier_relations(database, anchor_name)
-        scanner = RestrictedScanner(_make_scanner(database, block_size), skip)
-        pass_statistics = FDStatistics() if statistics is not None else None
+    try:
+        for index, relation in enumerate(database.relations):
+            anchor_name = relation.name
+            skip = earlier_relations(database, anchor_name)
+            scanner = RestrictedScanner(_make_scanner(database, block_size), skip)
+            pass_statistics = FDStatistics() if statistics is not None else None
 
-        incomplete = ListIncompletePool(anchor_name, use_index=use_index)
-        for seed in initial_sets(initialization, database, anchor_name, produced):
-            incomplete.add(seed)
+            incomplete = ListIncompletePool(anchor_name, use_index=use_index)
+            for seed in initial_sets(
+                initialization, database, anchor_name, produced, catalog=catalog
+            ):
+                incomplete.add(seed)
 
-        while incomplete:
-            result = get_next_result(
-                database,
-                anchor_name,
-                incomplete,
-                shared_complete,
-                scanner,
-                pass_statistics,
-            )
-            anchor_tuple = result.tuple_from(anchor_name)
-            already_covered = shared_complete.contains_superset(result, anchor=anchor_tuple)
-            shared_complete.add(result)
-            if pass_statistics is not None:
-                pass_statistics.results += 1
-            if already_covered:
-                # Either the result was produced by an earlier pass verbatim,
-                # or its maximal extension (through an earlier relation) was.
-                continue
-            produced.append(result)
-            yield result
-        if statistics is not None and pass_statistics is not None:
-            pass_statistics.tuple_reads = scanner.tuple_reads
-            pass_statistics.scan_passes = scanner.passes
-            pass_statistics.block_reads = getattr(scanner, "block_reads", 0)
-            statistics.merge(pass_statistics)
+            try:
+                while incomplete:
+                    result = get_next_result(
+                        database,
+                        anchor_name,
+                        incomplete,
+                        shared_complete,
+                        scanner,
+                        pass_statistics,
+                    )
+                    anchor_tuple = result.tuple_from(anchor_name)
+                    already_covered = shared_complete.contains_superset(
+                        result, anchor=anchor_tuple
+                    )
+                    shared_complete.add(result)
+                    if pass_statistics is not None:
+                        pass_statistics.results += 1
+                    if already_covered:
+                        # Either the result was produced by an earlier pass
+                        # verbatim, or its maximal extension (through an
+                        # earlier relation) was.
+                        continue
+                    produced.append(result)
+                    yield result
+            finally:
+                # Record pass counters on every exit, including abandonment.
+                if statistics is not None and pass_statistics is not None:
+                    pass_statistics.tuple_reads = scanner.tuple_reads
+                    pass_statistics.scan_passes = scanner.passes
+                    pass_statistics.block_reads = getattr(scanner, "block_reads", 0)
+                    record_store_statistics(pass_statistics, ("incomplete", incomplete))
+                    statistics.merge(pass_statistics)
+    finally:
+        # The shared Complete store is recorded once, on every exit.
+        if statistics is not None:
+            record_store_statistics(statistics, ("complete", shared_complete))
 
 
 def full_disjunction(

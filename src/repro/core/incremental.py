@@ -38,7 +38,12 @@ from typing import Callable, Iterable, Iterator, Optional, Union
 
 from repro.relational.database import Database
 from repro.relational.errors import DatabaseError
-from repro.core.pools import CompleteStore, ListIncompletePool, PriorityIncompletePool
+from repro.core.store import (
+    CompleteStore,
+    ListIncompletePool,
+    PriorityIncompletePool,
+    record_store_statistics,
+)
 from repro.core.scanner import TupleScanner
 from repro.core.tupleset import TupleSet
 
@@ -71,6 +76,11 @@ class FDStatistics:
         self.tuple_reads += other.tuple_reads
         self.scan_passes += other.scan_passes
         self.block_reads += other.block_reads
+        for key, value in other.extras.items():
+            if isinstance(value, (int, float)):
+                self.extras[key] = self.extras.get(key, 0) + value
+            else:
+                self.extras[key] = value
         return self
 
     def as_dict(self) -> dict:
@@ -243,32 +253,50 @@ def incremental_fd(
     anchor_name = resolve_anchor(database, anchor)
     if scanner is None:
         scanner = TupleScanner(database)
+    catalog = database.catalog()
 
     incomplete = ListIncompletePool(anchor_name, use_index=use_index)
-    if complete is None:
+    owned_complete = complete is None
+    if owned_complete:
         complete = CompleteStore(anchor_name, use_index=use_index)
 
-    # Lines 1-4: initialization of the two lists.
+    # Lines 1-4: initialization of the two lists.  Initial sets are interned
+    # against the catalog so every set the run derives from them carries the
+    # bitset representation.
     if initial is None:
-        initial = (TupleSet.singleton(t) for t in database.relation(anchor_name))
+        initial = (
+            TupleSet.singleton(t, catalog=catalog)
+            for t in database.relation(anchor_name)
+        )
     for tuple_set in initial:
-        incomplete.add(tuple_set)
+        incomplete.add(tuple_set.attach_catalog(catalog))
     if on_initialized is not None:
         on_initialized(incomplete, complete)
 
     iteration = 0
-    # Line 5: loop until Incomplete is exhausted.
-    while incomplete:
-        iteration += 1
-        result = get_next_result(
-            database, anchor_name, incomplete, complete, scanner, statistics
-        )
-        # Lines 7-8: print the result and remember it in Complete.
-        complete.add(result)
-        if statistics is not None:
-            statistics.results += 1
-            statistics.tuple_reads = scanner.tuple_reads
-            statistics.scan_passes = scanner.passes
-        if on_iteration is not None:
-            on_iteration(iteration, result, incomplete, complete)
-        yield result
+    try:
+        # Line 5: loop until Incomplete is exhausted.
+        while incomplete:
+            iteration += 1
+            result = get_next_result(
+                database, anchor_name, incomplete, complete, scanner, statistics
+            )
+            # Lines 7-8: print the result and remember it in Complete.
+            complete.add(result)
+            if statistics is not None:
+                statistics.results += 1
+                statistics.tuple_reads = scanner.tuple_reads
+                statistics.scan_passes = scanner.passes
+            if on_iteration is not None:
+                on_iteration(iteration, result, incomplete, complete)
+            yield result
+    finally:
+        # Record store counters on every exit — exhaustion, an abandoned
+        # generator (first-k retrieval) or an error — exactly once.
+        if owned_complete:
+            record_store_statistics(
+                statistics, ("incomplete", incomplete), ("complete", complete)
+            )
+        else:
+            # A shared Complete store is recorded by its owner, once.
+            record_store_statistics(statistics, ("incomplete", incomplete))

@@ -80,9 +80,11 @@ class RestrictedScanner:
         return self._inner.cost_summary()
 
 
-def singleton_sets(database: Database, anchor_name: str) -> List[TupleSet]:
+def singleton_sets(database: Database, anchor_name: str, catalog=None) -> List[TupleSet]:
     """The default initialization: ``{t}`` for every ``t ∈ R_i``."""
-    return [TupleSet.singleton(t) for t in database.relation(anchor_name)]
+    return [
+        TupleSet.singleton(t, catalog=catalog) for t in database.relation(anchor_name)
+    ]
 
 
 def covered_tuples(previous_results: Iterable[TupleSet], anchor_name: str) -> Set[Tuple]:
@@ -99,6 +101,7 @@ def previous_results_sets(
     database: Database,
     anchor_name: str,
     previous_results: Sequence[TupleSet],
+    catalog=None,
 ) -> List[TupleSet]:
     """Second strategy: previous results with an ``R_i`` tuple + uncovered singletons."""
     initial: List[TupleSet] = [
@@ -107,7 +110,7 @@ def previous_results_sets(
     covered = covered_tuples(previous_results, anchor_name)
     for t in database.relation(anchor_name):
         if t not in covered:
-            initial.append(TupleSet.singleton(t))
+            initial.append(TupleSet.singleton(t, catalog=catalog))
     return initial
 
 
@@ -135,6 +138,7 @@ def reduced_previous_sets(
     database: Database,
     anchor_name: str,
     previous_results: Sequence[TupleSet],
+    catalog=None,
 ) -> List[TupleSet]:
     """Third strategy: reduce previous results to later relations and re-extend them."""
     anchor_index = database.index_of(anchor_name)
@@ -161,7 +165,7 @@ def reduced_previous_sets(
     covered = covered_tuples(previous_results, anchor_name)
     for t in database.relation(anchor_name):
         if t not in covered:
-            candidates.append(TupleSet.singleton(t))
+            candidates.append(TupleSet.singleton(t, catalog=catalog))
 
     # Remove initial sets contained in another initial set (retains the O(f)
     # space bound, as the paper notes), and drop duplicates.
@@ -187,14 +191,19 @@ def initial_sets(
     database: Database,
     anchor_name: str,
     previous_results: Sequence[TupleSet],
+    catalog=None,
 ) -> List[TupleSet]:
-    """Dispatch to the initialization strategy named ``strategy``."""
+    """Dispatch to the initialization strategy named ``strategy``.
+
+    ``catalog`` interns the produced seed sets so a run started from them
+    stays on the bitset :class:`TupleSet` representation throughout.
+    """
     if strategy == "singletons":
-        return singleton_sets(database, anchor_name)
+        return singleton_sets(database, anchor_name, catalog=catalog)
     if strategy == "previous-results":
-        return previous_results_sets(database, anchor_name, previous_results)
+        return previous_results_sets(database, anchor_name, previous_results, catalog=catalog)
     if strategy == "reduced-previous":
-        return reduced_previous_sets(database, anchor_name, previous_results)
+        return reduced_previous_sets(database, anchor_name, previous_results, catalog=catalog)
     raise ValueError(
         f"unknown initialization strategy {strategy!r}; expected one of {STRATEGIES}"
     )

@@ -1,11 +1,21 @@
-"""The ``Complete`` and ``Incomplete`` containers used by the algorithms.
+"""Reference ``Complete``/``Incomplete`` containers (retained specification).
 
-The paper stores both as linked lists and, in Section 7, recommends replacing
-them with hash tables keyed by the member tuple of the anchor relation
-``R_i``, so that the subsumption test (Line 11) and the merge test (Line 14)
-of ``GetNextResult`` only scan the tuple sets that share the candidate's
-``R_i`` tuple.  Both behaviours are implemented here behind one interface so
-the optimization can be switched on and off (and measured — experiment E6).
+The paper stores both containers as linked lists and, in Section 7,
+recommends replacing them with hash tables keyed by the member tuple of the
+anchor relation ``R_i``.  The engine now runs on the unified, dual-indexed
+store subsystem in :mod:`repro.core.store` (anchor-tuple buckets plus
+relation-set groups, over the interned bitset
+:class:`~repro.core.tupleset.TupleSet` representation).
+
+This module keeps the original, straightforward implementations — the same
+public interface, backed by plain lists and single-level hash buckets.  They
+are retained deliberately:
+
+* as the executable reference the randomized equivalence tests
+  (``tests/core/test_tupleset_equivalence.py``) run side by side with the
+  indexed store, and
+* for callers and experiments that want the paper's literal linked-list
+  behaviour.
 
 Three containers are provided:
 
@@ -16,7 +26,8 @@ Three containers are provided:
 * :class:`PriorityIncompletePool` — the ``Incomplete_i`` priority queues of
   ``PriorityIncrementalFD``; extraction by highest rank.
 
-All containers count the tuple sets they scan, which the benchmarks use as a
+All containers count the tuple sets they scan in a :class:`PoolStatistics`
+(shared with :mod:`repro.core.store`), which the benchmarks use as a
 machine-independent work measure.
 """
 
@@ -29,11 +40,33 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional
 from repro.relational.tuples import Tuple
 from repro.core.tupleset import TupleSet
 
+__all__ = [
+    "PoolStatistics",
+    "CompleteStore",
+    "ListIncompletePool",
+    "PriorityIncompletePool",
+]
+
 
 class PoolStatistics:
-    """Work counters shared by all containers (used by the benchmark harness)."""
+    """Work counters shared by all containers (used by the benchmark harness).
 
-    __slots__ = ("sets_scanned", "additions", "removals", "replacements", "peak_size")
+    ``sets_scanned`` is the headline measure: the number of stored tuple sets
+    actually subjected to a subsumption or merge test.  ``bucket_probes``
+    counts hash-index buckets / relation-set groups inspected on the way, and
+    ``full_scans`` counts probes that traversed the whole container (no index
+    or no anchor available).
+    """
+
+    __slots__ = (
+        "sets_scanned",
+        "additions",
+        "removals",
+        "replacements",
+        "peak_size",
+        "bucket_probes",
+        "full_scans",
+    )
 
     def __init__(self) -> None:
         self.sets_scanned = 0
@@ -41,6 +74,8 @@ class PoolStatistics:
         self.removals = 0
         self.replacements = 0
         self.peak_size = 0
+        self.bucket_probes = 0
+        self.full_scans = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -49,6 +84,8 @@ class PoolStatistics:
             "removals": self.removals,
             "replacements": self.replacements,
             "peak_size": self.peak_size,
+            "bucket_probes": self.bucket_probes,
+            "full_scans": self.full_scans,
         }
 
     def __repr__(self) -> str:

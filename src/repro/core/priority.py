@@ -24,7 +24,7 @@ from typing import Iterator, List, Optional, Tuple as TupleType
 
 from repro.relational.database import Database
 from repro.core.incremental import FDStatistics, get_next_result
-from repro.core.pools import CompleteStore, PriorityIncompletePool
+from repro.core.store import CompleteStore, PriorityIncompletePool, record_store_statistics
 from repro.core.ranking import RankingFunction, enumerate_connected_subsets
 from repro.core.scanner import TupleScanner
 from repro.core.tupleset import TupleSet
@@ -69,10 +69,13 @@ def build_priority_pools(
 ) -> List[PriorityIncompletePool]:
     """Initialization of Fig. 3: one merged priority queue per relation."""
     ranking.require_monotonically_c_determined()
+    catalog = database.catalog()
     pools: List[PriorityIncompletePool] = []
     for relation in database.relations:
         pool = PriorityIncompletePool(relation.name, ranking, use_index=use_index)
-        for tuple_set in enumerate_connected_subsets(database, relation.name, ranking.c):
+        for tuple_set in enumerate_connected_subsets(
+            database, relation.name, ranking.c, catalog=catalog
+        ):
             pool.add(tuple_set)
         _merge_queue_members(pool)
         pools.append(pool)
@@ -123,8 +126,24 @@ def priority_incremental_fd(
     anchors = [relation.name for relation in database.relations]
     complete = CompleteStore(anchor_relation=None, use_index=use_index)
     scanner = TupleScanner(database)
-    printed = 0
 
+    try:
+        yield from _priority_loop(
+            database, ranking, pools, anchors, complete, scanner,
+            k, threshold, statistics,
+        )
+    finally:
+        # Record store counters on every exit — exhaustion, the k or
+        # threshold stop, or an abandoned generator — exactly once.
+        record_store_statistics(
+            statistics, ("complete", complete), *(("incomplete", p) for p in pools)
+        )
+
+
+def _priority_loop(
+    database, ranking, pools, anchors, complete, scanner, k, threshold, statistics
+):
+    printed = 0
     while True:
         # Lines 10-15: find the queue whose top has the highest rank.
         best_index = None

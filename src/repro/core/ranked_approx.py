@@ -27,7 +27,7 @@ from repro.relational.database import Database
 from repro.core.approx import approx_get_next_result
 from repro.core.approx_join import ApproximateJoinFunction
 from repro.core.incremental import FDStatistics
-from repro.core.pools import CompleteStore, PriorityIncompletePool
+from repro.core.store import CompleteStore, PriorityIncompletePool, record_store_statistics
 from repro.core.ranking import RankingFunction
 from repro.core.scanner import TupleScanner
 from repro.core.tupleset import TupleSet
@@ -42,6 +42,7 @@ def enumerate_qualifying_subsets(
     max_size: int,
     join_function: ApproximateJoinFunction,
     threshold: float,
+    catalog=None,
 ) -> Iterator[TupleSet]:
     """Connected tuple sets of size ≤ ``max_size`` containing an ``R_i`` tuple with ``A ≥ τ``.
 
@@ -53,7 +54,7 @@ def enumerate_qualifying_subsets(
     seen: Set[TupleSet] = set()
     frontier: List[TupleSet] = []
     for t in database.relation(anchor_name):
-        singleton = TupleSet.singleton(t)
+        singleton = TupleSet.singleton(t, catalog=catalog)
         if join_function(singleton) >= threshold:
             seen.add(singleton)
             frontier.append(singleton)
@@ -127,12 +128,13 @@ def ranked_approx_full_disjunction(
     if k == 0:
         return
 
+    catalog = database.catalog()
     pools: List[PriorityIncompletePool] = []
     anchors = [relation.name for relation in database.relations]
     for relation in database.relations:
         pool = PriorityIncompletePool(relation.name, ranking, use_index=use_index)
         for tuple_set in enumerate_qualifying_subsets(
-            database, relation.name, ranking.c, join_function, threshold
+            database, relation.name, ranking.c, join_function, threshold, catalog=catalog
         ):
             pool.add(tuple_set)
         _merge_queue_members(pool, join_function, threshold)
@@ -140,8 +142,34 @@ def ranked_approx_full_disjunction(
 
     complete = CompleteStore(anchor_relation=None, use_index=use_index)
     scanner = TupleScanner(database)
-    printed = 0
 
+    try:
+        yield from _ranked_approx_loop(
+            database, join_function, threshold, ranking, pools, anchors,
+            complete, scanner, k, rank_threshold, statistics,
+        )
+    finally:
+        # Record store counters on every exit — exhaustion, the k or
+        # rank-threshold stop, or an abandoned generator — exactly once.
+        record_store_statistics(
+            statistics, ("complete", complete), *(("incomplete", p) for p in pools)
+        )
+
+
+def _ranked_approx_loop(
+    database,
+    join_function,
+    threshold,
+    ranking,
+    pools,
+    anchors,
+    complete,
+    scanner,
+    k,
+    rank_threshold,
+    statistics,
+):
+    printed = 0
     while True:
         best_index = None
         best_score = None

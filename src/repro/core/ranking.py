@@ -189,6 +189,7 @@ def enumerate_connected_subsets(
     database: Database,
     anchor_name: str,
     max_size: int,
+    catalog=None,
 ) -> Iterator[TupleSet]:
     """Enumerate every JCC tuple set of size at most ``max_size`` containing a tuple of ``R_i``.
 
@@ -202,7 +203,7 @@ def enumerate_connected_subsets(
     seen = set()
     frontier: List[TupleSet] = []
     for t in database.relation(anchor_name):
-        singleton = TupleSet.singleton(t)
+        singleton = TupleSet.singleton(t, catalog=catalog)
         seen.add(singleton)
         frontier.append(singleton)
         yield singleton

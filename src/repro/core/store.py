@@ -1,0 +1,204 @@
+"""Indexed ``Complete``/``Incomplete`` store layer (Section 7).
+
+The paper stores both containers as linked lists and, in Section 7,
+recommends replacing them with hash tables keyed by the member tuple of the
+anchor relation ``R_i``, so that the subsumption test (Line 11) and the merge
+test (Line 14) of ``GetNextResult`` only scan the tuple sets that share the
+candidate's ``R_i`` tuple.  This module is the engine's unified store
+subsystem implementing that recommendation on top of the interned
+:class:`~repro.core.tupleset.TupleSet` representation:
+
+* :class:`CompleteStore` — already-printed results.  Stored sets are indexed
+  **twice**: by every member tuple (the Section 7 hash index) and, within
+  each bucket, by their relation set.  A superset probe therefore touches
+  only the bucket of its anchor tuple, skips whole relation-set groups that
+  cannot contain a superset, and decides each remaining candidate with one
+  bitmask comparison.
+* :class:`ListIncompletePool` / :class:`PriorityIncompletePool` — the
+  ``Incomplete`` containers, extending the reference implementations in
+  :mod:`repro.core.pools` (which own the paper's positional and heap
+  semantics) with the instrumented anchor-bucket merge probe.
+
+:class:`CompleteStore` is a from-scratch reimplementation — its probe
+strategy genuinely differs from the reference — while the two pools
+deliberately *subclass* the reference classes so the extraction semantics
+exist in exactly one place.  All containers fill in a
+:class:`~repro.core.pools.PoolStatistics`, the machine-independent work
+measure the benchmarks (E1, E6) report: ``sets_scanned`` counts subset/merge
+tests actually performed, ``bucket_probes`` counts index buckets and
+relation-set groups inspected, and ``full_scans`` counts probes that had to
+fall back to a full traversal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional
+
+from repro.relational.tuples import Tuple
+from repro.core.pools import (
+    ListIncompletePool as _ReferenceListIncompletePool,
+    PoolStatistics,
+    PriorityIncompletePool as _ReferencePriorityIncompletePool,
+)
+from repro.core.tupleset import TupleSet
+
+__all__ = [
+    "PoolStatistics",
+    "CompleteStore",
+    "ListIncompletePool",
+    "PriorityIncompletePool",
+    "record_store_statistics",
+]
+
+
+class CompleteStore:
+    """The ``Complete`` list: results already printed, dual-indexed.
+
+    Parameters
+    ----------
+    anchor_relation:
+        Name of the relation ``R_i`` whose member tuple keys the hash index.
+        Only used when ``use_index`` is true.  In the priority algorithm the
+        store is shared by all indexes; the superset probe then passes the
+        anchor tuple explicitly.
+    use_index:
+        When true, stored sets are hashed by *every* member tuple (Section 7)
+        and grouped by relation set within each bucket; superset probes are
+        restricted to the bucket of the probe's anchor tuple and to the
+        groups whose relation set contains the probe's.
+    """
+
+    def __init__(self, anchor_relation: Optional[str] = None, use_index: bool = False):
+        self._anchor_relation = anchor_relation
+        self._use_index = use_index
+        self._sets: List[TupleSet] = []
+        self._members = set()
+        # tuple -> relation set -> stored sets holding that tuple.
+        self._buckets: Dict[Tuple, Dict[FrozenSet[str], List[TupleSet]]] = {}
+        self.statistics = PoolStatistics()
+
+    def __len__(self) -> int:
+        return len(self._sets)
+
+    def __iter__(self) -> Iterator[TupleSet]:
+        return iter(self._sets)
+
+    def __contains__(self, tuple_set: TupleSet) -> bool:
+        return tuple_set in self._members
+
+    def add(self, tuple_set: TupleSet) -> None:
+        """Store a printed result."""
+        self._sets.append(tuple_set)
+        self._members.add(tuple_set)
+        self.statistics.additions += 1
+        self.statistics.peak_size = max(self.statistics.peak_size, len(self._sets))
+        if self._use_index:
+            relations = tuple_set.relations
+            for t in tuple_set:
+                self._buckets.setdefault(t, {}).setdefault(relations, []).append(tuple_set)
+
+    def contains_superset(self, probe: TupleSet, anchor: Optional[Tuple] = None) -> bool:
+        """Line 11 of ``GetNextResult``: is ``probe`` contained in a stored set?"""
+        if self._use_index:
+            key = anchor
+            if key is None and self._anchor_relation is not None:
+                key = probe.tuple_from(self._anchor_relation)
+            if key is not None:
+                groups = self._buckets.get(key)
+                if not groups:
+                    return False
+                probe_relations = probe.relations
+                for relations, group in groups.items():
+                    self.statistics.bucket_probes += 1
+                    # A stored set can only contain the probe when its
+                    # relation set contains the probe's.
+                    if not probe_relations <= relations:
+                        continue
+                    for stored in group:
+                        self.statistics.sets_scanned += 1
+                        if probe.issubset(stored):
+                            return True
+                return False
+            # Fall back to a full scan when no anchor tuple is available.
+        self.statistics.full_scans += 1
+        for stored in self._sets:
+            self.statistics.sets_scanned += 1
+            if probe.issubset(stored):
+                return True
+        return False
+
+    def as_list(self) -> List[TupleSet]:
+        """The stored sets in insertion (printing) order."""
+        return list(self._sets)
+
+
+class ListIncompletePool(_ReferenceListIncompletePool):
+    """The reference ``Incomplete`` list with an instrumented merge probe.
+
+    Extraction, insertion and replacement semantics are inherited verbatim
+    from :class:`repro.core.pools.ListIncompletePool`; only the Line 14
+    probe is overridden to count bucket probes and full-scan fallbacks.
+    """
+
+    def candidates(self, probe: TupleSet) -> List[TupleSet]:
+        """Member sets that might merge with ``probe`` (Line 14 probe).
+
+        With the index enabled only the bucket of ``probe``'s anchor tuple is
+        returned; a set with a different ``R_i`` tuple can never merge with
+        ``probe`` because their union would hold two tuples of ``R_i``.
+        """
+        if self._use_index:
+            anchor = self._anchor_of(probe)
+            if anchor is not None:
+                self.statistics.bucket_probes += 1
+                bucket = list(self._buckets.get(anchor, ()))
+                self.statistics.sets_scanned += len(bucket)
+                return bucket
+        self.statistics.full_scans += 1
+        live = list(self._items)
+        self.statistics.sets_scanned += len(live)
+        return live
+
+
+class PriorityIncompletePool(_ReferencePriorityIncompletePool):
+    """The reference priority ``Incomplete_i`` queue with an instrumented probe.
+
+    Rank extraction and tie-breaking are inherited verbatim from
+    :class:`repro.core.pools.PriorityIncompletePool`; only the Line 14 probe
+    is overridden to count bucket probes and full-scan fallbacks.
+    """
+
+    def candidates(self, probe: TupleSet) -> List[TupleSet]:
+        """Member sets that might merge with ``probe`` (see :class:`ListIncompletePool`)."""
+        if self._use_index:
+            anchor = self._anchor_of(probe)
+            if anchor is not None:
+                self.statistics.bucket_probes += 1
+                bucket = [s for s in self._buckets.get(anchor, ()) if s in self._members]
+                self.statistics.sets_scanned += len(bucket)
+                return bucket
+        self.statistics.full_scans += 1
+        live = list(self._members)
+        self.statistics.sets_scanned += len(live)
+        return live
+
+
+def record_store_statistics(statistics, *containers) -> None:
+    """Accumulate container counters into ``FDStatistics.extras``.
+
+    ``statistics`` is an :class:`~repro.core.incremental.FDStatistics` (or
+    anything with an ``extras`` dict); the benchmark tables (E1, E6) read the
+    aggregated ``*_sets_scanned`` keys from there.  Containers may be passed
+    as ``(prefix, container)`` pairs or bare (the class name is used).
+    """
+    if statistics is None:
+        return
+    for entry in containers:
+        if isinstance(entry, tuple):
+            prefix, container = entry
+        else:
+            container = entry
+            prefix = type(container).__name__.lower()
+        for key, value in container.statistics.as_dict().items():
+            name = f"{prefix}_{key}"
+            statistics.extras[name] = statistics.extras.get(name, 0) + value

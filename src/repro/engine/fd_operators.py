@@ -49,6 +49,10 @@ class _StreamingScan(Operator):
 
     def open(self) -> None:
         super().open()
+        # Build (or reuse) the interned catalog before streaming starts, so
+        # the first call to next() pays only for the algorithm, not for the
+        # one-off precomputation of the join-consistency bitmatrices.
+        self._database.catalog()
         self._stream = self._make_stream()
 
     def close(self) -> None:

@@ -3,7 +3,10 @@
 This package provides a small, self-contained in-memory relational layer:
 null-tolerant tuples, relations, databases with their relation-connection
 graph, classic operators (including the full outerjoin needed by the
-Rajaraman–Ullman baseline), attribute indexes and CSV loading.
+Rajaraman–Ullman baseline), attribute indexes, CSV loading, and the interned
+:class:`Catalog` of dense tuple/relation ids with precomputed
+join-consistency and schema-adjacency bitmatrices that the bitset
+:class:`~repro.core.tupleset.TupleSet` representation runs on.
 
 The layer is deliberately independent of the algorithms in
 :mod:`repro.core`; it is the "database system" substrate the paper assumes.
@@ -21,6 +24,7 @@ from repro.relational.schema import Schema
 from repro.relational.tuples import Tuple
 from repro.relational.relation import Relation
 from repro.relational.database import Database
+from repro.relational.catalog import Catalog
 from repro.relational.index import AttributeIndex, AttributePositions
 from repro.relational import operators
 from repro.relational import csv_io
@@ -38,6 +42,7 @@ __all__ = [
     "Tuple",
     "Relation",
     "Database",
+    "Catalog",
     "AttributeIndex",
     "AttributePositions",
     "operators",

@@ -1,0 +1,268 @@
+"""The interned tuple catalog: dense ids and precomputed bitmatrices.
+
+The inner loops of ``GetNextResult`` (subsumption at Line 11, merge at
+Line 14, maximal extension at Lines 2-6) spend their time deciding, over and
+over, whether pairs of tuples are join consistent and whether sets of
+relations are connected.  Both facts are properties of the *database*, not of
+the tuple sets being assembled, so they can be computed once.
+
+A :class:`Catalog` is built from a :class:`~repro.relational.database.Database`
+and assigns
+
+* each relation a dense integer id (its position in database order), and
+* each tuple a dense global id (its position in database scan order),
+
+then precomputes two bitmatrices over those ids:
+
+* the **join-consistency matrix**: for every tuple ``t``, the bitmask of the
+  tuples ``t'`` (of other relations) such that ``{t, t'}`` is join consistent.
+  Tuples of relations that share no attribute are vacuously consistent;
+  distinct tuples of the *same* relation are never marked consistent, because
+  they can never coexist in a connected tuple set (condition (i) of the JCC
+  definition) — this convention lets set-level tests reduce to single ``AND``
+  operations;
+* the **schema-adjacency matrix**: for every relation, the bitmask of the
+  relations whose schemas share an attribute with it.
+
+With these in hand, :class:`~repro.core.tupleset.TupleSet` represents a set as
+a pair of integer bitmasks (tuple ids, relation ids) and the paper's hot-path
+predicates become a handful of bitwise operations — see
+:mod:`repro.core.tupleset` for the operation-by-operation mapping.
+
+Catalogs are immutable snapshots: :meth:`Database.catalog()
+<repro.relational.database.Database.catalog>` caches one per database and
+rebuilds it when relations or tuples have been added since.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple as TupleType
+
+from repro.relational.database import Database
+from repro.relational.tuples import Tuple
+
+
+class Catalog:
+    """Dense ids and precomputed bitmatrices for one database snapshot."""
+
+    __slots__ = (
+        "_relation_ids",
+        "_relation_names",
+        "_relation_adjacency",
+        "_relation_tuples",
+        "_tuple_ids",
+        "_tuples",
+        "_tuple_relation",
+        "_consistent",
+        "_all_tuples_mask",
+        "_connected_cache",
+    )
+
+    def __init__(self, database: Database):
+        relations = list(database.relations)
+        self._relation_ids: Dict[str, int] = {}
+        self._relation_names: List[str] = []
+        for rid, relation in enumerate(relations):
+            self._relation_ids[relation.name] = rid
+            self._relation_names.append(relation.name)
+
+        count = len(relations)
+        adjacency = [0] * count
+        for i in range(count):
+            for j in range(i + 1, count):
+                if relations[i].schema.connects_to(relations[j].schema):
+                    adjacency[i] |= 1 << j
+                    adjacency[j] |= 1 << i
+        self._relation_adjacency = adjacency
+
+        tuple_ids: Dict[Tuple, int] = {}
+        tuples: List[Tuple] = []
+        tuple_relation: List[int] = []
+        relation_tuples = [0] * count
+        for rid, relation in enumerate(relations):
+            for t in relation:
+                gid = len(tuples)
+                tuple_ids[t] = gid
+                tuples.append(t)
+                tuple_relation.append(rid)
+                relation_tuples[rid] |= 1 << gid
+        self._tuple_ids = tuple_ids
+        self._tuples = tuples
+        self._tuple_relation = tuple_relation
+        self._relation_tuples = relation_tuples
+        self._all_tuples_mask = (1 << len(tuples)) - 1
+
+        # Join-consistency bitmatrix.  Tuples of non-adjacent distinct
+        # relations share no attribute and are vacuously join consistent;
+        # tuples of adjacent relations are tested pairwise; distinct tuples of
+        # one relation are never consistent (see the module docstring).
+        consistent = [0] * len(tuples)
+        for i in range(count):
+            vacuous = 0
+            for j in range(count):
+                if j != i and not (adjacency[i] >> j) & 1:
+                    vacuous |= relation_tuples[j]
+            if vacuous:
+                members = relation_tuples[i]
+                while members:
+                    low = members & -members
+                    consistent[low.bit_length() - 1] |= vacuous
+                    members ^= low
+        for i in range(count):
+            for j in range(i + 1, count):
+                if not (adjacency[i] >> j) & 1:
+                    continue
+                for first in relations[i]:
+                    first_id = tuple_ids[first]
+                    for second in relations[j]:
+                        if first.join_consistent_with(second):
+                            second_id = tuple_ids[second]
+                            consistent[first_id] |= 1 << second_id
+                            consistent[second_id] |= 1 << first_id
+        self._consistent = consistent
+        self._connected_cache: Dict[int, bool] = {1: True} if count else {}
+
+    # ------------------------------------------------------------------ #
+    # sizes
+    # ------------------------------------------------------------------ #
+    @property
+    def relation_count(self) -> int:
+        """Number of catalogued relations."""
+        return len(self._relation_names)
+
+    @property
+    def tuple_count(self) -> int:
+        """Number of catalogued tuples."""
+        return len(self._tuples)
+
+    # ------------------------------------------------------------------ #
+    # id assignment
+    # ------------------------------------------------------------------ #
+    def relation_id(self, name: str) -> int:
+        """The dense id of the relation named ``name``."""
+        return self._relation_ids[name]
+
+    def relation_name(self, rid: int) -> str:
+        """The name of the relation with id ``rid``."""
+        return self._relation_names[rid]
+
+    def id_of(self, t: Tuple) -> Optional[int]:
+        """The global id of ``t``, or ``None`` when ``t`` is not catalogued."""
+        return self._tuple_ids.get(t)
+
+    def tuple_at(self, gid: int) -> Tuple:
+        """The tuple with global id ``gid``."""
+        return self._tuples[gid]
+
+    def describe(self, t: Tuple) -> Optional[TupleType[int, int, int]]:
+        """Return ``(gid, relation_bit, adjacent_relations)`` for ``t``.
+
+        ``None`` when ``t`` is not catalogued — callers fall back to the
+        uninterned representation in that case.
+        """
+        gid = self._tuple_ids.get(t)
+        if gid is None:
+            return None
+        rid = self._tuple_relation[gid]
+        return gid, 1 << rid, self._relation_adjacency[rid]
+
+    # ------------------------------------------------------------------ #
+    # bitmatrix access
+    # ------------------------------------------------------------------ #
+    def consistent_mask(self, gid: int) -> int:
+        """Bitmask of the tuples join consistent with tuple ``gid`` (other relations only)."""
+        return self._consistent[gid]
+
+    def pair_consistent(self, first: int, second: int) -> bool:
+        """Join consistency of a catalogued tuple pair (by global ids)."""
+        return bool((self._consistent[first] >> second) & 1)
+
+    def relation_of_tuple(self, gid: int) -> int:
+        """The relation id of tuple ``gid``."""
+        return self._tuple_relation[gid]
+
+    def relation_tuples_mask(self, rid: int) -> int:
+        """Bitmask of the tuples belonging to relation ``rid``."""
+        return self._relation_tuples[rid]
+
+    def adjacency_mask(self, rid: int) -> int:
+        """Bitmask of the relations whose schemas share an attribute with ``rid``."""
+        return self._relation_adjacency[rid]
+
+    def tuples_in_relations(self, relation_mask: int) -> int:
+        """Bitmask of all tuples whose relation bit is set in ``relation_mask``."""
+        mask = 0
+        while relation_mask:
+            low = relation_mask & -relation_mask
+            mask |= self._relation_tuples[low.bit_length() - 1]
+            relation_mask ^= low
+        return mask
+
+    def relation_mask_of(self, id_mask: int) -> int:
+        """Bitmask of the relations represented in the tuple bitmask ``id_mask``."""
+        relation_mask = 0
+        while id_mask:
+            low = id_mask & -id_mask
+            relation_mask |= 1 << self._tuple_relation[low.bit_length() - 1]
+            id_mask ^= low
+        return relation_mask
+
+    def tuples_of_mask(self, id_mask: int) -> List[Tuple]:
+        """Materialise the tuples of a tuple bitmask, in global-id order."""
+        members: List[Tuple] = []
+        while id_mask:
+            low = id_mask & -id_mask
+            members.append(self._tuples[low.bit_length() - 1])
+            id_mask ^= low
+        return members
+
+    def mask_of(self, tuples: Iterable[Tuple]) -> Optional[int]:
+        """The tuple bitmask of an iterable of tuples, or ``None`` if any is unknown."""
+        mask = 0
+        ids = self._tuple_ids
+        for t in tuples:
+            gid = ids.get(t)
+            if gid is None:
+                return None
+            mask |= 1 << gid
+        return mask
+
+    # ------------------------------------------------------------------ #
+    # connectivity over the relation graph
+    # ------------------------------------------------------------------ #
+    def relation_component(self, start_rid: int, relation_mask: int) -> int:
+        """Relations reachable from ``start_rid`` within ``relation_mask`` (as a bitmask).
+
+        ``start_rid`` is always part of the component, whether or not its bit
+        is set in ``relation_mask`` (mirrors
+        :meth:`Database.connected_component`).
+        """
+        adjacency = self._relation_adjacency
+        seen = 1 << start_rid
+        allowed = relation_mask | seen
+        frontier = seen
+        while frontier:
+            reached = 0
+            remaining = frontier
+            while remaining:
+                low = remaining & -remaining
+                reached |= adjacency[low.bit_length() - 1]
+                remaining ^= low
+            frontier = reached & allowed & ~seen
+            seen |= frontier
+        return seen
+
+    def relations_connected(self, relation_mask: int) -> bool:
+        """Connectivity of the relation sub-graph induced by ``relation_mask``.
+
+        The empty mask and singletons are connected.  Results are memoised —
+        the engine asks about the same handful of masks millions of times.
+        """
+        if relation_mask == 0 or relation_mask & (relation_mask - 1) == 0:
+            return True
+        cached = self._connected_cache.get(relation_mask)
+        if cached is None:
+            start = (relation_mask & -relation_mask).bit_length() - 1
+            cached = self.relation_component(start, relation_mask) == relation_mask
+            self._connected_cache[relation_mask] = cached
+        return cached

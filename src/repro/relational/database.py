@@ -29,6 +29,8 @@ class Database:
         self._relations: List[Relation] = []
         self._by_name: Dict[str, Relation] = {}
         self._adjacency: Dict[str, Set[str]] = {}
+        self._catalog_cache = None
+        self._catalog_key = None
         for relation in relations:
             self.add_relation(relation)
 
@@ -124,6 +126,26 @@ class Database:
                 if t.label == label:
                     return t
         raise DatabaseError(f"no tuple labelled {label!r} in the database")
+
+    # ------------------------------------------------------------------ #
+    # interned catalog
+    # ------------------------------------------------------------------ #
+    def catalog(self):
+        """The interned :class:`~repro.relational.catalog.Catalog` of this database.
+
+        The catalog assigns dense relation and tuple ids and precomputes the
+        join-consistency and schema-adjacency bitmatrices the bitset
+        :class:`~repro.core.tupleset.TupleSet` representation runs on.  It is
+        a snapshot: the cached instance is rebuilt when relations or tuples
+        have been added since it was taken (tuples themselves are immutable).
+        """
+        from repro.relational.catalog import Catalog
+
+        key = (len(self._relations), self.tuple_count())
+        if self._catalog_cache is None or self._catalog_key != key:
+            self._catalog_cache = Catalog(self)
+            self._catalog_key = key
+        return self._catalog_cache
 
     # ------------------------------------------------------------------ #
     # connection graph

@@ -1,0 +1,167 @@
+"""Randomized cross-checks: bitset (interned) representation vs. the reference.
+
+The bitset ``TupleSet`` fast paths and the indexed store layer must be
+observationally identical to the retained reference implementations — the
+uninterned dictionary/BFS paths of :class:`repro.core.tupleset.TupleSet` and
+the plain containers of :mod:`repro.core.pools`.  These tests generate random
+workloads and compare the two side by side, operation by operation and
+end to end.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.incremental import get_next_result
+from repro.core.full_disjunction import full_disjunction
+from repro.core.pools import (
+    CompleteStore as ReferenceCompleteStore,
+    ListIncompletePool as ReferenceIncompletePool,
+)
+from repro.core.scanner import TupleScanner
+from repro.core.tupleset import TupleSet
+from repro.workloads.generators import chain_database, random_database, star_database
+from repro.workloads.tourist import tourist_database
+
+
+def _workloads():
+    yield "tourist", tourist_database()
+    yield "chain", chain_database(
+        relations=3, tuples_per_relation=5, domain_size=3, null_rate=0.2, seed=7
+    )
+    yield "star", star_database(spokes=3, tuples_per_relation=4, hub_domain=2, seed=11)
+    for seed in (0, 1, 2):
+        yield f"random-{seed}", random_database(
+            relations=3,
+            attributes=5,
+            arity=3,
+            tuples_per_relation=4,
+            domain_size=2,
+            null_rate=0.25,
+            seed=seed,
+        )
+
+
+WORKLOADS = list(_workloads())
+WORKLOAD_IDS = [name for name, _ in WORKLOADS]
+
+
+def _random_subset(rng, all_tuples, max_size=5):
+    size = rng.randint(0, min(len(all_tuples), max_size))
+    return rng.sample(all_tuples, size)
+
+
+def _random_jcc_set(rng, all_tuples):
+    """Grow a JCC set greedily on the reference (uninterned) path."""
+    current = TupleSet.singleton(rng.choice(all_tuples))
+    for t in rng.sample(all_tuples, len(all_tuples)):
+        if rng.random() < 0.6 and current.can_absorb(t):
+            current = current.with_tuple(t)
+    return current
+
+
+@pytest.mark.parametrize("name,database", WORKLOADS, ids=WORKLOAD_IDS)
+def test_predicates_match_reference_on_random_subsets(name, database):
+    catalog = database.catalog()
+    all_tuples = list(database.tuples())
+    rng = random.Random(42)
+    for _ in range(120):
+        members = _random_subset(rng, all_tuples)
+        reference = TupleSet(members)
+        interned = TupleSet(members, catalog=catalog)
+        assert interned.is_interned
+        assert interned == reference
+        assert interned.is_join_consistent == reference.is_join_consistent
+        assert interned.is_connected == reference.is_connected
+        assert interned.is_jcc == reference.is_jcc
+
+
+@pytest.mark.parametrize("name,database", WORKLOADS, ids=WORKLOAD_IDS)
+def test_subset_relations_match_reference(name, database):
+    catalog = database.catalog()
+    all_tuples = list(database.tuples())
+    rng = random.Random(7)
+    for _ in range(80):
+        first = _random_subset(rng, all_tuples)
+        second = _random_subset(rng, all_tuples)
+        if rng.random() < 0.3:
+            second = first + second  # force genuine subset pairs regularly
+        plain_a, plain_b = TupleSet(first), TupleSet(second)
+        bits_a = TupleSet(first, catalog=catalog)
+        bits_b = TupleSet(second, catalog=catalog)
+        assert bits_a.issubset(bits_b) == plain_a.issubset(plain_b)
+        assert bits_a.issuperset(bits_b) == plain_a.issuperset(plain_b)
+        # Mixed representations must agree too (they fall back to tuples).
+        assert bits_a.issubset(plain_b) == plain_a.issubset(plain_b)
+
+
+@pytest.mark.parametrize("name,database", WORKLOADS, ids=WORKLOAD_IDS)
+def test_inner_loop_tests_match_reference_on_jcc_sets(name, database):
+    catalog = database.catalog()
+    all_tuples = list(database.tuples())
+    rng = random.Random(99)
+    jcc_sets = [_random_jcc_set(rng, all_tuples) for _ in range(25)]
+    interned_sets = [TupleSet(ts.tuples, catalog=catalog) for ts in jcc_sets]
+
+    for reference, interned in zip(jcc_sets, interned_sets):
+        for t in all_tuples:
+            assert interned.can_absorb(t) == reference.can_absorb(t), (
+                f"can_absorb diverges on {t!r} against {reference!r}"
+            )
+            assert (
+                interned.maximal_jcc_subset_with(t).tuples
+                == reference.maximal_jcc_subset_with(t).tuples
+            ), f"maximal_jcc_subset_with diverges on {t!r} against {reference!r}"
+
+    for i, (ref_a, bits_a) in enumerate(zip(jcc_sets, interned_sets)):
+        for ref_b, bits_b in zip(jcc_sets[i:], interned_sets[i:]):
+            assert bits_a.union_is_jcc(bits_b) == ref_a.union_is_jcc(ref_b), (
+                f"union_is_jcc diverges on {ref_a!r} vs {ref_b!r}"
+            )
+
+
+def _reference_full_disjunction(database):
+    """The FD(R) driver run entirely on the reference pools and uninterned sets."""
+    results = []
+    for index, relation in enumerate(database.relations):
+        earlier = {r.name for r in database.relations[:index]}
+        scanner = TupleScanner(database)
+        incomplete = ReferenceIncompletePool(relation.name)
+        for t in relation:
+            incomplete.add(TupleSet.singleton(t))
+        complete = ReferenceCompleteStore(relation.name)
+        while incomplete:
+            result = get_next_result(
+                database, relation.name, incomplete, complete, scanner
+            )
+            complete.add(result)
+            if any(result.contains_tuple_from(name) for name in earlier):
+                continue
+            results.append(result)
+    return results
+
+
+@pytest.mark.parametrize("name,database", WORKLOADS, ids=WORKLOAD_IDS)
+@pytest.mark.parametrize("use_index", [False, True], ids=["plain", "indexed"])
+def test_engine_output_matches_reference_run(name, database, use_index):
+    reference = {ts.tuples for ts in _reference_full_disjunction(database)}
+    engine = {ts.tuples for ts in full_disjunction(database, use_index=use_index)}
+    assert engine == reference
+
+
+def test_tourist_table2_output_is_unchanged():
+    """The paper's Table 2 workload: the six known result sets, exactly."""
+    database = tourist_database()
+    expected = {
+        frozenset({"c1", "a1"}),
+        frozenset({"c1", "a2", "s1"}),
+        frozenset({"c1", "s2"}),
+        frozenset({"c2", "s3"}),
+        frozenset({"c2", "s4"}),
+        frozenset({"c3", "a3"}),
+    }
+    for use_index in (False, True):
+        produced = {ts.labels() for ts in full_disjunction(database, use_index=use_index)}
+        assert produced == expected

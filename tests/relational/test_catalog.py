@@ -1,0 +1,150 @@
+"""Tests of the interned tuple catalog and its precomputed bitmatrices."""
+
+from __future__ import annotations
+
+from repro.relational.catalog import Catalog
+from repro.relational.relation import Relation
+from repro.workloads.generators import random_database
+from repro.workloads.tourist import tourist_database
+
+
+class TestIdAssignment:
+    def test_dense_relation_ids_follow_database_order(self, tourist_db):
+        catalog = tourist_db.catalog()
+        assert [catalog.relation_name(rid) for rid in range(catalog.relation_count)] == (
+            tourist_db.relation_names
+        )
+        for rid, name in enumerate(tourist_db.relation_names):
+            assert catalog.relation_id(name) == rid
+
+    def test_dense_tuple_ids_follow_scan_order(self, tourist_db):
+        catalog = tourist_db.catalog()
+        for gid, t in enumerate(tourist_db.tuples()):
+            assert catalog.id_of(t) == gid
+            assert catalog.tuple_at(gid) == t
+        assert catalog.tuple_count == tourist_db.tuple_count()
+
+    def test_unknown_tuple_is_not_catalogued(self, tourist_db, two_relation_db):
+        catalog = tourist_db.catalog()
+        foreign = next(iter(two_relation_db.tuples()))
+        assert catalog.id_of(foreign) is None
+        assert catalog.describe(foreign) is None
+        assert catalog.mask_of([foreign]) is None
+
+    def test_mask_roundtrip(self, tourist_db):
+        catalog = tourist_db.catalog()
+        members = [tourist_db.tuple_by_label(label) for label in ("c1", "a2", "s1")]
+        mask = catalog.mask_of(members)
+        assert catalog.tuples_of_mask(mask) == sorted(members, key=catalog.id_of)
+
+
+class TestBitmatrices:
+    def test_adjacency_matches_database_graph(self, tourist_db):
+        catalog = tourist_db.catalog()
+        for name in tourist_db.relation_names:
+            rid = catalog.relation_id(name)
+            adjacent = {
+                catalog.relation_name(other)
+                for other in range(catalog.relation_count)
+                if (catalog.adjacency_mask(rid) >> other) & 1
+            }
+            assert adjacent == tourist_db.neighbours(name)
+
+    def test_consistency_matrix_matches_pairwise_test(self, tourist_db):
+        catalog = tourist_db.catalog()
+        tuples = list(tourist_db.tuples())
+        for first in tuples:
+            for second in tuples:
+                expected = (
+                    first != second
+                    and first.relation_name != second.relation_name
+                    and first.join_consistent_with(second)
+                )
+                actual = catalog.pair_consistent(
+                    catalog.id_of(first), catalog.id_of(second)
+                )
+                assert actual == expected, f"({first!r}, {second!r})"
+
+    def test_consistency_matrix_on_random_database(self):
+        database = random_database(
+            relations=3, tuples_per_relation=4, null_rate=0.3, seed=5
+        )
+        catalog = database.catalog()
+        tuples = list(database.tuples())
+        for first in tuples:
+            for second in tuples:
+                expected = (
+                    first != second
+                    and first.relation_name != second.relation_name
+                    and first.join_consistent_with(second)
+                )
+                assert (
+                    catalog.pair_consistent(catalog.id_of(first), catalog.id_of(second))
+                    == expected
+                )
+
+
+class TestConnectivity:
+    def _mask(self, catalog, names):
+        mask = 0
+        for name in names:
+            mask |= 1 << catalog.relation_id(name)
+        return mask
+
+    def test_relations_connected_matches_database(self, tourist_db):
+        catalog = tourist_db.catalog()
+        names = tourist_db.relation_names
+        subsets = [
+            [],
+            [names[0]],
+            names[:2],
+            names[1:],
+            names,
+        ]
+        for subset in subsets:
+            assert catalog.relations_connected(self._mask(catalog, subset)) == (
+                tourist_db.is_connected(subset)
+            )
+
+    def test_relation_component_matches_database(self, tourist_db):
+        catalog = tourist_db.catalog()
+        names = tourist_db.relation_names
+        for start in names:
+            for subset in (names, names[:2], [start]):
+                expected = tourist_db.connected_component(start, subset)
+                component = catalog.relation_component(
+                    catalog.relation_id(start), self._mask(catalog, subset)
+                )
+                produced = {
+                    catalog.relation_name(rid)
+                    for rid in range(catalog.relation_count)
+                    if (component >> rid) & 1
+                }
+                assert produced == expected
+
+
+class TestCaching:
+    def test_catalog_is_cached_per_snapshot(self, tourist_db):
+        assert tourist_db.catalog() is tourist_db.catalog()
+
+    def test_catalog_rebuilds_after_tuple_added(self, tourist_db):
+        before = tourist_db.catalog()
+        tourist_db.relation("Climates").add(["Peru", "arid"])
+        after = tourist_db.catalog()
+        assert after is not before
+        assert after.tuple_count == before.tuple_count + 1
+
+    def test_catalog_rebuilds_after_relation_added(self, tourist_db):
+        before = tourist_db.catalog()
+        extra = Relation("Extra", ["Country", "Visa"], label_prefix="x")
+        extra.add(["France", "no"])
+        tourist_db.add_relation(extra)
+        after = tourist_db.catalog()
+        assert after is not before
+        assert after.relation_count == before.relation_count + 1
+
+    def test_direct_construction_equals_cached(self, tourist_db):
+        direct = Catalog(tourist_db)
+        cached = tourist_db.catalog()
+        assert direct.tuple_count == cached.tuple_count
+        assert direct.relation_count == cached.relation_count
