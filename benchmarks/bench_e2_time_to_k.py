@@ -11,7 +11,9 @@ batch baseline's time-to-first-answer equals its total time by construction.
 import time
 
 from repro.baselines.batch import batch_full_disjunction
+from repro.bench.reporting import probe_counters
 from repro.core.full_disjunction import first_k, full_disjunction
+from repro.core.incremental import FDStatistics
 from repro.workloads.generators import star_database
 
 K_VALUES = (1, 5, 25, 100)
@@ -20,8 +22,9 @@ K_VALUES = (1, 5, 25, 100)
 def test_e2_time_to_first_k_answers(benchmark, report_table):
     database = star_database(spokes=5, tuples_per_relation=6, hub_domain=2, seed=0)
 
+    total_statistics = FDStatistics()
     total_started = time.perf_counter()
-    full_result = full_disjunction(database, use_index=True)
+    full_result = full_disjunction(database, use_index=True, statistics=total_statistics)
     incremental_total = time.perf_counter() - total_started
 
     batch_started = time.perf_counter()
@@ -31,31 +34,39 @@ def test_e2_time_to_first_k_answers(benchmark, report_table):
 
     rows = []
     for k in K_VALUES:
+        statistics = FDStatistics()
         started = time.perf_counter()
-        prefix = first_k(database, k, use_index=True)
+        prefix = first_k(database, k, use_index=True, statistics=statistics)
         elapsed = time.perf_counter() - started
         assert len(prefix) == min(k, len(full_result))
+        bucket_probes, full_scans = probe_counters(statistics)
         rows.append(
             [
                 k,
                 f"{elapsed:.4f}",
                 f"{batch_total:.4f}",
                 f"{elapsed / incremental_total:.1%}",
+                bucket_probes,
+                full_scans,
             ]
         )
+    total_bucket_probes, total_full_scans = probe_counters(total_statistics)
     rows.append(
         [
             f"all ({len(full_result)})",
             f"{incremental_total:.4f}",
             f"{batch_total:.4f}",
             "100.0%",
+            total_bucket_probes,
+            total_full_scans,
         ]
     )
 
     report_table(
         "E2: time to the first k answers on a 5-spoke star "
         f"(|FD| = {len(full_result)})",
-        ["k", "IncrementalFD first-k (s)", "Batch time-to-first (s)", "fraction of full incremental run"],
+        ["k", "IncrementalFD first-k (s)", "Batch time-to-first (s)",
+         "fraction of full incremental run", "bucket probes", "full scans"],
         rows,
     )
 

@@ -11,7 +11,9 @@ top-1 answer under ``f_sum`` — the function whose top-k problem is NP-hard
 
 import time
 
+from repro.bench.reporting import probe_counters
 from repro.core.full_disjunction import full_disjunction
+from repro.core.incremental import FDStatistics
 from repro.core.priority import top_k
 from repro.core.ranking import (
     CDeterminedRanking,
@@ -46,8 +48,9 @@ def test_e3_ranked_topk(benchmark, report_table):
     rows = []
     for name, ranking in rankings.items():
         for k in K_VALUES:
+            statistics = FDStatistics()
             started = time.perf_counter()
-            ranked = top_k(database, ranking, k, use_index=True)
+            ranked = top_k(database, ranking, k, use_index=True, statistics=statistics)
             ranked_seconds = time.perf_counter() - started
 
             started = time.perf_counter()
@@ -55,6 +58,7 @@ def test_e3_ranked_topk(benchmark, report_table):
             exhaustive_seconds = materialise_seconds + (time.perf_counter() - started)
 
             assert [score for _, score in ranked] == [ranking(ts) for ts in expected]
+            bucket_probes, full_scans = probe_counters(statistics)
             rows.append(
                 [
                     name,
@@ -62,13 +66,16 @@ def test_e3_ranked_topk(benchmark, report_table):
                     f"{ranked_seconds:.4f}",
                     f"{exhaustive_seconds:.4f}",
                     f"{exhaustive_seconds / ranked_seconds:.2f}x",
+                    bucket_probes,
+                    full_scans,
                 ]
             )
 
     report_table(
         "E3: top-(k, f) retrieval on a 5-spoke star "
         f"(|FD| = {len(everything)})",
-        ["ranking", "k", "PriorityIncrementalFD (s)", "materialise+sort (s)", "speedup"],
+        ["ranking", "k", "PriorityIncrementalFD (s)", "materialise+sort (s)",
+         "speedup", "bucket probes", "full scans"],
         rows,
     )
 

@@ -11,9 +11,11 @@ moderate runtime cost — and the algorithm stays incremental throughout.
 
 import time
 
+from repro.bench.reporting import probe_counters
 from repro.core.approx import approx_full_disjunction
 from repro.core.approx_join import EditDistanceSimilarity, MinJoin
 from repro.core.full_disjunction import full_disjunction
+from repro.core.incremental import FDStatistics
 from repro.workloads.dirty import dirty_sources_database
 
 THRESHOLDS = (1.0, 0.9, 0.8, 0.7, 0.6)
@@ -45,14 +47,20 @@ def test_e4_threshold_sweep(benchmark, report_table):
             exact_linked,
             max(len(ts) for ts in exact),
             "-",
+            "-",
+            "-",
         ]
     ]
     previous_linked = None
     for threshold in THRESHOLDS:
+        statistics = FDStatistics()
         started = time.perf_counter()
-        results = approx_full_disjunction(database, amin, threshold, use_index=True)
+        results = approx_full_disjunction(
+            database, amin, threshold, use_index=True, statistics=statistics
+        )
         elapsed = time.perf_counter() - started
         linked = sum(1 for ts in results if len(ts) > 1)
+        bucket_probes, full_scans = probe_counters(statistics)
         rows.append(
             [
                 f"A_min, τ = {threshold:.1f}",
@@ -60,6 +68,8 @@ def test_e4_threshold_sweep(benchmark, report_table):
                 linked,
                 max(len(ts) for ts in results),
                 f"{elapsed:.3f}",
+                bucket_probes,
+                full_scans,
             ]
         )
         if previous_linked is not None:
@@ -70,7 +80,8 @@ def test_e4_threshold_sweep(benchmark, report_table):
     report_table(
         "E4: (A_min, τ)-approximate full disjunction of 3 dirty sources "
         f"({database.tuple_count()} records)",
-        ["configuration", "answers", "answers linking ≥ 2 sources", "largest answer", "runtime (s)"],
+        ["configuration", "answers", "answers linking ≥ 2 sources",
+         "largest answer", "runtime (s)", "bucket probes", "full scans"],
         rows,
     )
 

@@ -30,14 +30,19 @@ def test_e5_block_based_execution(benchmark, report_table):
                 report.tuple_reads,
                 report.io_requests,
                 f"{baseline_io / report.io_requests:.1f}x",
+                report.bucket_probes,
+                report.full_scans,
             ]
         )
     assert len({report.results for report in reports}) == 1
+    # The store-layer work is independent of the scan granularity.
+    assert len({report.bucket_probes for report in reports}) == 1
 
     report_table(
         "E5: tuple-based vs. block-based execution on a chain workload "
         f"({database.tuple_count()} tuples)",
-        ["execution", "results", "tuple reads", "simulated I/O requests", "I/O reduction"],
+        ["execution", "results", "tuple reads", "simulated I/O requests",
+         "I/O reduction", "bucket probes", "full scans"],
         rows,
     )
 

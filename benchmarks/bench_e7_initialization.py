@@ -11,6 +11,7 @@ disjunction; the reuse strategies cut the re-derivation work.
 
 import time
 
+from repro.bench.reporting import probe_counters
 from repro.core.full_disjunction import full_disjunction
 from repro.core.incremental import FDStatistics
 from repro.core.initialization import STRATEGIES
@@ -27,12 +28,15 @@ def test_e7_initialization_strategies(benchmark, report_table):
     for strategy in STRATEGIES:
         statistics = FDStatistics()
         started = time.perf_counter()
-        results = full_disjunction(database, initialization=strategy, statistics=statistics)
+        results = full_disjunction(
+            database, use_index=True, initialization=strategy, statistics=statistics
+        )
         elapsed = time.perf_counter() - started
         produced = {ts.labels() for ts in results}
         if reference is None:
             reference = produced
         assert produced == reference
+        bucket_probes, full_scans = probe_counters(statistics)
         rows.append(
             [
                 strategy,
@@ -41,12 +45,14 @@ def test_e7_initialization_strategies(benchmark, report_table):
                 statistics.tuple_reads,
                 statistics.candidates_generated,
                 f"{elapsed:.3f}",
+                bucket_probes,
+                full_scans,
             ]
         )
 
     report_table(
         "E7: initialization strategies across the n passes "
-        f"(chain of {len(database)} relations, |FD| = {len(reference)})",
+        f"(chain of {len(database)} relations, |FD| = {len(reference)}, indexed store)",
         [
             "strategy",
             "|FD|",
@@ -54,6 +60,8 @@ def test_e7_initialization_strategies(benchmark, report_table):
             "tuple reads",
             "candidates generated",
             "wall time (s)",
+            "bucket probes",
+            "full scans",
         ],
         rows,
     )

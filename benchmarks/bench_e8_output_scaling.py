@@ -12,7 +12,9 @@ first 10 answers stays essentially flat — the PINC behaviour.
 
 import time
 
+from repro.bench.reporting import probe_counters
 from repro.core.full_disjunction import first_k, full_disjunction
+from repro.core.incremental import FDStatistics
 from repro.workloads.generators import star_database
 
 SPOKES = (2, 3, 4, 5)
@@ -22,8 +24,9 @@ def test_e8_output_scaling_on_stars(benchmark, report_table):
     rows = []
     for spokes in SPOKES:
         database = star_database(spokes=spokes, tuples_per_relation=6, hub_domain=2, seed=6)
+        statistics = FDStatistics()
         started = time.perf_counter()
-        results = full_disjunction(database, use_index=True)
+        results = full_disjunction(database, use_index=True, statistics=statistics)
         total_seconds = time.perf_counter() - started
 
         started = time.perf_counter()
@@ -31,6 +34,7 @@ def test_e8_output_scaling_on_stars(benchmark, report_table):
         first_10_seconds = time.perf_counter() - started
         assert len(prefix) == min(10, len(results))
 
+        bucket_probes, full_scans = probe_counters(statistics)
         rows.append(
             [
                 spokes,
@@ -39,6 +43,8 @@ def test_e8_output_scaling_on_stars(benchmark, report_table):
                 f"{total_seconds:.3f}",
                 f"{1000.0 * total_seconds / len(results):.2f}",
                 f"{first_10_seconds:.4f}",
+                bucket_probes,
+                full_scans,
             ]
         )
 
@@ -51,6 +57,8 @@ def test_e8_output_scaling_on_stars(benchmark, report_table):
             "total time (s)",
             "ms per answer",
             "time to first 10 (s)",
+            "bucket probes",
+            "full scans",
         ],
         rows,
     )

@@ -14,7 +14,9 @@ import time
 
 from repro.baselines.acyclicity import is_gamma_acyclic
 from repro.baselines.outerjoin import exists_correct_outerjoin_order, outerjoin_sequence
+from repro.bench.reporting import probe_counters
 from repro.core.full_disjunction import full_disjunction
+from repro.core.incremental import FDStatistics
 from repro.workloads.generators import chain_database, cycle_database, star_database
 from repro.workloads.tourist import tourist_database
 
@@ -36,8 +38,9 @@ def test_e9_outerjoin_baseline(benchmark, report_table):
     for name, database in _workloads():
         gamma = is_gamma_acyclic(database)
 
+        statistics = FDStatistics()
         started = time.perf_counter()
-        reference = full_disjunction(database, use_index=True)
+        reference = full_disjunction(database, use_index=True, statistics=statistics)
         incremental_seconds = time.perf_counter() - started
 
         order = exists_correct_outerjoin_order(database, reference)
@@ -52,6 +55,7 @@ def test_e9_outerjoin_baseline(benchmark, report_table):
         # [2]'s applicability matches γ-acyclicity on these workloads.
         assert (order is not None) == gamma
 
+        bucket_probes, full_scans = probe_counters(statistics)
         rows.append(
             [
                 name,
@@ -60,6 +64,8 @@ def test_e9_outerjoin_baseline(benchmark, report_table):
                 f"{incremental_seconds:.3f}",
                 order_cell,
                 outerjoin_seconds,
+                bucket_probes,
+                full_scans,
             ]
         )
 
@@ -72,6 +78,8 @@ def test_e9_outerjoin_baseline(benchmark, report_table):
             "IncrementalFD (s)",
             "correct outerjoin order",
             "outerjoin sequence (s)",
+            "bucket probes",
+            "full scans",
         ],
         rows,
     )

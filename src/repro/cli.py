@@ -10,10 +10,12 @@ Examples
 ::
 
     python -m repro fd sources/*.csv --limit 20
+    python -m repro fd sources/*.csv --backend sharded --workers 4
     python -m repro fd sources/*.csv --output fd.csv --initialization previous-results
     python -m repro topk sources/*.csv --k 5 --importance-attribute Stars
     python -m repro approx sources/*.csv --threshold 0.8 --similarity edit
     python -m repro trace sources/*.csv --anchor Climates
+    python -m repro stream sources/*.csv --arrival-fraction 0.5 --batch-size 2
 """
 
 from __future__ import annotations
@@ -29,9 +31,17 @@ from repro.core.initialization import STRATEGIES
 from repro.core.priority import priority_incremental_fd
 from repro.core.ranking import MaxRanking
 from repro.core.trace import format_trace, trace_incremental_fd
+from repro.exec import BACKENDS, resolve_backend
 from repro.relational import csv_io
 from repro.relational.database import Database
 from repro.relational.nulls import is_null
+from repro.workloads.streaming import (
+    IngestEvent,
+    ResultEvent,
+    StreamSummary,
+    hold_back_arrivals,
+    replay_stream,
+)
 
 
 def _load_database(paths: Sequence[str], null_token: str) -> Database:
@@ -52,6 +62,23 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="enable the Section 7 hash index on the Complete/Incomplete lists",
     )
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="serial",
+        help="execution backend: serial reference, anchor-bucket batched, or "
+        "process-sharded passes (identical results either way)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the sharded backend (default: 2)",
+    )
+
+
+def _backend_of(arguments: argparse.Namespace):
+    return resolve_backend(arguments.backend, workers=arguments.workers)
 
 
 def _command_fd(arguments: argparse.Namespace) -> int:
@@ -61,6 +88,7 @@ def _command_fd(arguments: argparse.Namespace) -> int:
         use_index=arguments.use_index,
         initialization=arguments.initialization,
         block_size=arguments.block_size,
+        backend=_backend_of(arguments),
     )
     if arguments.limit is not None:
         results = fd.first(arguments.limit)
@@ -93,7 +121,8 @@ def _command_topk(arguments: argparse.Namespace) -> int:
 
     ranking = MaxRanking(importance)
     ranked = priority_incremental_fd(
-        database, ranking, k=arguments.k, use_index=arguments.use_index
+        database, ranking, k=arguments.k, use_index=arguments.use_index,
+        backend=_backend_of(arguments),
     )
     for tuple_set, score in ranked:
         members = ", ".join(sorted(t.label for t in tuple_set))
@@ -112,9 +141,35 @@ def _command_approx(arguments: argparse.Namespace) -> int:
         MinJoin(similarity),
         threshold=arguments.threshold,
         use_index=arguments.use_index,
+        backend=_backend_of(arguments),
     )
     print(afd.pretty())
     print(f"({len(afd.compute())} answers at threshold {arguments.threshold})")
+    return 0
+
+
+def _command_stream(arguments: argparse.Namespace) -> int:
+    database = _load_database(arguments.csv, arguments.null_token)
+    workload = hold_back_arrivals(database, arguments.arrival_fraction)
+    summary = StreamSummary()
+    for event in replay_stream(
+        workload.database,
+        workload.arrivals,
+        batch_size=arguments.batch_size,
+        use_index=arguments.use_index,
+        backend=_backend_of(arguments),
+        summary=summary,
+    ):
+        if isinstance(event, IngestEvent):
+            print(f"-- ingested {event.applied} tuple(s) "
+                  f"({event.total_applied}/{len(workload.arrivals)})")
+        elif isinstance(event, ResultEvent):
+            members = ", ".join(sorted(t.label for t in event.tuple_set))
+            print(f"[after {event.after_arrivals:3d} arrivals] {{{members}}}")
+    print(
+        f"({len(summary.results)} answers over {summary.arrivals_applied} "
+        f"streamed arrivals; {summary.catalog_rebuilds} catalog build)"
+    )
     return 0
 
 
@@ -165,6 +220,22 @@ def build_parser() -> argparse.ArgumentParser:
     approx_parser.add_argument("--similarity", choices=("edit", "exact"), default="edit",
                                help="pairwise similarity: normalised edit distance or exact match")
     approx_parser.set_defaults(handler=_command_approx)
+
+    stream_parser = subparsers.add_parser(
+        "stream",
+        help="streaming ingest: hold back a fraction of every relation and "
+        "replay it while serving results (append-only catalog maintenance)",
+    )
+    _add_common_arguments(stream_parser)
+    stream_parser.add_argument(
+        "--arrival-fraction", type=float, default=0.5,
+        help="fraction of every relation's tuples replayed as arrivals (default: 0.5)",
+    )
+    stream_parser.add_argument(
+        "--batch-size", type=int, default=1,
+        help="arrivals ingested per recomputation step (default: 1)",
+    )
+    stream_parser.set_defaults(handler=_command_stream)
 
     trace_parser = subparsers.add_parser(
         "trace", help="print the Incomplete/Complete trace of one IncrementalFD pass"

@@ -123,14 +123,25 @@ def approx_incremental_fd(
     use_index: bool = False,
     scanner: Optional[TupleScanner] = None,
     statistics: Optional[FDStatistics] = None,
+    backend=None,
 ) -> Iterator[TupleSet]:
-    """``ApproxIncrementalFD(R, i, A, τ)`` (Fig. 5): generate ``AFD_i(R, A, τ)``."""
+    """``ApproxIncrementalFD(R, i, A, τ)`` (Fig. 5): generate ``AFD_i(R, A, τ)``.
+
+    ``backend`` schedules each ``ApproxGetNextResult`` step through the
+    execution layer (:mod:`repro.exec`); ``None`` is the serial reference.
+    """
     if not (0.0 <= threshold <= 1.0):
         raise ValueError(f"threshold must be in [0, 1], got {threshold}")
     anchor_name = resolve_anchor(database, anchor)
     if scanner is None:
         scanner = TupleScanner(database)
     catalog = database.catalog()
+    if backend is None:
+        next_result = approx_get_next_result
+    else:
+        from repro.exec import resolve_backend
+
+        next_result = resolve_backend(backend).approx_next_result
 
     incomplete = ListIncompletePool(anchor_name, use_index=use_index)
     complete = CompleteStore(anchor_name, use_index=use_index)
@@ -143,7 +154,7 @@ def approx_incremental_fd(
 
     try:
         while incomplete:
-            result = approx_get_next_result(
+            result = next_result(
                 database,
                 anchor_name,
                 join_function,
@@ -172,8 +183,13 @@ def approx_full_disjunction_sets(
     threshold: float,
     use_index: bool = False,
     statistics: Optional[FDStatistics] = None,
+    backend=None,
 ) -> Iterator[TupleSet]:
     """Generate every member of ``AFD(R, A, τ)`` exactly once (Corollary 6.7)."""
+    if backend is not None:
+        from repro.exec import resolve_backend
+
+        backend = resolve_backend(backend)
     for index, relation in enumerate(database.relations):
         earlier = {r.name for r in database.relations[:index]}
         for result in approx_incremental_fd(
@@ -183,6 +199,7 @@ def approx_full_disjunction_sets(
             threshold,
             use_index=use_index,
             statistics=statistics,
+            backend=backend,
         ):
             if any(result.contains_tuple_from(name) for name in earlier):
                 continue
@@ -195,6 +212,7 @@ def approx_full_disjunction(
     threshold: float,
     use_index: bool = False,
     statistics: Optional[FDStatistics] = None,
+    backend=None,
 ) -> List[TupleSet]:
     """Materialise ``AFD(R, A, τ)`` as a list of tuple sets."""
     return list(
@@ -204,6 +222,7 @@ def approx_full_disjunction(
             threshold,
             use_index=use_index,
             statistics=statistics,
+            backend=backend,
         )
     )
 
@@ -217,11 +236,13 @@ class ApproximateFullDisjunction:
         join_function: ApproximateJoinFunction,
         threshold: float,
         use_index: bool = False,
+        backend=None,
     ):
         self._database = database
         self._join_function = join_function
         self._threshold = threshold
         self._use_index = use_index
+        self._backend = backend
         self.statistics = FDStatistics()
         self._cached: Optional[List[TupleSet]] = None
 
@@ -231,7 +252,11 @@ class ApproximateFullDisjunction:
 
     def __iter__(self) -> Iterator[TupleSet]:
         return approx_full_disjunction_sets(
-            self._database, self._join_function, self._threshold, use_index=self._use_index
+            self._database,
+            self._join_function,
+            self._threshold,
+            use_index=self._use_index,
+            backend=self._backend,
         )
 
     def compute(self) -> List[TupleSet]:
@@ -244,6 +269,7 @@ class ApproximateFullDisjunction:
                 self._threshold,
                 use_index=self._use_index,
                 statistics=self.statistics,
+                backend=self._backend,
             )
         return list(self._cached)
 

@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence, Tuple as TupleType
 from repro.relational.database import Database
 from repro.core.full_disjunction import full_disjunction
 from repro.core.incremental import FDStatistics
+from repro.core.store import probe_counters
 from repro.core.tupleset import TupleSet
 
 
@@ -33,6 +34,8 @@ class BlockExecutionReport:
     tuple_reads: int
     block_reads: int
     scan_passes: int
+    bucket_probes: int = 0
+    full_scans: int = 0
 
     @property
     def io_requests(self) -> int:
@@ -47,6 +50,8 @@ class BlockExecutionReport:
             "block_reads": self.block_reads,
             "scan_passes": self.scan_passes,
             "io_requests": self.io_requests,
+            "bucket_probes": self.bucket_probes,
+            "full_scans": self.full_scans,
         }
 
 
@@ -70,12 +75,15 @@ def block_based_full_disjunction(
         block_size=block_size,
         statistics=statistics,
     )
+    bucket_probes, full_scans = probe_counters(statistics)
     report = BlockExecutionReport(
         block_size=block_size,
         results=len(results),
         tuple_reads=statistics.tuple_reads,
         block_reads=statistics.block_reads,
         scan_passes=statistics.scan_passes,
+        bucket_probes=bucket_probes,
+        full_scans=full_scans,
     )
     return results, report
 

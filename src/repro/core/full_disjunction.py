@@ -27,7 +27,6 @@ from repro.relational.schema import Schema
 from repro.core.incremental import (
     FDStatistics,
     get_next_result,
-    incremental_fd,
 )
 from repro.core.initialization import (
     STRATEGIES,
@@ -35,8 +34,8 @@ from repro.core.initialization import (
     earlier_relations,
     initial_sets,
 )
+from repro.core.scanner import make_scanner
 from repro.core.store import CompleteStore, ListIncompletePool, record_store_statistics
-from repro.core.scanner import BlockScanner, TupleScanner
 from repro.core.tupleset import TupleSet
 
 
@@ -46,6 +45,7 @@ def full_disjunction_sets(
     initialization: str = "singletons",
     block_size: Optional[int] = None,
     statistics: Optional[FDStatistics] = None,
+    backend=None,
 ) -> Iterator[TupleSet]:
     """Generate every tuple set of ``FD(R)`` exactly once.
 
@@ -62,13 +62,22 @@ def full_disjunction_sets(
         "block-based execution"); results are identical.
     statistics:
         Optional counters accumulated across all passes.
+    backend:
+        The :class:`~repro.exec.base.ExecutionBackend` (or its name —
+        ``"serial"``, ``"batched"``, ``"sharded"``) that schedules the work.
+        All backends produce the same result set; ``None`` means serial.
     """
+    from repro.exec import resolve_backend
+
     if initialization not in STRATEGIES:
         raise ValueError(
             f"unknown initialization strategy {initialization!r}; expected one of {STRATEGIES}"
         )
+    backend = resolve_backend(backend)
     if initialization == "singletons":
-        yield from _run_independent_passes(
+        # Independent per-relation passes: the backend owns the schedule
+        # (serial loop, batched probes, or a process-pool fan-out).
+        yield from backend.run_singleton_passes(
             database, use_index=use_index, block_size=block_size, statistics=statistics
         )
     else:
@@ -78,41 +87,8 @@ def full_disjunction_sets(
             initialization=initialization,
             block_size=block_size,
             statistics=statistics,
+            backend=backend,
         )
-
-
-def _make_scanner(database: Database, block_size: Optional[int]) -> TupleScanner:
-    if block_size is None:
-        return TupleScanner(database)
-    return BlockScanner(database, block_size)
-
-
-def _run_independent_passes(
-    database: Database,
-    use_index: bool,
-    block_size: Optional[int],
-    statistics: Optional[FDStatistics],
-) -> Iterator[TupleSet]:
-    """The paper's basic driver: a fresh ``IncrementalFD`` per relation."""
-    for index, relation in enumerate(database.relations):
-        earlier = {r.name for r in database.relations[:index]}
-        scanner = _make_scanner(database, block_size)
-        pass_statistics = FDStatistics() if statistics is not None else None
-        for result in incremental_fd(
-            database,
-            relation.name,
-            use_index=use_index,
-            scanner=scanner,
-            statistics=pass_statistics,
-        ):
-            # Duplicate suppression: a result containing a tuple of an earlier
-            # relation was already produced by an earlier pass.
-            if any(result.contains_tuple_from(name) for name in earlier):
-                continue
-            yield result
-        if statistics is not None and pass_statistics is not None:
-            pass_statistics.block_reads = getattr(scanner, "block_reads", 0)
-            statistics.merge(pass_statistics)
 
 
 def _run_reusing_passes(
@@ -121,8 +97,15 @@ def _run_reusing_passes(
     initialization: str,
     block_size: Optional[int],
     statistics: Optional[FDStatistics],
+    backend=None,
 ) -> Iterator[TupleSet]:
-    """The Section 7 reuse strategies: shared ``Complete``, restricted scans."""
+    """The Section 7 reuse strategies: shared ``Complete``, restricted scans.
+
+    The passes are *not* independent here (each seeds from the previous
+    results and shares ``Complete``), so the pass loop stays sequential and
+    only the per-step work is dispatched through the backend.
+    """
+    next_result = get_next_result if backend is None else backend.next_result
     produced: List[TupleSet] = []
     catalog = database.catalog()
     shared_complete = CompleteStore(anchor_relation=None, use_index=use_index)
@@ -130,7 +113,7 @@ def _run_reusing_passes(
         for index, relation in enumerate(database.relations):
             anchor_name = relation.name
             skip = earlier_relations(database, anchor_name)
-            scanner = RestrictedScanner(_make_scanner(database, block_size), skip)
+            scanner = RestrictedScanner(make_scanner(database, block_size), skip)
             pass_statistics = FDStatistics() if statistics is not None else None
 
             incomplete = ListIncompletePool(anchor_name, use_index=use_index)
@@ -141,7 +124,7 @@ def _run_reusing_passes(
 
             try:
                 while incomplete:
-                    result = get_next_result(
+                    result = next_result(
                         database,
                         anchor_name,
                         incomplete,
@@ -183,6 +166,7 @@ def full_disjunction(
     initialization: str = "singletons",
     block_size: Optional[int] = None,
     statistics: Optional[FDStatistics] = None,
+    backend=None,
 ) -> List[TupleSet]:
     """Materialise ``FD(R)`` as a list of tuple sets (see :func:`full_disjunction_sets`)."""
     return list(
@@ -192,6 +176,7 @@ def full_disjunction(
             initialization=initialization,
             block_size=block_size,
             statistics=statistics,
+            backend=backend,
         )
     )
 
@@ -202,6 +187,8 @@ def first_k(
     use_index: bool = False,
     initialization: str = "singletons",
     block_size: Optional[int] = None,
+    statistics: Optional[FDStatistics] = None,
+    backend=None,
 ) -> List[TupleSet]:
     """Return ``k`` (arbitrary) members of ``FD(R)``, stopping all work early.
 
@@ -218,6 +205,8 @@ def first_k(
         use_index=use_index,
         initialization=initialization,
         block_size=block_size,
+        statistics=statistics,
+        backend=backend,
     ):
         results.append(result)
         if len(results) == k:
@@ -242,11 +231,13 @@ class FullDisjunction:
         use_index: bool = False,
         initialization: str = "singletons",
         block_size: Optional[int] = None,
+        backend=None,
     ):
         self._database = database
         self._use_index = use_index
         self._initialization = initialization
         self._block_size = block_size
+        self._backend = backend
         self.statistics = FDStatistics()
         self._cached: Optional[List[TupleSet]] = None
 
@@ -261,6 +252,7 @@ class FullDisjunction:
             use_index=self._use_index,
             initialization=self._initialization,
             block_size=self._block_size,
+            backend=self._backend,
         )
 
     def compute(self) -> List[TupleSet]:
@@ -274,6 +266,7 @@ class FullDisjunction:
                     initialization=self._initialization,
                     block_size=self._block_size,
                     statistics=self.statistics,
+                    backend=self._backend,
                 )
             )
         return list(self._cached)
@@ -286,6 +279,7 @@ class FullDisjunction:
             use_index=self._use_index,
             initialization=self._initialization,
             block_size=self._block_size,
+            backend=self._backend,
         )
 
     def result_schema(self) -> Schema:

@@ -48,6 +48,11 @@ from repro.core.scanner import TupleScanner
 from repro.core.tupleset import TupleSet
 
 
+def _is_numeric(value: object) -> bool:
+    """True for the accumulating ``extras`` types: int/float, but not bool."""
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
 @dataclass
 class FDStatistics:
     """Work counters of one ``IncrementalFD`` run (or one pass of the driver)."""
@@ -65,7 +70,14 @@ class FDStatistics:
     extras: dict = field(default_factory=dict)
 
     def merge(self, other: "FDStatistics") -> "FDStatistics":
-        """Accumulate another statistics object into this one (returns self)."""
+        """Accumulate another statistics object into this one (returns self).
+
+        Numeric ``extras`` values accumulate; any other pairing — strings,
+        booleans, or a numeric value meeting a non-numeric one — resolves
+        deterministically to the incoming (``other``) value, last writer
+        wins.  The distinction matters for cross-process statistics merging,
+        where every worker ships its own ``extras`` dict.
+        """
         self.results += other.results
         self.extension_passes += other.extension_passes
         self.candidates_generated += other.candidates_generated
@@ -77,8 +89,9 @@ class FDStatistics:
         self.scan_passes += other.scan_passes
         self.block_reads += other.block_reads
         for key, value in other.extras.items():
-            if isinstance(value, (int, float)):
-                self.extras[key] = self.extras.get(key, 0) + value
+            existing = self.extras.get(key, 0 if _is_numeric(value) else None)
+            if _is_numeric(value) and _is_numeric(existing):
+                self.extras[key] = existing + value
             else:
                 self.extras[key] = value
         return self
@@ -214,6 +227,7 @@ def incremental_fd(
     on_initialized: Optional[Callable[[IncompletePool, CompleteStore], None]] = None,
     on_iteration: Optional[IterationCallback] = None,
     complete: Optional[CompleteStore] = None,
+    backend=None,
 ) -> Iterator[TupleSet]:
     """``IncrementalFD(R, i)`` (Fig. 1): generate ``FD_i(R)`` one tuple set at a time.
 
@@ -244,6 +258,10 @@ def incremental_fd(
     complete:
         An externally managed ``Complete`` store (the Section 7 strategies
         keep one store across all ``n`` passes).  Defaults to a fresh store.
+    backend:
+        The :class:`~repro.exec.base.ExecutionBackend` (or its name) whose
+        ``next_result`` schedules each step; ``None`` is the serial
+        reference step, :func:`get_next_result`.
 
     Yields
     ------
@@ -254,6 +272,12 @@ def incremental_fd(
     if scanner is None:
         scanner = TupleScanner(database)
     catalog = database.catalog()
+    if backend is None:
+        next_result = get_next_result
+    else:
+        from repro.exec import resolve_backend
+
+        next_result = resolve_backend(backend).next_result
 
     incomplete = ListIncompletePool(anchor_name, use_index=use_index)
     owned_complete = complete is None
@@ -278,7 +302,7 @@ def incremental_fd(
         # Line 5: loop until Incomplete is exhausted.
         while incomplete:
             iteration += 1
-            result = get_next_result(
+            result = next_result(
                 database, anchor_name, incomplete, complete, scanner, statistics
             )
             # Lines 7-8: print the result and remember it in Complete.

@@ -89,6 +89,7 @@ def priority_incremental_fd(
     threshold: Optional[float] = None,
     use_index: bool = False,
     statistics: Optional[FDStatistics] = None,
+    backend=None,
 ) -> Iterator[RankedResult]:
     """Generate ``FD(R)`` in non-increasing rank order.
 
@@ -110,6 +111,11 @@ def priority_incremental_fd(
         Enable the Section 7 hash index on the queues and on ``Complete``.
     statistics:
         Optional counters to fill in.
+    backend:
+        The :class:`~repro.exec.base.ExecutionBackend` (or its name) whose
+        ``next_result`` schedules each step.  The output *order* is
+        backend-independent: rank extraction happens here, and the batched
+        step is exactly order-equivalent to the serial one.
 
     Yields
     ------
@@ -122,6 +128,13 @@ def priority_incremental_fd(
     if k == 0:
         return
 
+    if backend is None:
+        next_result = get_next_result
+    else:
+        from repro.exec import resolve_backend
+
+        next_result = resolve_backend(backend).next_result
+
     pools = build_priority_pools(database, ranking, use_index=use_index)
     anchors = [relation.name for relation in database.relations]
     complete = CompleteStore(anchor_relation=None, use_index=use_index)
@@ -130,7 +143,7 @@ def priority_incremental_fd(
     try:
         yield from _priority_loop(
             database, ranking, pools, anchors, complete, scanner,
-            k, threshold, statistics,
+            k, threshold, statistics, next_result,
         )
     finally:
         # Record store counters on every exit — exhaustion, the k or
@@ -141,7 +154,8 @@ def priority_incremental_fd(
 
 
 def _priority_loop(
-    database, ranking, pools, anchors, complete, scanner, k, threshold, statistics
+    database, ranking, pools, anchors, complete, scanner, k, threshold, statistics,
+    next_result=get_next_result,
 ):
     printed = 0
     while True:
@@ -164,7 +178,7 @@ def _priority_loop(
             # only; monotonicity gives the upper bound via Lemma 5.4.
             return
 
-        result = get_next_result(
+        result = next_result(
             database,
             anchors[best_index],
             pools[best_index],
@@ -197,9 +211,16 @@ def top_k(
     ranking: RankingFunction,
     k: int,
     use_index: bool = False,
+    statistics: Optional[FDStatistics] = None,
+    backend=None,
 ) -> List[RankedResult]:
     """The top-``(k, f)`` full-disjunction problem (Theorem 5.5)."""
-    return list(priority_incremental_fd(database, ranking, k=k, use_index=use_index))
+    return list(
+        priority_incremental_fd(
+            database, ranking, k=k, use_index=use_index,
+            statistics=statistics, backend=backend,
+        )
+    )
 
 
 def above_threshold(
@@ -207,8 +228,13 @@ def above_threshold(
     ranking: RankingFunction,
     threshold: float,
     use_index: bool = False,
+    statistics: Optional[FDStatistics] = None,
+    backend=None,
 ) -> List[RankedResult]:
     """The ``(τ, f)``-threshold full-disjunction problem (Remark 5.6)."""
     return list(
-        priority_incremental_fd(database, ranking, threshold=threshold, use_index=use_index)
+        priority_incremental_fd(
+            database, ranking, threshold=threshold, use_index=use_index,
+            statistics=statistics, backend=backend,
+        )
     )

@@ -112,13 +112,16 @@ def ranked_approx_full_disjunction(
     rank_threshold: Optional[float] = None,
     use_index: bool = False,
     statistics: Optional[FDStatistics] = None,
+    backend=None,
 ) -> Iterator[RankedResult]:
     """Generate ``AFD(R, A, τ)`` in non-increasing rank order.
 
     Parameters mirror :func:`repro.core.priority.priority_incremental_fd`,
     with the approximate join function and its threshold added.  ``k`` limits
     the number of results; ``rank_threshold`` stops once no remaining result
-    can rank that high (the approximate analogue of Remark 5.6).
+    can rank that high (the approximate analogue of Remark 5.6).  ``backend``
+    schedules each step through the execution layer (:mod:`repro.exec`); the
+    output order is backend-independent.
     """
     if k is not None and k < 0:
         raise ValueError(f"k must be non-negative, got {k}")
@@ -127,6 +130,12 @@ def ranked_approx_full_disjunction(
     ranking.require_monotonically_c_determined()
     if k == 0:
         return
+    if backend is None:
+        next_result = approx_get_next_result
+    else:
+        from repro.exec import resolve_backend
+
+        next_result = resolve_backend(backend).approx_next_result
 
     catalog = database.catalog()
     pools: List[PriorityIncompletePool] = []
@@ -146,7 +155,7 @@ def ranked_approx_full_disjunction(
     try:
         yield from _ranked_approx_loop(
             database, join_function, threshold, ranking, pools, anchors,
-            complete, scanner, k, rank_threshold, statistics,
+            complete, scanner, k, rank_threshold, statistics, next_result,
         )
     finally:
         # Record store counters on every exit — exhaustion, the k or
@@ -168,6 +177,7 @@ def _ranked_approx_loop(
     k,
     rank_threshold,
     statistics,
+    next_result=approx_get_next_result,
 ):
     printed = 0
     while True:
@@ -185,7 +195,7 @@ def _ranked_approx_loop(
         if rank_threshold is not None and best_score < rank_threshold:
             return
 
-        result = approx_get_next_result(
+        result = next_result(
             database,
             anchors[best_index],
             join_function,
@@ -217,10 +227,12 @@ def approx_top_k(
     ranking: RankingFunction,
     k: int,
     use_index: bool = False,
+    backend=None,
 ) -> List[RankedResult]:
     """The top-``(k, f)`` problem over the ``(A, τ)``-approximate full disjunction."""
     return list(
         ranked_approx_full_disjunction(
-            database, join_function, threshold, ranking, k=k, use_index=use_index
+            database, join_function, threshold, ranking, k=k, use_index=use_index,
+            backend=backend,
         )
     )

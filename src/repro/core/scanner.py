@@ -99,3 +99,10 @@ class BlockScanner(TupleScanner):
         summary["block_reads"] = self.block_reads
         summary["block_size"] = self.block_size
         return summary
+
+
+def make_scanner(database: Database, block_size: Optional[int]) -> TupleScanner:
+    """The scanner for one pass: tuple-at-a-time, or block-based (Section 7)."""
+    if block_size is None:
+        return TupleScanner(database)
+    return BlockScanner(database, block_size)

@@ -48,6 +48,7 @@ __all__ = [
     "ListIncompletePool",
     "PriorityIncompletePool",
     "record_store_statistics",
+    "probe_counters",
 ]
 
 
@@ -127,6 +128,42 @@ class CompleteStore:
                 return True
         return False
 
+    def contains_superset_batch(
+        self, probes: List[TupleSet], anchor: Optional[Tuple] = None
+    ) -> List[bool]:
+        """Line 11 of ``GetNextResult`` for a whole anchor bucket at once.
+
+        All ``probes`` share the same anchor tuple, so with the index enabled
+        the bucket (and each of its relation-set groups) is fetched **once**
+        for the entire batch instead of once per probe — the amortization the
+        batched execution backend is built on.  The per-probe answers are
+        identical to calling :meth:`contains_superset` on each probe
+        (``Complete`` never changes during one ``GetNextResult`` call, so
+        batching cannot observe a different store state), and ``sets_scanned``
+        counts the same subset tests; only ``bucket_probes`` drops.
+        """
+        if self._use_index and anchor is not None:
+            answers = [False] * len(probes)
+            groups = self._buckets.get(anchor)
+            if not groups:
+                return answers
+            unanswered = len(probes)
+            for relations, group in groups.items():
+                self.statistics.bucket_probes += 1
+                for index, probe in enumerate(probes):
+                    if answers[index] or not probe.relations <= relations:
+                        continue
+                    for stored in group:
+                        self.statistics.sets_scanned += 1
+                        if probe.issubset(stored):
+                            answers[index] = True
+                            unanswered -= 1
+                            break
+                if not unanswered:
+                    break  # every probe found a superset; mirror the serial early return
+            return answers
+        return [self.contains_superset(probe, anchor=anchor) for probe in probes]
+
     def as_list(self) -> List[TupleSet]:
         """The stored sets in insertion (printing) order."""
         return list(self._sets)
@@ -202,3 +239,21 @@ def record_store_statistics(statistics, *containers) -> None:
         for key, value in container.statistics.as_dict().items():
             name = f"{prefix}_{key}"
             statistics.extras[name] = statistics.extras.get(name, 0) + value
+
+
+def probe_counters(statistics):
+    """Total ``(bucket_probes, full_scans)`` across all recorded containers.
+
+    The inverse view of :func:`record_store_statistics`: it prefixes every
+    container's counters (``complete_bucket_probes``,
+    ``incomplete_full_scans``, …); this sums them back up as the store-layer
+    work measure the benchmark tables report next to ``sets_scanned``.
+    """
+    extras = statistics.extras
+    bucket_probes = sum(
+        value for key, value in extras.items() if key.endswith("_bucket_probes")
+    )
+    full_scans = sum(
+        value for key, value in extras.items() if key.endswith("_full_scans")
+    )
+    return bucket_probes, full_scans

@@ -1,0 +1,99 @@
+"""Pluggable execution backends for the full-disjunction engines.
+
+The algorithms (:mod:`repro.core`) define *what* is computed; an
+:class:`~repro.exec.base.ExecutionBackend` defines *how* the work is
+scheduled.  Three backends ship:
+
+``serial``
+    The paper's reference execution — one ``GetNextResult`` step at a time,
+    one pass after another (:class:`~repro.exec.serial.SerialBackend`).
+``batched``
+    The Line 7–18 candidate loop groups outside tuples by anchor bucket and
+    probes the dual-indexed ``Complete`` store once per bucket
+    (:class:`~repro.exec.batched.BatchedBackend`).  Exactly
+    order-equivalent to serial.
+``sharded``
+    The independent per-relation passes of the ``singletons`` strategy fan
+    out to a process pool; results and statistics merge deterministically
+    (:class:`~repro.exec.sharded.ShardedBackend`).  Accepts a worker count:
+    ``"sharded:4"``.
+
+Every engine entry point takes a ``backend`` argument resolved by
+:func:`resolve_backend`, so new schedules (async, multi-node) are new
+backends, not engine rewrites.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.exec.base import ExecutionBackend
+from repro.exec.batched import (
+    BatchedBackend,
+    approx_get_next_result_batched,
+    get_next_result_batched,
+)
+from repro.exec.serial import SerialBackend
+from repro.exec.sharded import ShardedBackend
+
+__all__ = [
+    "BACKENDS",
+    "ExecutionBackend",
+    "SerialBackend",
+    "BatchedBackend",
+    "ShardedBackend",
+    "get_next_result_batched",
+    "approx_get_next_result_batched",
+    "resolve_backend",
+]
+
+#: The backend names accepted by :func:`resolve_backend` (and the CLI).
+BACKENDS = ("serial", "batched", "sharded")
+
+#: Anything an engine's ``backend`` argument accepts.
+BackendSpec = Union[None, str, ExecutionBackend]
+
+_DEFAULT_WORKERS = 2
+
+
+def resolve_backend(
+    spec: BackendSpec = None, workers: Optional[int] = None
+) -> ExecutionBackend:
+    """Resolve a backend argument to an :class:`ExecutionBackend` instance.
+
+    ``spec`` may be ``None`` (the serial reference execution), an existing
+    backend instance (returned unchanged), or a name: ``"serial"``,
+    ``"batched"``, ``"sharded"``.  The sharded worker count can ride along as
+    ``"sharded:4"`` or through the ``workers`` argument (the suffix wins).
+    """
+    if spec is None:
+        return SerialBackend()
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    name, _, suffix = str(spec).partition(":")
+    if suffix:
+        try:
+            workers = int(suffix)
+        except ValueError:
+            raise ValueError(
+                f"invalid worker count {suffix!r} in backend spec {spec!r}"
+            ) from None
+    if workers is not None and workers < 1:
+        raise ValueError(f"worker count must be positive, got {workers}")
+    if name == "sharded":
+        return ShardedBackend(
+            max_workers=_DEFAULT_WORKERS if workers is None else workers
+        )
+    if workers is not None:
+        # A worker count on a single-process backend would be a silent no-op;
+        # make the misconfiguration visible instead.
+        raise ValueError(
+            f"backend {name!r} runs in-process and takes no worker count"
+        )
+    if name == "serial":
+        return SerialBackend()
+    if name == "batched":
+        return BatchedBackend()
+    raise ValueError(
+        f"unknown execution backend {name!r}; expected one of {BACKENDS}"
+    )

@@ -1,0 +1,99 @@
+"""The execution-backend interface: *what* the engine computes vs. *how*.
+
+The paper's algorithms are defined by two loops: the per-pass
+``GetNextResult`` step (Fig. 2 / Fig. 6) and the full-disjunction driver that
+runs one ``IncrementalFD`` pass per relation (Corollary 4.9).  Everything
+else — candidate generation, subsumption, merging — is a property of the
+*algorithm*; whether the steps run one tuple at a time, batched per anchor
+bucket, or fanned out across processes is a property of the *schedule*.
+
+:class:`ExecutionBackend` is that seam.  The drivers in
+:mod:`repro.core.full_disjunction`, :mod:`repro.core.incremental`,
+:mod:`repro.core.priority`, :mod:`repro.core.approx` and
+:mod:`repro.core.ranked_approx` dispatch through a backend instead of
+hard-coding their loops, so the same algorithm runs under any of:
+
+* :class:`~repro.exec.serial.SerialBackend` — the paper's reference
+  execution, extracted from the original driver loops;
+* :class:`~repro.exec.batched.BatchedBackend` — ``GetNextResult`` groups the
+  outside tuples of Lines 7–18 by anchor bucket and probes the dual-indexed
+  ``Complete`` store once per bucket instead of once per tuple;
+* :class:`~repro.exec.sharded.ShardedBackend` — the per-relation
+  ``IncrementalFD`` passes of the ``singletons`` strategy run on a
+  ``ProcessPoolExecutor``, with deterministic result and statistics merging.
+
+All backends are *observationally equivalent*: they produce the same result
+sets, and the serial and batched backends produce the identical result
+sequence (batching only amortizes probes against a store that cannot change
+within one ``GetNextResult`` call).  The cross-backend equivalence tests in
+``tests/exec/test_backend_equivalence.py`` enforce this.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.relational.database import Database
+from repro.core.tupleset import TupleSet
+
+
+class ExecutionBackend:
+    """How the full-disjunction engines schedule their work.
+
+    Subclasses implement three operations.  ``next_result`` and
+    ``approx_next_result`` are drop-in replacements for
+    :func:`repro.core.incremental.get_next_result` and
+    :func:`repro.core.approx.approx_get_next_result`; the drivers call
+    whichever the active backend provides.  ``run_singleton_passes`` owns the
+    scheduling of the independent per-relation passes of the ``singletons``
+    initialization strategy — the one place where whole passes, not single
+    steps, can be reordered or parallelised.
+    """
+
+    #: Backend name as accepted by :func:`repro.exec.resolve_backend`.
+    name = "abstract"
+
+    def next_result(
+        self,
+        database: Database,
+        anchor: str,
+        incomplete,
+        complete,
+        scanner=None,
+        statistics=None,
+    ) -> TupleSet:
+        """One ``GetNextResult`` step (Fig. 2) under this backend's schedule."""
+        raise NotImplementedError
+
+    def approx_next_result(
+        self,
+        database: Database,
+        anchor: str,
+        join_function,
+        threshold: float,
+        incomplete,
+        complete,
+        scanner=None,
+        statistics=None,
+    ) -> TupleSet:
+        """One ``ApproxGetNextResult`` step (Fig. 6) under this backend."""
+        raise NotImplementedError
+
+    def run_singleton_passes(
+        self,
+        database: Database,
+        use_index: bool = False,
+        block_size: Optional[int] = None,
+        statistics=None,
+    ) -> Iterator[TupleSet]:
+        """Compute ``FD(R)`` with the default singleton initialization.
+
+        Yields every member of the full disjunction exactly once (duplicate
+        suppression across passes included).  Implementations must merge
+        per-pass statistics into ``statistics`` deterministically, in
+        database relation order.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,86 @@
+"""The serial backend: the paper's reference execution, extracted.
+
+This backend *is* the pre-existing behaviour of the drivers — the per-step
+functions are exactly :func:`repro.core.incremental.get_next_result` and
+:func:`repro.core.approx.approx_get_next_result`, and
+:meth:`SerialBackend.run_singleton_passes` is the independent-passes loop
+that used to live inline in :mod:`repro.core.full_disjunction`.  It exists as
+a class so the batched and sharded backends can replace one operation at a
+time while inheriting the rest.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.relational.database import Database
+from repro.core.incremental import FDStatistics, get_next_result, incremental_fd
+from repro.core.scanner import make_scanner
+from repro.core.tupleset import TupleSet
+from repro.exec.base import ExecutionBackend
+
+
+class SerialBackend(ExecutionBackend):
+    """One step at a time, one pass after another — the reference schedule."""
+
+    name = "serial"
+
+    def next_result(
+        self, database, anchor, incomplete, complete, scanner=None, statistics=None
+    ) -> TupleSet:
+        return get_next_result(
+            database, anchor, incomplete, complete, scanner, statistics
+        )
+
+    def approx_next_result(
+        self,
+        database,
+        anchor,
+        join_function,
+        threshold,
+        incomplete,
+        complete,
+        scanner=None,
+        statistics=None,
+    ) -> TupleSet:
+        from repro.core.approx import approx_get_next_result
+
+        return approx_get_next_result(
+            database,
+            anchor,
+            join_function,
+            threshold,
+            incomplete,
+            complete,
+            scanner,
+            statistics,
+        )
+
+    def run_singleton_passes(
+        self,
+        database: Database,
+        use_index: bool = False,
+        block_size: Optional[int] = None,
+        statistics=None,
+    ) -> Iterator[TupleSet]:
+        """The paper's basic driver: a fresh ``IncrementalFD`` per relation."""
+        for index, relation in enumerate(database.relations):
+            earlier = {r.name for r in database.relations[:index]}
+            scanner = make_scanner(database, block_size)
+            pass_statistics = FDStatistics() if statistics is not None else None
+            for result in incremental_fd(
+                database,
+                relation.name,
+                use_index=use_index,
+                scanner=scanner,
+                statistics=pass_statistics,
+                backend=self,
+            ):
+                # Duplicate suppression: a result containing a tuple of an
+                # earlier relation was already produced by an earlier pass.
+                if any(result.contains_tuple_from(name) for name in earlier):
+                    continue
+                yield result
+            if statistics is not None and pass_statistics is not None:
+                pass_statistics.block_reads = getattr(scanner, "block_reads", 0)
+                statistics.merge(pass_statistics)

@@ -1,0 +1,215 @@
+"""The sharded backend: per-relation passes across a process pool.
+
+Under the ``singletons`` initialization strategy the ``n`` ``IncrementalFD``
+passes of the full-disjunction driver are completely independent: each pass
+reads only the (immutable) database and writes only its own ``Complete`` /
+``Incomplete`` containers.  This backend fans them out to a
+``concurrent.futures.ProcessPoolExecutor``:
+
+* the database — including its cached, immutable
+  :class:`~repro.relational.catalog.Catalog` snapshot with the precomputed
+  bitmatrices — is pickled to each worker, so workers skip the catalog build;
+* each worker runs the unmodified serial/batched pass and ships back its
+  results as ``(relation_name, label)`` key sets plus its
+  :class:`~repro.core.incremental.FDStatistics`;
+* the parent re-interns the results against its own catalog, applies the
+  earlier-relation duplicate suppression, and yields pass results **in
+  database relation order** — so the output sequence and the merged
+  statistics are deterministic and identical to the serial driver's.
+
+Passes are consumed as they finish but always in relation order, so the first
+pass's results stream while later passes are still running.  Worker pools are
+long-lived (one per worker count, shut down at interpreter exit): the
+tens-of-milliseconds process spawn is paid once per Python process, not once
+per call.  When the host cannot spawn processes (restricted sandboxes,
+unpicklable ad-hoc databases) the backend degrades to the inherited
+in-process schedule with a warning rather than failing — the schedule is a
+performance choice, never a correctness one.
+
+Per-step scheduling (``next_result``) is inherited from
+:class:`~repro.exec.batched.BatchedBackend`: sharding composes with bucket
+batching instead of replacing it.
+"""
+
+from __future__ import annotations
+
+import atexit
+import warnings
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple as TupleType
+
+from repro.relational.database import Database
+from repro.core.incremental import FDStatistics, incremental_fd
+from repro.core.scanner import make_scanner
+from repro.core.tupleset import TupleSet
+from repro.exec.batched import BatchedBackend
+
+#: A result shipped across the process boundary: its member tuples' keys.
+ResultKeys = FrozenSet[TupleType[str, str]]
+
+#: Long-lived worker pools, one per worker count.  Spawning processes costs
+#: tens of milliseconds — paid once per Python process, not once per call.
+_POOLS: Dict[int, object] = {}
+
+
+def _shared_pool(max_workers: int):
+    from concurrent.futures import ProcessPoolExecutor
+
+    pool = _POOLS.get(max_workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=max_workers)
+        _POOLS[max_workers] = pool
+    return pool
+
+
+def _discard_pool(max_workers: int) -> None:
+    pool = _POOLS.pop(max_workers, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+@atexit.register
+def _shutdown_pools() -> None:  # pragma: no cover - interpreter teardown
+    for max_workers in list(_POOLS):
+        _discard_pool(max_workers)
+
+
+def _singleton_passes_worker(
+    database: Database,
+    anchor_names: List[str],
+    use_index: bool,
+    block_size: Optional[int],
+    batched: bool,
+) -> List[TupleType[List[ResultKeys], FDStatistics]]:
+    """A chunk of ``IncrementalFD`` passes, run inside one worker process.
+
+    Module-level so it is picklable by ``ProcessPoolExecutor``.  Shipping a
+    *chunk* of anchors per task means the database (with its O(s²)-bit
+    catalog matrices) is serialized once per chunk, not once per relation.
+    Results are returned as frozensets of ``(relation_name, label)`` keys —
+    tiny to ship, and unambiguous because labels are unique per relation.
+    """
+    backend = BatchedBackend() if batched else None
+    outputs: List[TupleType[List[ResultKeys], FDStatistics]] = []
+    for anchor_name in anchor_names:
+        scanner = make_scanner(database, block_size)
+        statistics = FDStatistics()
+        results: List[ResultKeys] = []
+        for result in incremental_fd(
+            database,
+            anchor_name,
+            use_index=use_index,
+            scanner=scanner,
+            statistics=statistics,
+            backend=backend,
+        ):
+            results.append(frozenset((t.relation_name, t.label) for t in result))
+        statistics.block_reads = getattr(scanner, "block_reads", 0)
+        outputs.append((results, statistics))
+    return outputs
+
+
+def _contiguous_chunks(items: List[str], count: int) -> List[List[str]]:
+    """Split ``items`` into at most ``count`` contiguous, balanced chunks."""
+    count = min(count, len(items))
+    base, remainder = divmod(len(items), count)
+    chunks: List[List[str]] = []
+    start = 0
+    for index in range(count):
+        size = base + (1 if index < remainder else 0)
+        chunks.append(items[start : start + size])
+        start += size
+    return chunks
+
+
+class ShardedBackend(BatchedBackend):
+    """Fan the independent per-relation passes out to worker processes."""
+
+    name = "sharded"
+
+    def __init__(self, max_workers: int = 2):
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        self.max_workers = max_workers
+
+    def __repr__(self) -> str:
+        return f"ShardedBackend(max_workers={self.max_workers})"
+
+    def run_singleton_passes(
+        self,
+        database: Database,
+        use_index: bool = False,
+        block_size: Optional[int] = None,
+        statistics=None,
+    ) -> Iterator[TupleSet]:
+        # Build the catalog *before* pickling so every worker receives the
+        # precomputed bitmatrices instead of rebuilding them n times.
+        catalog = database.catalog()
+        label_map = {(t.relation_name, t.label): t for t in database.tuples()}
+        relation_names = [relation.name for relation in database.relations]
+        if not relation_names:
+            return  # FD of an empty database is empty; nothing to shard
+        workers = min(self.max_workers, len(relation_names))
+
+        chunks = _contiguous_chunks(relation_names, workers)
+        futures = []
+        try:
+            try:
+                executor = _shared_pool(workers)
+                futures = [
+                    executor.submit(
+                        _singleton_passes_worker,
+                        database,
+                        chunk,
+                        use_index,
+                        block_size,
+                        True,
+                    )
+                    for chunk in chunks
+                ]
+                # Resolve the first chunk before yielding anything: systemic
+                # failures (no process spawn, unpicklable database) surface
+                # here, while the fallback can still take over cleanly.
+                first_output = futures[0].result()
+            except Exception as error:  # pragma: no cover - host-dependent
+                for future in futures:
+                    future.cancel()
+                futures = []
+                _discard_pool(workers)
+                warnings.warn(
+                    f"sharded backend could not use a process pool ({error!r}); "
+                    "falling back to in-process passes",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                yield from super().run_singleton_passes(
+                    database,
+                    use_index=use_index,
+                    block_size=block_size,
+                    statistics=statistics,
+                )
+                return
+
+            # Deterministic merge: chunks (and passes within them) in
+            # relation order, results in each pass's emission order,
+            # statistics merged pass by pass.  Chunk i streams out while
+            # chunks i+1.. are still running.
+            earlier: set = set()
+            for index, chunk in enumerate(chunks):
+                chunk_output = first_output if index == 0 else futures[index].result()
+                for anchor_name, (keys_list, pass_statistics) in zip(
+                    chunk, chunk_output
+                ):
+                    for keys in keys_list:
+                        if any(relation_name in earlier for relation_name, _ in keys):
+                            continue
+                        yield TupleSet(
+                            (label_map[key] for key in keys), catalog=catalog
+                        )
+                    if statistics is not None:
+                        statistics.merge(pass_statistics)
+                    earlier.add(anchor_name)
+        finally:
+            # Abandoned generators (first-k retrieval) cancel chunks not yet
+            # started; the shared pool itself stays warm for the next call.
+            for future in futures:
+                future.cancel()

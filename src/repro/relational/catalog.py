@@ -29,9 +29,16 @@ a pair of integer bitmasks (tuple ids, relation ids) and the paper's hot-path
 predicates become a handful of bitwise operations — see
 :mod:`repro.core.tupleset` for the operation-by-operation mapping.
 
-Catalogs are immutable snapshots: :meth:`Database.catalog()
-<repro.relational.database.Database.catalog>` caches one per database and
-rebuilds it when relations or tuples have been added since.
+Catalogs are snapshots that support **append-only maintenance**: adding a
+tuple through :meth:`Database.add_tuple
+<repro.relational.database.Database.add_tuple>` extends the cached catalog in
+place via :meth:`Catalog.append_tuple` — the new tuple gets the next dense id
+and one row/column of the join-consistency bitmatrix is filled in, O(s) work
+instead of the O(s²) rebuild.  Existing ids and masks never change, so tuple
+sets interned before the append stay valid.  Any other structural change
+(adding a relation, or adding tuples behind the database's back) still
+invalidates the snapshot and triggers a rebuild, counted by
+``Database.catalog_rebuilds``.
 """
 
 from __future__ import annotations
@@ -121,6 +128,62 @@ class Catalog:
                             consistent[second_id] |= 1 << first_id
         self._consistent = consistent
         self._connected_cache: Dict[int, bool] = {1: True} if count else {}
+
+    # ------------------------------------------------------------------ #
+    # append-only maintenance
+    # ------------------------------------------------------------------ #
+    def append_tuple(self, t: Tuple) -> int:
+        """Extend the catalog in place with one new tuple; return its id.
+
+        The tuple receives the next dense global id, its relation's tuple
+        mask and the all-tuples mask grow by one bit, and the symmetric
+        join-consistency bitmatrix gains one row (the new tuple's mask) and
+        one column (the new tuple's bit ORed into every consistent existing
+        tuple's mask).  The schema-adjacency matrix and the connectivity memo
+        are untouched — appending a tuple cannot change the relation graph.
+
+        Raises ``KeyError`` when the tuple's relation is not catalogued and
+        ``ValueError`` when the tuple already is; both indicate the caller
+        should rebuild instead.
+        """
+        rid = self._relation_ids[t.relation_name]
+        if t in self._tuple_ids:
+            raise ValueError(f"tuple {t.label!r} is already catalogued")
+        gid = len(self._tuples)
+        bit = 1 << gid
+        self._tuple_ids[t] = gid
+        self._tuples.append(t)
+        self._tuple_relation.append(rid)
+        self._relation_tuples[rid] |= bit
+        self._all_tuples_mask |= bit
+
+        adjacency = self._relation_adjacency[rid]
+        consistent = self._consistent
+        mask = 0
+        for j in range(len(self._relation_names)):
+            if j == rid:
+                continue
+            others = self._relation_tuples[j] & ~bit
+            if not others:
+                continue
+            if not (adjacency >> j) & 1:
+                # Non-adjacent relations share no attribute: vacuously
+                # consistent in both directions.
+                mask |= others
+                while others:
+                    low = others & -others
+                    consistent[low.bit_length() - 1] |= bit
+                    others ^= low
+            else:
+                while others:
+                    low = others & -others
+                    other_gid = low.bit_length() - 1
+                    if t.join_consistent_with(self._tuples[other_gid]):
+                        mask |= low
+                        consistent[other_gid] |= bit
+                    others ^= low
+        consistent.append(mask)
+        return gid
 
     # ------------------------------------------------------------------ #
     # sizes

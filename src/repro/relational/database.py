@@ -31,6 +31,7 @@ class Database:
         self._adjacency: Dict[str, Set[str]] = {}
         self._catalog_cache = None
         self._catalog_key = None
+        self.catalog_rebuilds = 0
         for relation in relations:
             self.add_relation(relation)
 
@@ -54,6 +55,38 @@ class Database:
     def from_relations(cls, *relations: Relation) -> "Database":
         """Build a database from relations given as positional arguments."""
         return cls(relations)
+
+    def add_tuple(
+        self,
+        relation_name: str,
+        values: Iterable[object],
+        label: Optional[str] = None,
+        importance: float = 0.0,
+        probability: float = 1.0,
+    ) -> Tuple:
+        """Append a tuple to a relation, maintaining the catalog in place.
+
+        This is the streaming-ingest entry point: unlike adding through
+        ``database.relation(name).add(...)`` — which leaves the cached
+        :class:`~repro.relational.catalog.Catalog` stale and forces a full
+        rebuild on the next :meth:`catalog` call — this extends the cached
+        snapshot append-only via
+        :meth:`~repro.relational.catalog.Catalog.append_tuple`, so ingesting
+        N tuples costs N·O(s) bitmatrix extensions and exactly one initial
+        catalog build (observable as ``catalog_rebuilds``).
+        """
+        relation = self.relation(relation_name)
+        t = relation.add(
+            values, label=label, importance=importance, probability=probability
+        )
+        if self._catalog_cache is not None:
+            key = (len(self._relations), self.tuple_count())
+            if self._catalog_key == (len(self._relations), self.tuple_count() - 1):
+                self._catalog_cache.append_tuple(t)
+                self._catalog_key = key
+            # A stale snapshot (tuples added behind the database's back)
+            # keeps its stale key and is rebuilt on the next catalog() call.
+        return t
 
     # ------------------------------------------------------------------ #
     # accessors
@@ -136,8 +169,10 @@ class Database:
         The catalog assigns dense relation and tuple ids and precomputes the
         join-consistency and schema-adjacency bitmatrices the bitset
         :class:`~repro.core.tupleset.TupleSet` representation runs on.  It is
-        a snapshot: the cached instance is rebuilt when relations or tuples
-        have been added since it was taken (tuples themselves are immutable).
+        a snapshot: the cached instance is rebuilt when relations have been
+        added, or when tuples have been added behind the database's back
+        (tuples ingested through :meth:`add_tuple` extend the snapshot in
+        place instead).  Every full build increments ``catalog_rebuilds``.
         """
         from repro.relational.catalog import Catalog
 
@@ -145,6 +180,7 @@ class Database:
         if self._catalog_cache is None or self._catalog_key != key:
             self._catalog_cache = Catalog(self)
             self._catalog_key = key
+            self.catalog_rebuilds += 1
         return self._catalog_cache
 
     # ------------------------------------------------------------------ #

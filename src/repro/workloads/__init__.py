@@ -15,6 +15,13 @@ from repro.workloads.generators import (
     random_database,
 )
 from repro.workloads.dirty import dirty_sources_database, corrupt_string
+from repro.workloads.streaming import (
+    StreamingWorkload,
+    StreamSummary,
+    replay_stream,
+    streaming_chain_workload,
+    streaming_star_workload,
+)
 
 __all__ = [
     "tourist_database",
@@ -29,4 +36,9 @@ __all__ = [
     "random_database",
     "dirty_sources_database",
     "corrupt_string",
+    "StreamingWorkload",
+    "StreamSummary",
+    "replay_stream",
+    "streaming_chain_workload",
+    "streaming_star_workload",
 ]

@@ -1,0 +1,249 @@
+"""Streaming ingest: tuples arrive while results are being emitted.
+
+The paper's guarantee is *incremental delivery on a static database*; this
+workload exercises the next step towards a production system: the database
+keeps growing while the full disjunction is being served.  Two pieces make
+that cheap:
+
+* **append-only catalog maintenance** —
+  :meth:`~repro.relational.database.Database.add_tuple` extends the interned
+  catalog's ids and bitmatrices in place, so ingesting N tuples performs
+  exactly one initial catalog build (``Database.catalog_rebuilds``) instead
+  of N rebuilds, and every tuple set interned before an arrival stays valid;
+* **monotonicity of the full disjunction's support** — adding tuples can add
+  new results and extend old ones, but a previously emitted set remains a
+  join-consistent, connected answer over the data that existed when it was
+  emitted.  The replay driver therefore emits each distinct result set the
+  first time it appears and never retracts.
+
+:func:`streaming_chain_workload` and :func:`streaming_star_workload` generate
+a base database plus an arrival sequence; :func:`replay_stream` ingests the
+arrivals batch by batch, recomputing through any execution backend
+(:mod:`repro.exec`) and yielding events as they happen.  The CLI exposes the
+driver as ``repro stream``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple as TupleType,
+    Union,
+)
+
+from repro.relational.database import Database
+from repro.core.full_disjunction import full_disjunction_sets
+from repro.core.incremental import FDStatistics
+from repro.core.tupleset import TupleSet
+from repro.workloads.generators import chain_database, star_database
+
+class Arrival(NamedTuple):
+    """One streamed tuple: target relation, values, and ranking metadata.
+
+    ``importance`` and ``prob`` ride along so a replayed database is
+    equivalent to one that never streamed (ranking functions read
+    ``imp(t)``; approximate joins read ``prob(t)``).
+    """
+
+    relation_name: str
+    values: TupleType[object, ...]
+    importance: float = 0.0
+    probability: float = 1.0
+
+
+@dataclass
+class StreamingWorkload:
+    """A base database plus the tuples that will arrive while it is served."""
+
+    database: Database
+    arrivals: List[Arrival]
+
+    def total_tuples(self) -> int:
+        """Tuples in the fully ingested database."""
+        return self.database.tuple_count() + len(self.arrivals)
+
+
+def hold_back_arrivals(database: Database, fraction: float, interleave_seed: int = 0) -> StreamingWorkload:
+    """Split ``database`` into a base prefix and an interleaved arrival stream.
+
+    The last ``fraction`` of every relation's tuples (at least one per
+    relation when possible, never all of them) becomes the arrival stream,
+    interleaved round-robin across relations so consecutive arrivals hit
+    different relations — the adversarial case for snapshot invalidation.
+    """
+    if not (0.0 <= fraction < 1.0):
+        raise ValueError(f"arrival fraction must be in [0, 1), got {fraction}")
+    base = Database()
+    per_relation: List[List[Arrival]] = []
+    for relation in database.relations:
+        tuples = list(relation)
+        # The epsilon guards against float dust in derived fractions
+        # (1 - 4/5 is 0.19999…, whose truncation would hold back nothing).
+        held = int(len(tuples) * fraction + 1e-9)
+        if fraction > 0 and held == 0 and len(tuples) > 1:
+            held = 1
+        held = min(held, max(len(tuples) - 1, 0))
+        kept = tuples[: len(tuples) - held]
+        fresh = type(relation)(
+            relation.name, relation.schema, label_prefix=relation._label_prefix
+        )
+        for t in kept:
+            fresh.add(t.values, label=t.label, importance=t.importance,
+                      probability=t.probability)
+        base.add_relation(fresh)
+        per_relation.append(
+            [
+                Arrival(relation.name, t.values, t.importance, t.probability)
+                for t in tuples[len(tuples) - held:]
+            ]
+        )
+    arrivals: List[Arrival] = []
+    cursor = 0
+    while any(per_relation):
+        bucket = per_relation[cursor % len(per_relation)]
+        if bucket:
+            arrivals.append(bucket.pop(0))
+        cursor += 1
+    return StreamingWorkload(database=base, arrivals=arrivals)
+
+
+def streaming_chain_workload(
+    relations: int = 3,
+    base_tuples: int = 4,
+    arrivals: int = 6,
+    domain_size: int = 3,
+    null_rate: float = 0.1,
+    seed: int = 0,
+) -> StreamingWorkload:
+    """A chain database whose last ``arrivals`` tuples arrive as a stream."""
+    total = base_tuples + -(-arrivals // relations)  # ceil-divide the arrivals
+    database = chain_database(
+        relations=relations,
+        tuples_per_relation=total,
+        domain_size=domain_size,
+        null_rate=null_rate,
+        seed=seed,
+    )
+    workload = hold_back_arrivals(database, fraction=1.0 - base_tuples / total)
+    workload.arrivals = workload.arrivals[:arrivals]
+    return workload
+
+
+def streaming_star_workload(
+    spokes: int = 3,
+    base_tuples: int = 3,
+    arrivals: int = 6,
+    hub_domain: int = 2,
+    seed: int = 0,
+) -> StreamingWorkload:
+    """A star database whose last ``arrivals`` tuples arrive as a stream."""
+    total = base_tuples + -(-arrivals // spokes)
+    database = star_database(
+        spokes=spokes,
+        tuples_per_relation=total,
+        hub_domain=hub_domain,
+        seed=seed,
+    )
+    workload = hold_back_arrivals(database, fraction=1.0 - base_tuples / total)
+    workload.arrivals = workload.arrivals[:arrivals]
+    return workload
+
+
+@dataclass
+class IngestEvent:
+    """A batch of arrivals was applied to the database."""
+
+    applied: int
+    total_applied: int
+
+
+@dataclass
+class ResultEvent:
+    """A result set appeared for the first time."""
+
+    tuple_set: TupleSet
+    after_arrivals: int
+
+
+StreamEvent = Union[IngestEvent, ResultEvent]
+
+
+@dataclass
+class StreamSummary:
+    """Final state of one :func:`replay_stream` run."""
+
+    results: List[TupleSet] = field(default_factory=list)
+    arrivals_applied: int = 0
+    catalog_rebuilds: int = 0
+    statistics: FDStatistics = field(default_factory=FDStatistics)
+
+
+def replay_stream(
+    database: Database,
+    arrivals: Sequence[Arrival],
+    batch_size: int = 1,
+    use_index: bool = False,
+    backend=None,
+    summary: Optional[StreamSummary] = None,
+) -> Iterator[StreamEvent]:
+    """Serve the full disjunction while ingesting ``arrivals`` batch by batch.
+
+    The initial database is served first; then each batch is ingested through
+    :meth:`Database.add_tuple` (append-only catalog maintenance — no snapshot
+    rebuild) and the full disjunction is recomputed through ``backend``,
+    emitting only result sets not seen before.  Events interleave
+    :class:`IngestEvent` and :class:`ResultEvent` in stream order.
+
+    Pass a :class:`StreamSummary` to collect the final result list, the
+    arrival count, the engine statistics, and the number of catalog rebuilds
+    the run performed — exactly one (the initial build) when the database's
+    catalog was not built before the call.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    if summary is None:
+        summary = StreamSummary()
+    rebuilds_before = database.catalog_rebuilds
+    database.catalog()  # the single initial build
+    # Maintained eagerly (not just on exhaustion) so a partially consumed
+    # stream still reports the builds that already happened.
+    summary.catalog_rebuilds = database.catalog_rebuilds - rebuilds_before
+
+    seen = set()
+
+    def emit(after_arrivals: int) -> Iterator[ResultEvent]:
+        for tuple_set in full_disjunction_sets(
+            database,
+            use_index=use_index,
+            backend=backend,
+            statistics=summary.statistics,
+        ):
+            key = frozenset((t.relation_name, t.label) for t in tuple_set)
+            if key in seen:
+                continue
+            seen.add(key)
+            summary.results.append(tuple_set)
+            yield ResultEvent(tuple_set=tuple_set, after_arrivals=after_arrivals)
+
+    yield from emit(after_arrivals=0)
+    position = 0
+    while position < len(arrivals):
+        batch = arrivals[position : position + batch_size]
+        for arrival in batch:
+            arrival = Arrival(*arrival)  # accept plain (name, values) pairs
+            database.add_tuple(
+                arrival.relation_name,
+                arrival.values,
+                importance=arrival.importance,
+                probability=arrival.probability,
+            )
+        position += len(batch)
+        summary.arrivals_applied = position
+        summary.catalog_rebuilds = database.catalog_rebuilds - rebuilds_before
+        yield IngestEvent(applied=len(batch), total_applied=position)
+        yield from emit(after_arrivals=position)

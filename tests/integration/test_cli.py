@@ -29,6 +29,15 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["topk", *csv_paths])
 
+    def test_backend_defaults_to_serial(self, csv_paths):
+        arguments = build_parser().parse_args(["fd", *csv_paths])
+        assert arguments.backend == "serial"
+        assert arguments.workers is None
+
+    def test_backend_rejects_unknown_names(self, csv_paths):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fd", *csv_paths, "--backend", "async"])
+
 
 class TestFdCommand:
     def test_prints_all_six_answers(self, csv_paths, capsys):
@@ -62,6 +71,14 @@ class TestFdCommand:
         with pytest.raises(SystemExit):
             main(["fd"])
 
+    def test_batched_backend_produces_the_same_answers(self, csv_paths, capsys):
+        assert main(["fd", *csv_paths, "--backend", "batched", "--use-index"]) == 0
+        assert "(6 answers)" in capsys.readouterr().out
+
+    def test_sharded_backend_produces_the_same_answers(self, csv_paths, capsys):
+        assert main(["fd", *csv_paths, "--backend", "sharded", "--workers", "2"]) == 0
+        assert "(6 answers)" in capsys.readouterr().out
+
 
 class TestTopkCommand:
     def test_ranks_by_numeric_attribute(self, csv_paths, capsys):
@@ -92,6 +109,27 @@ class TestApproxCommand:
     def test_edit_similarity_runs(self, csv_paths, capsys):
         assert main(["approx", *csv_paths, "--threshold", "0.8"]) == 0
         assert "answers at threshold 0.8" in capsys.readouterr().out
+
+
+class TestStreamCommand:
+    def test_streams_arrivals_with_one_catalog_build(self, csv_paths, capsys):
+        assert main(
+            ["stream", *csv_paths, "--arrival-fraction", "0.4", "--batch-size", "2"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "ingested" in output
+        assert "1 catalog build)" in output
+
+    def test_zero_arrival_fraction_serves_everything_upfront(self, csv_paths, capsys):
+        assert main(["stream", *csv_paths, "--arrival-fraction", "0"]) == 0
+        output = capsys.readouterr().out
+        assert "(6 answers over 0 streamed arrivals" in output
+
+    def test_stream_accepts_a_backend(self, csv_paths, capsys):
+        assert main(
+            ["stream", *csv_paths, "--backend", "batched", "--use-index"]
+        ) == 0
+        assert "catalog build)" in capsys.readouterr().out
 
 
 class TestTraceCommand:
