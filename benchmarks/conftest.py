@@ -1,10 +1,13 @@
 """Shared configuration of the benchmark harness.
 
 Every module in this directory regenerates one experiment of DESIGN.md
-(tables T2/T3 and experiments E1–E9).  Each module:
+(tables T2/T3 and experiments E1–E10).  Each module:
 
 * prints the experiment's table of rows/series (visible with ``-s``; also
-  appended to ``benchmarks/results.txt`` so EXPERIMENTS.md can quote it), and
+  appended to ``benchmarks/results.txt`` so EXPERIMENTS.md can quote it),
+* records the same table into a machine-readable JSON artifact
+  (``benchmarks/artifacts/BENCH_<EXPERIMENT>.json``) so the performance
+  trajectory can be tracked across commits — CI uploads this directory, and
 * exercises the core operation through the ``benchmark`` fixture so the run is
   timed by pytest-benchmark (``pytest benchmarks/ --benchmark-only``).
 """
@@ -15,29 +18,39 @@ import pathlib
 
 import pytest
 
-from repro.bench.reporting import format_table
+from repro.bench.reporting import BenchArtifacts, experiment_id, format_table
 
 #: File collecting the printed experiment tables of the latest run.
 RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
 
+#: Directory collecting the per-experiment BENCH_*.json artifacts.
+ARTIFACTS_DIR = pathlib.Path(__file__).parent / "artifacts"
+
+_ARTIFACTS = BenchArtifacts(ARTIFACTS_DIR)
+
 
 def pytest_sessionstart(session):
-    # Start a fresh results file per benchmark session.
+    # Start a fresh results file and artifact set per benchmark session.
     if RESULTS_PATH.exists():
         RESULTS_PATH.unlink()
+    _ARTIFACTS.reset()
 
 
 @pytest.fixture
-def report_table():
-    """Print an experiment table and append it to ``benchmarks/results.txt``."""
+def report_table(request):
+    """Print an experiment table, append it to ``results.txt``, record JSON."""
+
+    experiment = experiment_id(request.module.__name__)
 
     def _report(title, headers, rows):
+        rows = [list(row) for row in rows]
         rendered = format_table(title, headers, [[str(c) for c in row] for row in rows])
         print()
         print(rendered)
         with RESULTS_PATH.open("a", encoding="utf-8") as handle:
             handle.write(rendered)
             handle.write("\n\n")
+        _ARTIFACTS.record(experiment, title, headers, rows)
         return rendered
 
     return _report

@@ -73,6 +73,13 @@ from repro.core import (
     block_based_full_disjunction,
     compare_block_sizes,
 )
+from repro.service import (
+    QuerySession,
+    open_session,
+    PrefixCache,
+    StreamingFullDisjunction,
+    incremental_replay_stream,
+)
 
 __version__ = "1.0.0"
 
@@ -127,4 +134,10 @@ __all__ = [
     # execution variants
     "block_based_full_disjunction",
     "compare_block_sizes",
+    # serving layer
+    "QuerySession",
+    "open_session",
+    "PrefixCache",
+    "StreamingFullDisjunction",
+    "incremental_replay_stream",
 ]

@@ -1,13 +1,20 @@
-"""Plain-text reporting used by every benchmark.
+"""Reporting used by every benchmark: aligned text tables + JSON artifacts.
 
 Each benchmark regenerates one of the experiments listed in DESIGN.md and
 prints its rows in a uniform aligned-table format so that EXPERIMENTS.md can
-quote the output directly.
+quote the output directly.  Alongside the text, every reported table is
+recorded into a machine-readable ``BENCH_<EXPERIMENT>.json`` artifact
+(:class:`BenchArtifacts`), so the performance trajectory across commits can
+be diffed and plotted instead of eyeballed — CI uploads the artifact
+directory from its smoke runs.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import pathlib
+import re
 import time
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
@@ -77,6 +84,85 @@ def time_call(function: Callable[[], object]) -> Tuple[object, float]:
     started = time.perf_counter()
     result = function()
     return result, time.perf_counter() - started
+
+
+# --------------------------------------------------------------------------- #
+# machine-readable artifacts
+# --------------------------------------------------------------------------- #
+
+def experiment_id(module_name: str) -> str:
+    """The experiment tag of a benchmark module: ``bench_e6_indexing`` → ``E6``.
+
+    Modules outside the naming convention fall back to their own upper-cased
+    name, so every table lands in *some* artifact.
+    """
+    match = re.match(r"(?:.*\.)?bench_([a-z]+\d+[a-z]?)_", module_name)
+    if match:
+        return match.group(1).upper()
+    return module_name.rpartition(".")[2].upper()
+
+
+def _json_cell(cell: object) -> object:
+    """A JSON-serializable rendering of one table cell (numbers stay numbers)."""
+    if cell is None or isinstance(cell, (bool, int, float)):
+        return cell
+    return str(cell)
+
+
+class BenchArtifacts:
+    """Accumulates reported tables into per-experiment JSON files.
+
+    One artifact per experiment — ``BENCH_E6.json`` holds every table the E6
+    module reported this session::
+
+        {"experiment": "E6", "schema_version": 1,
+         "tables": [{"title": ..., "headers": [...], "rows": [[...], ...]}]}
+
+    ``record`` rewrites the file after every table, so a crashed or
+    interrupted benchmark session still leaves the tables it completed.
+    """
+
+    SCHEMA_VERSION = 1
+
+    def __init__(self, directory):
+        self.directory = pathlib.Path(directory)
+        self._tables: dict = {}
+
+    def reset(self) -> None:
+        """Start a fresh session: drop recorded state and stale artifact files."""
+        self._tables.clear()
+        if self.directory.exists():
+            for stale in self.directory.glob("BENCH_*.json"):
+                stale.unlink()
+
+    def path_for(self, experiment: str) -> pathlib.Path:
+        return self.directory / f"BENCH_{experiment}.json"
+
+    def record(
+        self,
+        experiment: str,
+        title: str,
+        headers: Sequence[str],
+        rows: Iterable[Sequence[object]],
+    ) -> pathlib.Path:
+        """Record one table and rewrite the experiment's artifact file."""
+        table = {
+            "title": str(title),
+            "headers": [str(h) for h in headers],
+            "rows": [[_json_cell(cell) for cell in row] for row in rows],
+        }
+        self._tables.setdefault(experiment, []).append(table)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(experiment)
+        payload = {
+            "experiment": experiment,
+            "schema_version": self.SCHEMA_VERSION,
+            "tables": self._tables[experiment],
+        }
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, ensure_ascii=False)
+            handle.write("\n")
+        return path
 
 
 

@@ -16,6 +16,9 @@ Examples
     python -m repro approx sources/*.csv --threshold 0.8 --similarity edit
     python -m repro trace sources/*.csv --anchor Climates
     python -m repro stream sources/*.csv --arrival-fraction 0.5 --batch-size 2
+    python -m repro stream sources/*.csv --mode delta
+    python -m repro serve sources/*.csv --port 7411
+    python -m repro serve --workload star --smoke-clients 4
 """
 
 from __future__ import annotations
@@ -149,17 +152,31 @@ def _command_approx(arguments: argparse.Namespace) -> int:
 
 
 def _command_stream(arguments: argparse.Namespace) -> int:
+    from repro.service.delta import DeltaSummary, incremental_replay_stream
+
     database = _load_database(arguments.csv, arguments.null_token)
     workload = hold_back_arrivals(database, arguments.arrival_fraction)
-    summary = StreamSummary()
-    for event in replay_stream(
-        workload.database,
-        workload.arrivals,
-        batch_size=arguments.batch_size,
-        use_index=arguments.use_index,
-        backend=_backend_of(arguments),
-        summary=summary,
-    ):
+    if arguments.mode == "delta":
+        summary = DeltaSummary()
+        events = incremental_replay_stream(
+            workload.database,
+            workload.arrivals,
+            batch_size=arguments.batch_size,
+            use_index=arguments.use_index,
+            backend=_backend_of(arguments),
+            summary=summary,
+        )
+    else:
+        summary = StreamSummary()
+        events = replay_stream(
+            workload.database,
+            workload.arrivals,
+            batch_size=arguments.batch_size,
+            use_index=arguments.use_index,
+            backend=_backend_of(arguments),
+            summary=summary,
+        )
+    for event in events:
         if isinstance(event, IngestEvent):
             print(f"-- ingested {event.applied} tuple(s) "
                   f"({event.total_applied}/{len(workload.arrivals)})")
@@ -170,6 +187,72 @@ def _command_stream(arguments: argparse.Namespace) -> int:
         f"({len(summary.results)} answers over {summary.arrivals_applied} "
         f"streamed arrivals; {summary.catalog_rebuilds} catalog build)"
     )
+    if arguments.mode == "delta":
+        print(
+            f"(delta maintenance: {summary.delta_work()} candidates generated "
+            f"across {len(summary.per_batch)} batches)"
+        )
+    return 0
+
+
+#: Generated databases servable without CSV files (``repro serve --workload``).
+SERVE_WORKLOADS = ("tourist", "star", "chain")
+
+
+def _serve_database(arguments: argparse.Namespace) -> Database:
+    if arguments.workload:
+        from repro.workloads.generators import chain_database, star_database
+        from repro.workloads.tourist import tourist_database
+
+        if arguments.workload == "tourist":
+            return tourist_database()
+        if arguments.workload == "star":
+            return star_database(
+                spokes=3, tuples_per_relation=5, hub_domain=2, seed=arguments.seed
+            )
+        return chain_database(
+            relations=3, tuples_per_relation=6, domain_size=3,
+            null_rate=0.1, seed=arguments.seed,
+        )
+    return _load_database(arguments.csv, arguments.null_token)
+
+
+def _command_serve(arguments: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.server import run_smoke, start_server
+
+    database = _serve_database(arguments)
+    if arguments.smoke_clients is not None:
+        outcome = run_smoke(
+            database,
+            clients=arguments.smoke_clients,
+            k=arguments.k,
+            use_index=arguments.use_index,
+        )
+        cache = outcome["cache"]
+        print(
+            f"smoke OK: {outcome['clients']} concurrent clients each received "
+            f"{outcome['results_per_client']} answers identical to the serial run "
+            f"(cache: {cache['hits']} hits / {cache['misses']} misses, "
+            f"{outcome['requests']} requests)"
+        )
+        return 0
+
+    async def _serve() -> None:
+        server, _, port = await start_server(
+            database, host=arguments.host, port=arguments.port,
+            use_index=arguments.use_index,
+        )
+        print(f"serving {len(database)} relations on {arguments.host}:{port} "
+              "(JSON lines; ops: open/next/peek/close/ingest/stats)")
+        async with server:
+            await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("stopped")
     return 0
 
 
@@ -235,7 +318,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size", type=int, default=1,
         help="arrivals ingested per recomputation step (default: 1)",
     )
+    stream_parser.add_argument(
+        "--mode", choices=("recompute", "delta"), default="recompute",
+        help="per-batch strategy: full engine re-run with dedup, or true "
+        "delta maintenance (each arrival seeds only its own singleton)",
+    )
     stream_parser.set_defaults(handler=_command_stream)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="serve resumable first-k query sessions to concurrent clients "
+        "over an asyncio JSON-lines TCP server",
+    )
+    serve_parser.add_argument(
+        "csv", nargs="*", help="CSV files, one relation per file"
+    )
+    serve_parser.add_argument(
+        "--workload", choices=SERVE_WORKLOADS, default=None,
+        help="serve a generated workload instead of CSV files",
+    )
+    serve_parser.add_argument("--seed", type=int, default=0,
+                              help="seed for generated workloads (default: 0)")
+    serve_parser.add_argument(
+        "--null-token", default=csv_io.DEFAULT_NULL_TOKEN,
+        help="cell value treated as null (default: ⊥; empty cells are always null)",
+    )
+    serve_parser.add_argument("--use-index", action="store_true",
+                              help="enable the Section 7 hash index")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=0,
+                              help="TCP port (default: 0 = ephemeral)")
+    serve_parser.add_argument(
+        "--smoke-clients", type=int, default=None, metavar="N",
+        help="self-test: run N concurrent clients against an in-process "
+        "server, assert result parity with a serial run, and exit",
+    )
+    serve_parser.add_argument(
+        "--k", type=int, default=None,
+        help="answers per client in --smoke-clients mode (default: all)",
+    )
+    serve_parser.set_defaults(handler=_command_serve)
 
     trace_parser = subparsers.add_parser(
         "trace", help="print the Incomplete/Complete trace of one IncrementalFD pass"

@@ -185,25 +185,23 @@ def approx_full_disjunction_sets(
     statistics: Optional[FDStatistics] = None,
     backend=None,
 ) -> Iterator[TupleSet]:
-    """Generate every member of ``AFD(R, A, τ)`` exactly once (Corollary 6.7)."""
-    if backend is not None:
-        from repro.exec import resolve_backend
+    """Generate every member of ``AFD(R, A, τ)`` exactly once (Corollary 6.7).
 
-        backend = resolve_backend(backend)
-    for index, relation in enumerate(database.relations):
-        earlier = {r.name for r in database.relations[:index]}
-        for result in approx_incremental_fd(
-            database,
-            relation.name,
-            join_function,
-            threshold,
-            use_index=use_index,
-            statistics=statistics,
-            backend=backend,
-        ):
-            if any(result.contains_tuple_from(name) for name in earlier):
-                continue
-            yield result
+    The independent per-relation ``ApproxIncrementalFD`` passes are scheduled
+    by ``backend`` (``None`` means the serial reference), exactly like the
+    exact driver's singleton passes — the sharded backend fans them out to
+    its process pool.
+    """
+    from repro.exec import resolve_backend
+
+    backend = resolve_backend(backend)
+    yield from backend.run_approx_passes(
+        database,
+        join_function,
+        threshold,
+        use_index=use_index,
+        statistics=statistics,
+    )
 
 
 def approx_full_disjunction(

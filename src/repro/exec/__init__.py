@@ -13,13 +13,19 @@ scheduled.  Three backends ship:
     (:class:`~repro.exec.batched.BatchedBackend`).  Exactly
     order-equivalent to serial.
 ``sharded``
-    The independent per-relation passes of the ``singletons`` strategy fan
-    out to a process pool; results and statistics merge deterministically
-    (:class:`~repro.exec.sharded.ShardedBackend`).  Accepts a worker count:
-    ``"sharded:4"``.
+    The independent per-relation passes of the exact *and* approximate
+    drivers fan out to a process pool; results and statistics merge
+    deterministically (:class:`~repro.exec.sharded.ShardedBackend`).
+    Accepts a worker count: ``"sharded:4"``.
+``async``
+    Cooperative multiplexing of many query sessions' steps on one asyncio
+    event loop (:class:`~repro.exec.asyncio_backend.AsyncBackend`); the
+    per-step functions are the batched ones, so single-session runs are
+    order-equivalent to serial and the serving layer (:mod:`repro.service`)
+    gets step-granular fairness across concurrent clients.
 
 Every engine entry point takes a ``backend`` argument resolved by
-:func:`resolve_backend`, so new schedules (async, multi-node) are new
+:func:`resolve_backend`, so new schedules (multi-node, GPU, …) are new
 backends, not engine rewrites.
 """
 
@@ -27,6 +33,7 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
+from repro.exec.asyncio_backend import AsyncBackend
 from repro.exec.base import ExecutionBackend
 from repro.exec.batched import (
     BatchedBackend,
@@ -42,13 +49,14 @@ __all__ = [
     "SerialBackend",
     "BatchedBackend",
     "ShardedBackend",
+    "AsyncBackend",
     "get_next_result_batched",
     "approx_get_next_result_batched",
     "resolve_backend",
 ]
 
 #: The backend names accepted by :func:`resolve_backend` (and the CLI).
-BACKENDS = ("serial", "batched", "sharded")
+BACKENDS = ("serial", "batched", "sharded", "async")
 
 #: Anything an engine's ``backend`` argument accepts.
 BackendSpec = Union[None, str, ExecutionBackend]
@@ -63,8 +71,9 @@ def resolve_backend(
 
     ``spec`` may be ``None`` (the serial reference execution), an existing
     backend instance (returned unchanged), or a name: ``"serial"``,
-    ``"batched"``, ``"sharded"``.  The sharded worker count can ride along as
-    ``"sharded:4"`` or through the ``workers`` argument (the suffix wins).
+    ``"batched"``, ``"sharded"``, ``"async"`` (alias ``"asyncio"``).  The
+    sharded worker count can ride along as ``"sharded:4"`` or through the
+    ``workers`` argument (the suffix wins).
     """
     if spec is None:
         return SerialBackend()
@@ -94,6 +103,8 @@ def resolve_backend(
         return SerialBackend()
     if name == "batched":
         return BatchedBackend()
+    if name in ("async", "asyncio"):
+        return AsyncBackend()
     raise ValueError(
         f"unknown execution backend {name!r}; expected one of {BACKENDS}"
     )

@@ -1,0 +1,116 @@
+"""The async backend: cooperative multiplexing of many query sessions.
+
+The paper's interactivity model is a *client* loop: ask for the first ``k``
+answers, maybe come back for more.  One process serving many such clients
+needs their ``GetNextResult`` steps interleaved — but the steps themselves
+are pure CPU work, so threads buy contention and processes buy copies.  The
+natural schedule is cooperative: run one step, yield the event loop, let the
+next session run one step.
+
+:class:`AsyncBackend` is that schedule as a fourth
+:class:`~repro.exec.base.ExecutionBackend`.  Its per-step functions are
+inherited from :class:`~repro.exec.batched.BatchedBackend` — exactly
+order-equivalent to serial, so the cross-backend equivalence suite holds
+verbatim — and it adds the multiplexing surface used by the serving layer
+(:mod:`repro.service`):
+
+* :meth:`AsyncBackend.drive` — pull up to ``k`` results from one
+  :class:`~repro.service.session.QuerySession`, awaiting the loop between
+  steps so concurrent tasks interleave at step granularity;
+* :meth:`AsyncBackend.round_robin` — drive many sessions with *strict*
+  fairness: one result per session per rotation, so no session is ever more
+  than one step ahead of a live peer.
+
+Fairness is observable: the backend counts the steps it has run per session
+in :attr:`AsyncBackend.steps`, which the serving benchmark (E10) and the
+fairness tests read.  Because every step runs on one event loop, the schedule
+is deterministic for a fixed set of sessions — like the other backends, the
+*result sequence* per session is identical to a serial run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from typing import List, Optional, Sequence
+
+from repro.exec.batched import BatchedBackend
+
+
+class AsyncBackend(BatchedBackend):
+    """Cooperative step multiplexing on one asyncio event loop.
+
+    Pass scheduling and the per-step functions are inherited (batched, hence
+    order-equivalent to serial); what this backend adds is the ``await``
+    surface that lets many sessions share one loop.
+    """
+
+    name = "async"
+
+    #: Retained per-session step counters; a long-running server churns
+    #: through sessions, so the oldest labels age out past this bound.
+    MAX_TRACKED_SESSIONS = 1024
+
+    def __init__(self):
+        #: Steps (results produced) per session label, for fairness checks.
+        self.steps: "OrderedDict[str, int]" = OrderedDict()
+
+    def _count(self, session) -> None:
+        label = getattr(session, "name", None) or f"session-{id(session):x}"
+        self.steps[label] = self.steps.get(label, 0) + 1
+        self.steps.move_to_end(label)
+        while len(self.steps) > self.MAX_TRACKED_SESSIONS:
+            self.steps.popitem(last=False)
+
+    async def drive(self, session, k: Optional[int] = None) -> List[object]:
+        """Pull up to ``k`` results from ``session``, yielding the loop per step.
+
+        ``None`` drains the session.  Between consecutive results control is
+        handed back to the event loop (``await asyncio.sleep(0)``), so any
+        number of concurrent ``drive`` tasks interleave at ``GetNextResult``
+        granularity instead of hogging the loop for a whole prefix.
+        """
+        results: List[object] = []
+        while k is None or len(results) < k:
+            batch = session.next(1)
+            if not batch:
+                break
+            results.extend(batch)
+            self._count(session)
+            await asyncio.sleep(0)
+        return results
+
+    async def round_robin(
+        self, sessions: Sequence[object], k: Optional[int] = None
+    ) -> List[List[object]]:
+        """Drive ``sessions`` with strict round-robin fairness.
+
+        Each rotation gives every unfinished session exactly one step (one
+        result), so at any instant the per-session progress differs by at
+        most one — the fairness property the serving tests assert.  Returns
+        the per-session result lists, in ``sessions`` order.
+        """
+        results: List[List[object]] = [[] for _ in sessions]
+        live = set(range(len(sessions)))
+        while live:
+            for index in sorted(live):
+                if k is not None and len(results[index]) >= k:
+                    live.discard(index)
+                    continue
+                batch = sessions[index].next(1)
+                if not batch:
+                    live.discard(index)
+                    continue
+                results[index].extend(batch)
+                self._count(sessions[index])
+                await asyncio.sleep(0)
+        return results
+
+    def serve_first_k(
+        self, sessions: Sequence[object], k: Optional[int] = None
+    ) -> List[List[object]]:
+        """Synchronous wrapper: run :meth:`round_robin` on a fresh event loop."""
+        return asyncio.run(self.round_robin(sessions, k))
+
+    def __repr__(self) -> str:
+        return "AsyncBackend()"

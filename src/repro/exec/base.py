@@ -95,5 +95,23 @@ class ExecutionBackend:
         """
         raise NotImplementedError
 
+    def run_approx_passes(
+        self,
+        database: Database,
+        join_function,
+        threshold: float,
+        use_index: bool = False,
+        statistics=None,
+    ) -> Iterator[TupleSet]:
+        """Compute ``AFD(R, A, τ)`` (Corollary 6.7) under this backend's schedule.
+
+        The approximate driver's per-relation ``ApproxIncrementalFD`` passes
+        are independent exactly like the exact driver's singleton passes, so
+        the backend owns their schedule too.  Yields every member of the
+        approximate full disjunction exactly once, in database relation order
+        with the earlier-relation duplicate suppression applied.
+        """
+        raise NotImplementedError
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

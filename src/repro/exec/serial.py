@@ -84,3 +84,29 @@ class SerialBackend(ExecutionBackend):
             if statistics is not None and pass_statistics is not None:
                 pass_statistics.block_reads = getattr(scanner, "block_reads", 0)
                 statistics.merge(pass_statistics)
+
+    def run_approx_passes(
+        self,
+        database: Database,
+        join_function,
+        threshold: float,
+        use_index: bool = False,
+        statistics=None,
+    ) -> Iterator[TupleSet]:
+        """The Corollary 6.7 driver: a fresh ``ApproxIncrementalFD`` per relation."""
+        from repro.core.approx import approx_incremental_fd
+
+        for index, relation in enumerate(database.relations):
+            earlier = {r.name for r in database.relations[:index]}
+            for result in approx_incremental_fd(
+                database,
+                relation.name,
+                join_function,
+                threshold,
+                use_index=use_index,
+                statistics=statistics,
+                backend=self,
+            ):
+                if any(result.contains_tuple_from(name) for name in earlier):
+                    continue
+                yield result

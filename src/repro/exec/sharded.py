@@ -108,6 +108,40 @@ def _singleton_passes_worker(
     return outputs
 
 
+def _approx_passes_worker(
+    database: Database,
+    anchor_names: List[str],
+    join_function,
+    threshold: float,
+    use_index: bool,
+) -> List[TupleType[List[ResultKeys], FDStatistics]]:
+    """A chunk of ``ApproxIncrementalFD`` passes, run inside one worker process.
+
+    Mirrors :func:`_singleton_passes_worker`: the join function rides along in
+    the pickle (the stock similarity/aggregation classes are plain picklable
+    objects) and the results come back as ``(relation_name, label)`` key sets.
+    """
+    from repro.core.approx import approx_incremental_fd
+
+    backend = BatchedBackend()
+    outputs: List[TupleType[List[ResultKeys], FDStatistics]] = []
+    for anchor_name in anchor_names:
+        statistics = FDStatistics()
+        results: List[ResultKeys] = []
+        for result in approx_incremental_fd(
+            database,
+            anchor_name,
+            join_function,
+            threshold,
+            use_index=use_index,
+            statistics=statistics,
+            backend=backend,
+        ):
+            results.append(frozenset((t.relation_name, t.label) for t in result))
+        outputs.append((results, statistics))
+    return outputs
+
+
 def _contiguous_chunks(items: List[str], count: int) -> List[List[str]]:
     """Split ``items`` into at most ``count`` contiguous, balanced chunks."""
     count = min(count, len(items))
@@ -141,13 +175,73 @@ class ShardedBackend(BatchedBackend):
         block_size: Optional[int] = None,
         statistics=None,
     ) -> Iterator[TupleSet]:
+        return self._run_passes_on_pool(
+            database,
+            statistics,
+            submit_chunk=lambda executor, chunk: executor.submit(
+                _singleton_passes_worker, database, chunk, use_index, block_size, True
+            ),
+            fallback=lambda: super(ShardedBackend, self).run_singleton_passes(
+                database,
+                use_index=use_index,
+                block_size=block_size,
+                statistics=statistics,
+            ),
+        )
+
+    def run_approx_passes(
+        self,
+        database: Database,
+        join_function,
+        threshold: float,
+        use_index: bool = False,
+        statistics=None,
+    ) -> Iterator[TupleSet]:
+        """Fan the independent ``ApproxIncrementalFD`` passes out to the pool.
+
+        Same scaffolding and deterministic merge as
+        :meth:`run_singleton_passes`; an unpicklable ad-hoc join function
+        degrades to the in-process schedule exactly like a host that cannot
+        spawn processes.
+        """
+        return self._run_passes_on_pool(
+            database,
+            statistics,
+            submit_chunk=lambda executor, chunk: executor.submit(
+                _approx_passes_worker, database, chunk, join_function, threshold,
+                use_index,
+            ),
+            fallback=lambda: super(ShardedBackend, self).run_approx_passes(
+                database,
+                join_function,
+                threshold,
+                use_index=use_index,
+                statistics=statistics,
+            ),
+        )
+
+    def _run_passes_on_pool(
+        self, database: Database, statistics, submit_chunk, fallback
+    ) -> Iterator[TupleSet]:
+        """The shared fan-out scaffolding of both pass drivers.
+
+        Chunks the relations, submits each chunk through ``submit_chunk``,
+        and merges deterministically: chunks (and passes within them) in
+        relation order, results in each pass's emission order, the
+        earlier-relation duplicate suppression applied in the parent, every
+        result re-interned against the parent's catalog.  Chunk ``i``
+        streams out while chunks ``i+1..`` are still running.  Systemic
+        failures (no process spawn, unpicklable arguments) surface on the
+        first chunk and degrade to ``fallback()`` — the in-process schedule
+        — with a warning.
+        """
         # Build the catalog *before* pickling so every worker receives the
         # precomputed bitmatrices instead of rebuilding them n times.
         catalog = database.catalog()
         label_map = {(t.relation_name, t.label): t for t in database.tuples()}
         relation_names = [relation.name for relation in database.relations]
         if not relation_names:
-            return  # FD of an empty database is empty; nothing to shard
+            return  # the result over an empty database is empty; nothing to shard
         workers = min(self.max_workers, len(relation_names))
 
         chunks = _contiguous_chunks(relation_names, workers)
@@ -155,20 +249,10 @@ class ShardedBackend(BatchedBackend):
         try:
             try:
                 executor = _shared_pool(workers)
-                futures = [
-                    executor.submit(
-                        _singleton_passes_worker,
-                        database,
-                        chunk,
-                        use_index,
-                        block_size,
-                        True,
-                    )
-                    for chunk in chunks
-                ]
+                futures = [submit_chunk(executor, chunk) for chunk in chunks]
                 # Resolve the first chunk before yielding anything: systemic
-                # failures (no process spawn, unpicklable database) surface
-                # here, while the fallback can still take over cleanly.
+                # failures surface here, while the fallback can still take
+                # over cleanly.
                 first_output = futures[0].result()
             except Exception as error:  # pragma: no cover - host-dependent
                 for future in futures:
@@ -179,20 +263,11 @@ class ShardedBackend(BatchedBackend):
                     f"sharded backend could not use a process pool ({error!r}); "
                     "falling back to in-process passes",
                     RuntimeWarning,
-                    stacklevel=2,
+                    stacklevel=3,
                 )
-                yield from super().run_singleton_passes(
-                    database,
-                    use_index=use_index,
-                    block_size=block_size,
-                    statistics=statistics,
-                )
+                yield from fallback()
                 return
 
-            # Deterministic merge: chunks (and passes within them) in
-            # relation order, results in each pass's emission order,
-            # statistics merged pass by pass.  Chunk i streams out while
-            # chunks i+1.. are still running.
             earlier: set = set()
             for index, chunk in enumerate(chunks):
                 chunk_output = first_output if index == 0 else futures[index].result()

@@ -160,6 +160,22 @@ class Database:
                     return t
         raise DatabaseError(f"no tuple labelled {label!r} in the database")
 
+    @property
+    def generation(self):
+        """The structural version of this database, as a comparable token.
+
+        ``(catalog_rebuilds, relation count, tuple count)`` — any structural
+        change moves at least one component: appends through
+        :meth:`add_tuple` move the tuple count (the catalog is maintained in
+        place, no rebuild), while adding a relation or adding tuples behind
+        the database's back forces a snapshot rebuild on the next
+        :meth:`catalog` call and bumps ``catalog_rebuilds``.  The serving
+        layer's prefix cache uses this token as its invalidation contract;
+        compare tokens taken *after* a :meth:`catalog` call so a pending
+        lazy build cannot move the counter in between.
+        """
+        return (self.catalog_rebuilds, len(self._relations), self.tuple_count())
+
     # ------------------------------------------------------------------ #
     # interned catalog
     # ------------------------------------------------------------------ #

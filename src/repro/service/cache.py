@@ -1,0 +1,212 @@
+"""The LRU result-prefix cache: identical queries share one computation.
+
+Many concurrent clients asking the same first-k query should cost one engine
+run, not one per client.  :class:`PrefixCache` keys each query by
+
+``(database generation, engine, frozen options)``
+
+and maps it to the shared :class:`~repro.service.session.ResultLog` of the
+first client's run.  Later clients get cursors over the same log: results
+already materialized are free, and the log's single generator extends the
+prefix for whichever client asks furthest first.
+
+**Invalidation contract.**  The cache never inspects tuples; it trusts the
+append-only catalog's bookkeeping.  :func:`database_generation` folds the
+three counters that, together, change whenever the answer stream could
+change:
+
+* ``Database.catalog_rebuilds`` — bumped by every full snapshot rebuild
+  (relations added, or tuples added behind the database's back);
+* the relation count and the tuple count — ``Database.add_tuple`` maintains
+  the catalog *in place* (no rebuild), so streaming ingest is visible only
+  through the tuple count.
+
+A cached entry whose recorded generation differs from the database's current
+generation is dead: results emitted for an older generation may have since
+become non-maximal.  Stale entries are dropped lazily on lookup (counted in
+``invalidations``) — there is no eager flush to coordinate, which is exactly
+why the generation token rides in the key.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple as TupleType
+
+from repro.core.incremental import FDStatistics
+from repro.relational.database import Database
+from repro.service.session import QuerySession, ResultLog, make_result_source
+
+#: Option keys that identify a query; anything else (statistics objects,
+#: session names) is per-client and must not fragment the cache.
+_KEY_OPTIONS = (
+    "use_index",
+    "initialization",
+    "block_size",
+    "threshold",
+    "rank_threshold",
+    "k",
+)
+
+
+def database_generation(database: Database) -> TupleType[int, int, int]:
+    """The invalidation token: ``(catalog_rebuilds, relations, tuples)``.
+
+    Any structural change moves at least one component: appends move the
+    tuple count, rebuild-triggering changes move ``catalog_rebuilds`` (and
+    usually the other two).  The catalog is settled first — tokens are
+    defined over a *built* snapshot, so the initial (or any pending lazy)
+    build is charged here rather than shifting the token under a key that
+    was computed moments earlier.
+    """
+    database.catalog()
+    return database.generation
+
+
+def _query_key(database: Database, engine: str, options: dict, extra: Optional[str]):
+    """A hashable identity for one query against one database generation.
+
+    The database (and any untagged callables) participate as *objects*, not
+    ``id()`` integers: the key tuple holds a strong reference, so a live
+    entry can never alias a different database allocated at a recycled id.
+    """
+    parts = [
+        ("db", database),
+        ("generation", database_generation(database)),
+        ("engine", engine),
+    ]
+    for key in _KEY_OPTIONS:
+        if options.get(key) is not None:
+            parts.append((key, options[key]))
+    backend = options.get("backend")
+    if backend is not None:
+        parts.append(("backend", getattr(backend, "name", str(backend))))
+    # Ranking / join functions are arbitrary callables.  A ``cache_tag``
+    # *names* them: the caller asserts that equal tags mean equivalent
+    # callables, so fresh-but-identical instances (a new ``MinJoin`` per
+    # request, say) share the cache.  Untagged callables fragment by
+    # identity, which is always safe.
+    if extra is not None:
+        parts.append(("tag", extra))
+    else:
+        for key in ("ranking", "join_function"):
+            value = options.get(key)
+            if value is not None:
+                parts.append((key, value))
+    return tuple(parts)
+
+
+class PrefixCache:
+    """An LRU of shared result logs, one per distinct live query.
+
+    ``capacity`` bounds the number of retained logs; the least recently
+    *opened* entry is evicted (and its generator closed).  Counters expose
+    the serving behaviour: ``hits`` (a later client reused a log),
+    ``misses`` (a fresh computation started), ``invalidations`` (an entry
+    was dropped because the database moved to a new generation),
+    ``evictions`` (capacity pressure).
+    """
+
+    def __init__(self, capacity: int = 32):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple, ResultLog]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def open(
+        self,
+        database: Database,
+        engine: str = "fd",
+        name: Optional[str] = None,
+        cache_tag: Optional[str] = None,
+        **options,
+    ) -> QuerySession:
+        """A session for this query — over the shared log when one is live.
+
+        The returned session never owns the log (the cache does), so clients
+        may close their sessions freely.  ``cache_tag`` names an otherwise
+        unhashable option set (a ranking callable, say) so separate clients
+        can share it deliberately.
+        """
+        key = _query_key(database, engine, options, cache_tag)
+        log = self._entries.get(key)
+        if log is not None and not log.closed:
+            self._entries.move_to_end(key)
+            self.hits += 1
+        else:
+            if log is not None:
+                del self._entries[key]
+            self._drop_stale(database)
+            statistics = options.pop("statistics", None) or FDStatistics()
+            source = make_result_source(
+                database, engine, statistics=statistics, **options
+            )
+            log = ResultLog(source, statistics=statistics)
+            self._entries[key] = log
+            self.misses += 1
+            while len(self._entries) > self.capacity:
+                _, evicted = self._entries.popitem(last=False)
+                evicted.close("the shared result log was evicted from the prefix cache")
+                self.evictions += 1
+        return QuerySession(log, owns_log=False, name=name)
+
+    def invalidate(self, database: Database) -> int:
+        """Eagerly drop every entry for an older generation of ``database``.
+
+        Lookups do this lazily; a caller that just *mutated* the database
+        (the serving layer's ingest path) calls this so sessions still
+        reading an old-generation log fail fast with
+        :class:`~repro.service.session.StaleResultLog` instead of pulling
+        from a generator that now observes a half-changed database.
+        Returns the number of entries dropped.
+        """
+        return self._drop_stale(database)
+
+    def _drop_stale(self, database: Database) -> int:
+        """Drop every entry recorded against an older generation of ``database``.
+
+        Entries for *other* databases are left to age out of the LRU
+        normally.
+        """
+        marker = ("db", database)
+        current = ("generation", database_generation(database))
+        stale = [
+            key
+            for key in self._entries
+            if key[0] == marker and key[1] != current
+        ]
+        for key in stale:
+            self._entries.pop(key).close(
+                "the database moved to a new generation; reopen the query"
+            )
+            self.invalidations += 1
+        return len(stale)
+
+    def clear(self) -> None:
+        """Close and drop every entry."""
+        for log in self._entries.values():
+            log.close("the prefix cache was cleared")
+        self._entries.clear()
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"PrefixCache(entries={len(self._entries)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

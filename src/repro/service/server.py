@@ -1,0 +1,376 @@
+"""An asyncio JSON-lines server driving query sessions end to end.
+
+One process, one event loop, many clients: each connection speaks a
+line-oriented JSON protocol, sessions are multiplexed through the ``async``
+execution backend (one ``GetNextResult``-granular step per loop turn), and
+identical queries from different clients share prefixes through a
+:class:`~repro.service.cache.PrefixCache`.
+
+Protocol (one JSON object per line, both directions)::
+
+    → {"op": "open", "engine": "fd", "use_index": true}
+    ← {"ok": true, "session": "s1", "cached": false}
+    → {"op": "next", "session": "s1", "k": 5}
+    ← {"ok": true, "results": [["c1","f1","l1"], ...], "exhausted": false}
+    → {"op": "peek", "session": "s1"}
+    → {"op": "ingest", "tuples": [["Prices", ["v1", "w2"]], ...]}
+    ← {"ok": true, "applied": 1, "new_results": 2}
+    → {"op": "close", "session": "s1"}
+    → {"op": "stats"}
+
+``open`` accepts ``engine`` ∈ {"fd", "approx", "stream"} plus engine options
+(``use_index``, ``initialization``, ``threshold``, ``similarity``).  The
+``stream`` engine serves the live log of the server's
+:class:`~repro.service.delta.StreamingFullDisjunction` maintainer, so an open
+stream session observes ``ingest``-ed tuples without restarting; the exact
+and approximate engines go through the prefix cache, which the ingest
+invalidates via the database generation token.  Ranked engines need
+callables and are a library-level feature; the wire protocol exposes the
+rankable subset through ``importance`` attributes if ever needed.
+
+Results cross the wire as sorted label lists — the canonical,
+order-insensitive rendering the CLI and tests use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, List, Optional, Tuple as TupleType
+
+from repro.core.approx_join import (
+    EditDistanceSimilarity,
+    ExactMatchSimilarity,
+    MinJoin,
+)
+from repro.exec import AsyncBackend
+from repro.relational.database import Database
+from repro.service.cache import PrefixCache
+from repro.service.delta import StreamingFullDisjunction
+from repro.service.session import QuerySession
+from repro.workloads.streaming import Arrival
+
+
+def render_result(item) -> List[str]:
+    """A result (tuple set, or (tuple set, score) pair) as sorted labels."""
+    tuple_set = item[0] if isinstance(item, tuple) else item
+    return sorted(t.label for t in tuple_set)
+
+
+class QueryServer:
+    """Session bookkeeping + request dispatch for one served database."""
+
+    def __init__(
+        self,
+        database: Database,
+        use_index: bool = True,
+        cache: Optional[PrefixCache] = None,
+    ):
+        self.database = database
+        self.use_index = use_index
+        self.cache = cache if cache is not None else PrefixCache()
+        self.backend = AsyncBackend()
+        self.maintainer = StreamingFullDisjunction(database, use_index=use_index)
+        self._sessions: Dict[str, QuerySession] = {}
+        self._session_counter = 0
+        self.requests = 0
+
+    # ------------------------------------------------------------------ #
+    # request handling
+    # ------------------------------------------------------------------ #
+    async def handle_request(
+        self, request: dict, connection_sessions: Optional[set] = None
+    ) -> dict:
+        self.requests += 1
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "open":
+            response = self._open(request)
+            if connection_sessions is not None and response.get("ok"):
+                connection_sessions.add(response["session"])
+            return response
+        if op == "next":
+            return await self._next(request)
+        if op == "peek":
+            return self._peek(request)
+        if op == "close":
+            if connection_sessions is not None:
+                connection_sessions.discard(request.get("session"))
+            return self._close(request)
+        if op == "ingest":
+            return self._ingest(request)
+        if op == "stats":
+            return {
+                "ok": True,
+                "cache": self.cache.stats(),
+                "sessions": len(self._sessions),
+                "requests": self.requests,
+                "steps": dict(self.backend.steps),
+                "arrivals_applied": self.maintainer.arrivals_applied,
+            }
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    def _open(self, request: dict) -> dict:
+        engine = request.get("engine", "fd")
+        self._session_counter += 1
+        name = f"s{self._session_counter}"
+        if engine == "stream":
+            session = self.maintainer.session(name=name)
+            cached = True  # the live log is always shared
+        elif engine in ("fd", "approx"):
+            options = {"use_index": request.get("use_index", self.use_index)}
+            if engine == "fd":
+                if request.get("initialization"):
+                    options["initialization"] = request["initialization"]
+            else:
+                similarity = (
+                    EditDistanceSimilarity()
+                    if request.get("similarity", "edit") == "edit"
+                    else ExactMatchSimilarity()
+                )
+                options["join_function"] = MinJoin(similarity)
+                options["threshold"] = float(request.get("threshold", 0.8))
+                options["cache_tag"] = (
+                    f"minjoin-{request.get('similarity', 'edit')}"
+                )
+            hits_before = self.cache.hits
+            session = self.cache.open(self.database, engine, name=name, **options)
+            cached = self.cache.hits > hits_before
+        else:
+            return {"ok": False, "error": f"unknown engine {engine!r}"}
+        self._sessions[name] = session
+        return {"ok": True, "session": name, "cached": cached}
+
+    def _session_of(self, request: dict) -> TupleType[Optional[QuerySession], dict]:
+        name = request.get("session")
+        session = self._sessions.get(name)
+        if session is None:
+            return None, {"ok": False, "error": f"no session {name!r}"}
+        return session, {}
+
+    async def _next(self, request: dict) -> dict:
+        session, error = self._session_of(request)
+        if session is None:
+            return error
+        k = int(request.get("k", 1))
+        results = await self.backend.drive(session, k)
+        return {
+            "ok": True,
+            "results": [render_result(item) for item in results],
+            "exhausted": session.exhausted,
+        }
+
+    def _peek(self, request: dict) -> dict:
+        session, error = self._session_of(request)
+        if session is None:
+            return error
+        item = session.peek()
+        return {
+            "ok": True,
+            "result": None if item is None else render_result(item),
+            "exhausted": session.exhausted,
+        }
+
+    def _close(self, request: dict) -> dict:
+        session, error = self._session_of(request)
+        if session is None:
+            return error
+        session.close()
+        del self._sessions[request["session"]]
+        return {"ok": True}
+
+    def _ingest(self, request: dict) -> dict:
+        tuples = request.get("tuples", [])
+        arrivals = [
+            Arrival(entry[0], tuple(entry[1]), *entry[2:]) for entry in tuples
+        ]
+        record = self.maintainer.ingest(arrivals)
+        # Eagerly kill cached fd/approx logs of the old generation: an open
+        # session straddling the ingest must fail fast ("reopen the query")
+        # on its next deep pull, not stream from a generator that now
+        # observes the mutated database.  Stream sessions live on — the
+        # delta results were just appended to their log.
+        invalidated = self.cache.invalidate(self.database)
+        return {
+            "ok": True,
+            "applied": record["arrivals"],
+            "new_results": record["results_emitted"],
+            "candidates_generated": record["candidates_generated"],
+            "invalidated_queries": invalidated,
+        }
+
+    # ------------------------------------------------------------------ #
+    # the TCP face
+    # ------------------------------------------------------------------ #
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        # Sessions opened over this connection, released on teardown: a
+        # client that drops the socket without sending `close` must not leak
+        # its sessions in a long-running server.
+        connection_sessions: set = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except asyncio.CancelledError:
+                    # Server shutdown with the connection still open: end the
+                    # handler normally so asyncio's stream teardown does not
+                    # log the cancellation as a task crash.
+                    break
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as error:
+                    response = {"ok": False, "error": f"bad JSON: {error}"}
+                else:
+                    try:
+                        response = await self.handle_request(
+                            request, connection_sessions
+                        )
+                    except Exception as error:  # serve errors, don't die
+                        response = {"ok": False, "error": str(error)}
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+        finally:
+            for name in connection_sessions:
+                session = self._sessions.pop(name, None)
+                if session is not None:
+                    session.close()
+            writer.close()
+            # Swallow cancellation too: when the server is closed while this
+            # handler still awaits, ending the coroutine normally (we are
+            # done anyway) keeps asyncio's stream teardown from logging a
+            # spurious CancelledError traceback.
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):  # pragma: no cover
+                pass
+
+
+async def start_server(
+    database: Database,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    use_index: bool = True,
+) -> TupleType[asyncio.AbstractServer, QueryServer, int]:
+    """Start serving; returns ``(asyncio server, state, bound port)``.
+
+    ``port=0`` binds an ephemeral port — the smoke harness and tests use
+    this to avoid collisions.
+    """
+    state = QueryServer(database, use_index=use_index)
+    server = await asyncio.start_server(state.handle_connection, host, port)
+    bound_port = server.sockets[0].getsockname()[1]
+    return server, state, bound_port
+
+
+# ---------------------------------------------------------------------- #
+# client helpers (used by tests, the smoke harness and examples)
+# ---------------------------------------------------------------------- #
+async def client_call(
+    reader: asyncio.StreamReader, writer: asyncio.StreamWriter, request: dict
+) -> dict:
+    """One request/response round trip on an open connection."""
+    writer.write(json.dumps(request).encode() + b"\n")
+    await writer.drain()
+    line = await reader.readline()
+    if not line:
+        raise ConnectionError("server closed the connection")
+    return json.loads(line)
+
+
+async def fetch_first_k(
+    host: str, port: int, k: Optional[int], engine: str = "fd", chunk: int = 4, **opts
+) -> List[List[str]]:
+    """A complete client: open, pull ``k`` results chunk by chunk, close.
+
+    ``k=None`` drains the stream.  Pulling in chunks (rather than one big
+    ``next``) is what actually exercises pause/resume over the wire.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        opened = await client_call(
+            reader, writer, {"op": "open", "engine": engine, **opts}
+        )
+        if not opened.get("ok"):
+            raise RuntimeError(opened.get("error", "open failed"))
+        session = opened["session"]
+        results: List[List[str]] = []
+        while k is None or len(results) < k:
+            want = chunk if k is None else min(chunk, k - len(results))
+            reply = await client_call(
+                reader, writer, {"op": "next", "session": session, "k": want}
+            )
+            if not reply.get("ok"):
+                raise RuntimeError(reply.get("error", "next failed"))
+            results.extend(reply["results"])
+            if len(reply["results"]) < want:
+                break
+        await client_call(reader, writer, {"op": "close", "session": session})
+        return results
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+
+
+async def _smoke(
+    database: Database, clients: int, k: Optional[int], use_index: bool
+) -> dict:
+    server, state, port = await start_server(database, use_index=use_index)
+    try:
+        per_client = await asyncio.gather(
+            *(
+                fetch_first_k("127.0.0.1", port, k, engine="fd", chunk=3)
+                for _ in range(clients)
+            )
+        )
+    finally:
+        server.close()
+        await server.wait_closed()
+    return {
+        "per_client": per_client,
+        "cache": state.cache.stats(),
+        "requests": state.requests,
+    }
+
+
+def run_smoke(
+    database: Database,
+    clients: int = 4,
+    k: Optional[int] = None,
+    use_index: bool = True,
+) -> dict:
+    """Start a server, run concurrent clients, assert parity with serial.
+
+    The end-to-end check behind ``repro serve --smoke-clients`` and the CI
+    serving job: every client must receive exactly the serial engine's
+    result sequence (as label lists), and all clients but the first must
+    have hit the shared prefix cache.  Raises ``AssertionError`` on any
+    mismatch; returns the summary dict on success.
+    """
+    from repro.core.full_disjunction import full_disjunction_sets
+
+    serial: List[List[str]] = []
+    for tuple_set in full_disjunction_sets(database, use_index=use_index):
+        if k is not None and len(serial) >= k:
+            break
+        serial.append(sorted(t.label for t in tuple_set))
+
+    outcome = asyncio.run(_smoke(database, clients, k, use_index))
+    for index, received in enumerate(outcome["per_client"]):
+        assert received == serial, (
+            f"client {index} diverged from the serial run: "
+            f"{len(received)} vs {len(serial)} results"
+        )
+    cache = outcome["cache"]
+    assert cache["misses"] >= 1
+    assert cache["hits"] >= clients - 1, f"expected shared prefixes: {cache}"
+    outcome["results_per_client"] = len(serial)
+    outcome["clients"] = clients
+    return outcome

@@ -20,6 +20,7 @@ from repro.core.ranked_approx import ranked_approx_full_disjunction
 from repro.core.ranking import MaxRanking
 from repro.exec import (
     BACKENDS,
+    AsyncBackend,
     BatchedBackend,
     ExecutionBackend,
     SerialBackend,
@@ -51,6 +52,10 @@ def _workloads():
 WORKLOADS = list(_workloads())
 WORKLOAD_IDS = [name for name, _ in WORKLOADS]
 
+#: The in-process step-for-step backends: every single-run sequence must be
+#: identical to serial (the async backend inherits the batched step).
+STEP_BACKENDS = ("batched", "async")
+
 
 def _labelled(results):
     return [ts.labels() for ts in results]
@@ -80,7 +85,11 @@ class TestResolveBackend:
 
     def test_unknown_name_raises(self):
         with pytest.raises(ValueError, match="unknown execution backend"):
-            resolve_backend("async")
+            resolve_backend("quantum")
+
+    def test_async_resolves(self):
+        assert isinstance(resolve_backend("async"), AsyncBackend)
+        assert isinstance(resolve_backend("asyncio"), AsyncBackend)
 
     def test_worker_count_on_in_process_backends_is_rejected(self):
         with pytest.raises(ValueError, match="no worker count"):
@@ -97,28 +106,31 @@ class TestResolveBackend:
             assert isinstance(resolve_backend(name), ExecutionBackend)
 
 
+@pytest.mark.parametrize("backend", STEP_BACKENDS)
 @pytest.mark.parametrize("name,database", WORKLOADS, ids=WORKLOAD_IDS)
 @pytest.mark.parametrize("use_index", [False, True], ids=["plain", "indexed"])
-def test_batched_full_disjunction_is_order_identical(name, database, use_index):
+def test_batched_full_disjunction_is_order_identical(name, database, use_index, backend):
     serial = full_disjunction(database, use_index=use_index, backend="serial")
-    batched = full_disjunction(database, use_index=use_index, backend="batched")
+    batched = full_disjunction(database, use_index=use_index, backend=backend)
     assert _labelled(serial) == _labelled(batched)
 
 
+@pytest.mark.parametrize("backend", STEP_BACKENDS)
 @pytest.mark.parametrize("name,database", WORKLOADS, ids=WORKLOAD_IDS)
-def test_batched_incremental_fd_pass_is_order_identical(name, database):
+def test_batched_incremental_fd_pass_is_order_identical(name, database, backend):
     anchor = database.relation_names[0]
     serial = list(incremental_fd(database, anchor, use_index=True))
     batched = list(
-        incremental_fd(database, anchor, use_index=True, backend="batched")
+        incremental_fd(database, anchor, use_index=True, backend=backend)
     )
     assert _labelled(serial) == _labelled(batched)
 
 
+@pytest.mark.parametrize("backend", STEP_BACKENDS)
 @pytest.mark.parametrize(
     "initialization", ["previous-results", "reduced-previous"]
 )
-def test_batched_reuse_strategies_match_serial(initialization):
+def test_batched_reuse_strategies_match_serial(initialization, backend):
     database = chain_database(
         relations=3, tuples_per_relation=5, domain_size=3, null_rate=0.2, seed=7
     )
@@ -126,37 +138,40 @@ def test_batched_reuse_strategies_match_serial(initialization):
         database, use_index=True, initialization=initialization, backend="serial"
     )
     batched = full_disjunction(
-        database, use_index=True, initialization=initialization, backend="batched"
+        database, use_index=True, initialization=initialization, backend=backend
     )
     assert _labelled(serial) == _labelled(batched)
 
 
+@pytest.mark.parametrize("backend", STEP_BACKENDS)
 @pytest.mark.parametrize("name,database", WORKLOADS, ids=WORKLOAD_IDS)
-def test_batched_priority_driver_is_order_identical(name, database):
+def test_batched_priority_driver_is_order_identical(name, database, backend):
     ranking = MaxRanking(lambda t: float(sum(ord(ch) for ch in t.label) % 13))
     serial = list(priority_incremental_fd(database, ranking, use_index=True))
     batched = list(
-        priority_incremental_fd(database, ranking, use_index=True, backend="batched")
+        priority_incremental_fd(database, ranking, use_index=True, backend=backend)
     )
     assert [(ts.labels(), score) for ts, score in serial] == [
         (ts.labels(), score) for ts, score in batched
     ]
 
 
+@pytest.mark.parametrize("backend", STEP_BACKENDS)
 @pytest.mark.parametrize("use_index", [False, True], ids=["plain", "indexed"])
-def test_batched_approx_driver_matches_serial(use_index):
+def test_batched_approx_driver_matches_serial(use_index, backend):
     database = chain_database(
         relations=3, tuples_per_relation=4, domain_size=3, null_rate=0.2, seed=5
     )
     amin = MinJoin(ExactMatchSimilarity())
     serial = approx_full_disjunction(database, amin, 0.6, use_index=use_index)
     batched = approx_full_disjunction(
-        database, amin, 0.6, use_index=use_index, backend="batched"
+        database, amin, 0.6, use_index=use_index, backend=backend
     )
     assert _labelled(serial) == _labelled(batched)
 
 
-def test_batched_ranked_approx_driver_is_order_identical():
+@pytest.mark.parametrize("backend", STEP_BACKENDS)
+def test_batched_ranked_approx_driver_is_order_identical(backend):
     database = chain_database(
         relations=3, tuples_per_relation=4, domain_size=3, null_rate=0.2, seed=5
     )
@@ -167,7 +182,7 @@ def test_batched_ranked_approx_driver_is_order_identical():
     )
     batched = list(
         ranked_approx_full_disjunction(
-            database, amin, 0.6, ranking, use_index=True, backend="batched"
+            database, amin, 0.6, ranking, use_index=True, backend=backend
         )
     )
     assert [(ts.labels(), score) for ts, score in serial] == [
@@ -218,6 +233,18 @@ class TestShardedBackend:
         # The algorithmic counters are schedule-independent.
         assert serial.results == first.results
         assert serial.candidates_generated == first.candidates_generated
+
+    def test_approx_passes_match_serial(self):
+        """ROADMAP item: approx pass scheduling goes through the backend too."""
+        database = chain_database(
+            relations=3, tuples_per_relation=4, domain_size=3, null_rate=0.2, seed=5
+        )
+        amin = MinJoin(ExactMatchSimilarity())
+        serial = approx_full_disjunction(database, amin, 0.6, use_index=True)
+        sharded = approx_full_disjunction(
+            database, amin, 0.6, use_index=True, backend="sharded:2"
+        )
+        assert _labelled(serial) == _labelled(sharded)
 
     def test_first_k_abandons_remaining_passes(self):
         database = star_database(spokes=3, tuples_per_relation=4, hub_domain=2, seed=2)

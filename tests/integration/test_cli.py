@@ -36,7 +36,7 @@ class TestParser:
 
     def test_backend_rejects_unknown_names(self, csv_paths):
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["fd", *csv_paths, "--backend", "async"])
+            build_parser().parse_args(["fd", *csv_paths, "--backend", "quantum"])
 
 
 class TestFdCommand:
@@ -130,6 +130,43 @@ class TestStreamCommand:
             ["stream", *csv_paths, "--backend", "batched", "--use-index"]
         ) == 0
         assert "catalog build)" in capsys.readouterr().out
+
+    def test_delta_mode_matches_recompute_and_reports_work(self, csv_paths, capsys):
+        assert main(["stream", *csv_paths, "--arrival-fraction", "0.4"]) == 0
+        recompute = capsys.readouterr().out
+        assert main(
+            ["stream", *csv_paths, "--arrival-fraction", "0.4", "--mode", "delta"]
+        ) == 0
+        delta = capsys.readouterr().out
+        assert "delta maintenance:" in delta
+        assert "1 catalog build)" in delta
+
+        def answers(output):
+            return {
+                line.split("] ", 1)[1]
+                for line in output.splitlines()
+                if line.startswith("[after")
+            }
+
+        assert answers(delta) == answers(recompute)
+
+
+class TestServeCommand:
+    def test_smoke_mode_asserts_parity_with_serial(self, capsys):
+        assert main(["serve", "--workload", "tourist", "--smoke-clients", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "smoke OK: 4 concurrent clients" in output
+        assert "6 answers" in output
+
+    def test_smoke_mode_with_first_k(self, capsys):
+        assert main(
+            ["serve", "--workload", "star", "--smoke-clients", "5", "--k", "7"]
+        ) == 0
+        assert "7 answers" in capsys.readouterr().out
+
+    def test_smoke_mode_over_csv_files(self, csv_paths, capsys):
+        assert main(["serve", *csv_paths, "--smoke-clients", "4"]) == 0
+        assert "smoke OK" in capsys.readouterr().out
 
 
 class TestTraceCommand:

@@ -117,3 +117,38 @@ class TestConnectionGraph:
 
     def test_schema_edges(self, chain_db):
         assert chain_db.schema_edges() == [("R1", "R2"), ("R2", "R3")]
+
+
+class TestGeneration:
+    """The structural version token the serving layer's cache keys on."""
+
+    def test_stable_across_reads(self, chain_db):
+        chain_db.catalog()
+        token = chain_db.generation
+        chain_db.catalog()
+        list(chain_db.tuples())
+        assert chain_db.generation == token
+
+    def test_streamed_append_moves_only_the_tuple_count(self, chain_db):
+        chain_db.catalog()
+        rebuilds, relations, tuples = chain_db.generation
+        chain_db.add_tuple("R1", ["x", "y"])
+        assert chain_db.generation == (rebuilds, relations, tuples + 1)
+
+    def test_adding_a_relation_moves_the_token(self, chain_db):
+        chain_db.catalog()
+        before = chain_db.generation
+        chain_db.add_relation(relation("R4", ["D", "E"], [["d", "e"]]))
+        chain_db.catalog()
+        after = chain_db.generation
+        assert after != before
+        assert after[0] == before[0] + 1  # a full snapshot rebuild happened
+
+    def test_out_of_band_append_moves_the_token_via_a_rebuild(self, chain_db):
+        chain_db.catalog()
+        before = chain_db.generation
+        chain_db.relation("R1").add(["p", "q"])  # behind the database's back
+        chain_db.catalog()
+        after = chain_db.generation
+        assert after != before
+        assert after[0] == before[0] + 1

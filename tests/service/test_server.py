@@ -1,0 +1,372 @@
+"""The asyncio JSON-lines server: concurrent clients, parity, fairness."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.full_disjunction import full_disjunction_sets
+from repro.exec import AsyncBackend
+from repro.service.server import (
+    client_call,
+    fetch_first_k,
+    run_smoke,
+    start_server,
+)
+from repro.service.session import open_session
+from repro.workloads.generators import chain_database, star_database
+from repro.workloads.streaming import streaming_chain_workload
+from repro.workloads.tourist import tourist_database
+
+
+def _serial_labels(database, use_index=True, k=None):
+    out = []
+    for tuple_set in full_disjunction_sets(database, use_index=use_index):
+        out.append(sorted(t.label for t in tuple_set))
+        if k is not None and len(out) == k:
+            break
+    return out
+
+
+def _run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def _with_server(database, scenario):
+    server, state, port = await start_server(database)
+    try:
+        return await scenario(state, port)
+    finally:
+        server.close()
+        await server.wait_closed()
+
+
+class TestServer:
+    def test_four_concurrent_clients_match_serial(self):
+        database = star_database(spokes=3, tuples_per_relation=4, hub_domain=2, seed=1)
+        serial = _serial_labels(database)
+
+        async def scenario(state, port):
+            return await asyncio.gather(
+                *(fetch_first_k("127.0.0.1", port, None, chunk=3) for _ in range(4))
+            )
+
+        per_client = _run(_with_server(database, scenario))
+        assert len(per_client) == 4
+        for received in per_client:
+            assert received == serial
+
+    def test_identical_queries_share_the_prefix_cache(self):
+        database = tourist_database()
+
+        async def scenario(state, port):
+            await asyncio.gather(
+                *(fetch_first_k("127.0.0.1", port, 4) for _ in range(3))
+            )
+            return state.cache.stats()
+
+        stats = _run(_with_server(database, scenario))
+        assert stats["misses"] == 1
+        assert stats["hits"] == 2
+
+    def test_first_k_then_resume_on_one_connection(self):
+        database = chain_database(
+            relations=3, tuples_per_relation=5, domain_size=3, null_rate=0.2, seed=7
+        )
+        serial = _serial_labels(database)
+
+        async def scenario(state, port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                opened = await client_call(
+                    reader, writer, {"op": "open", "engine": "fd", "use_index": True}
+                )
+                session = opened["session"]
+                first = await client_call(
+                    reader, writer, {"op": "next", "session": session, "k": 3}
+                )
+                peeked = await client_call(
+                    reader, writer, {"op": "peek", "session": session}
+                )
+                rest = await client_call(
+                    reader, writer, {"op": "next", "session": session, "k": 1000}
+                )
+                return first, peeked, rest
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        first, peeked, rest = _run(_with_server(database, scenario))
+        assert first["results"] == serial[:3]
+        assert peeked["result"] == serial[3]
+        assert first["results"] + rest["results"] == serial
+        assert rest["exhausted"]
+
+    def test_stream_sessions_observe_ingest(self):
+        workload = streaming_chain_workload(
+            relations=3, base_tuples=4, arrivals=3, seed=3
+        )
+
+        async def scenario(state, port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                opened = await client_call(
+                    reader, writer, {"op": "open", "engine": "stream"}
+                )
+                session = opened["session"]
+                base = await client_call(
+                    reader, writer, {"op": "next", "session": session, "k": 10_000}
+                )
+                arrival = workload.arrivals[0]
+                ingested = await client_call(
+                    reader,
+                    writer,
+                    {
+                        "op": "ingest",
+                        "tuples": [[arrival.relation_name, list(arrival.values)]],
+                    },
+                )
+                fresh = await client_call(
+                    reader, writer, {"op": "next", "session": session, "k": 10_000}
+                )
+                return base, ingested, fresh
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        base, ingested, fresh = _run(_with_server(workload.database, scenario))
+        assert ingested["ok"] and ingested["applied"] == 1
+        assert len(fresh["results"]) == ingested["new_results"]
+        assert not any(r in base["results"] for r in fresh["results"])
+
+    def test_ingest_invalidates_cached_fd_sessions(self):
+        workload = streaming_chain_workload(
+            relations=3, base_tuples=4, arrivals=2, seed=3
+        )
+
+        async def scenario(state, port):
+            await fetch_first_k("127.0.0.1", port, None)
+            arrival = workload.arrivals[0]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                await client_call(
+                    reader,
+                    writer,
+                    {
+                        "op": "ingest",
+                        "tuples": [[arrival.relation_name, list(arrival.values)]],
+                    },
+                )
+            finally:
+                writer.close()
+                await writer.wait_closed()
+            after = await fetch_first_k("127.0.0.1", port, None)
+            return state.cache.stats(), after
+
+        stats, after = _run(_with_server(workload.database, scenario))
+        assert stats["misses"] == 2  # the post-ingest open recomputed
+        assert stats["invalidations"] == 1
+        assert after == _serial_labels(workload.database)
+
+    def test_in_flight_session_straddling_ingest_fails_fast(self):
+        """No chimera streams: a half-consumed query dies at the generation
+        change instead of mixing pre- and post-ingest results."""
+        workload = streaming_chain_workload(
+            relations=3, base_tuples=4, arrivals=2, seed=3
+        )
+
+        async def scenario(state, port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                opened = await client_call(
+                    reader, writer, {"op": "open", "engine": "fd", "use_index": True}
+                )
+                session = opened["session"]
+                prefix = await client_call(
+                    reader, writer, {"op": "next", "session": session, "k": 2}
+                )
+                arrival = workload.arrivals[0]
+                ingested = await client_call(
+                    reader,
+                    writer,
+                    {
+                        "op": "ingest",
+                        "tuples": [[arrival.relation_name, list(arrival.values)]],
+                    },
+                )
+                stale = await client_call(
+                    reader, writer, {"op": "next", "session": session, "k": 1000}
+                )
+                reopened = await client_call(
+                    reader, writer, {"op": "open", "engine": "fd", "use_index": True}
+                )
+                fresh = await client_call(
+                    reader, writer,
+                    {"op": "next", "session": reopened["session"], "k": 1000},
+                )
+                return prefix, ingested, stale, fresh
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        prefix, ingested, stale, fresh = _run(
+            _with_server(workload.database, scenario)
+        )
+        assert ingested["invalidated_queries"] == 1
+        assert not stale["ok"] and "generation" in stale["error"]
+        assert len(prefix["results"]) == 2
+        # The reopened query serves exactly the post-ingest serial stream.
+        assert fresh["results"] == _serial_labels(workload.database)
+
+    def test_errors_are_reported_not_fatal(self):
+        database = tourist_database()
+
+        async def scenario(state, port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                bad_json = await client_call(reader, writer, {"op": "nonsense"})
+                writer.write(b"this is not json\n")
+                await writer.drain()
+                garbled = json.loads(await reader.readline())
+                missing = await client_call(
+                    reader, writer, {"op": "next", "session": "nope", "k": 1}
+                )
+                still_alive = await client_call(reader, writer, {"op": "ping"})
+                return bad_json, garbled, missing, still_alive
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        bad_json, garbled, missing, still_alive = _run(
+            _with_server(database, scenario)
+        )
+        assert not bad_json["ok"] and "unknown op" in bad_json["error"]
+        assert not garbled["ok"] and "bad JSON" in garbled["error"]
+        assert not missing["ok"] and "no session" in missing["error"]
+        assert still_alive["ok"] and still_alive["pong"]
+
+    def test_disconnect_releases_the_connections_sessions(self):
+        """Dropping the socket without a close op must not leak sessions."""
+        database = tourist_database()
+
+        async def scenario(state, port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            await client_call(reader, writer, {"op": "open", "engine": "fd"})
+            await client_call(reader, writer, {"op": "open", "engine": "stream"})
+            assert len(state._sessions) == 2
+            writer.close()  # no 'close' ops — just drop the connection
+            await writer.wait_closed()
+            for _ in range(50):
+                if not state._sessions:
+                    break
+                await asyncio.sleep(0.01)
+            return len(state._sessions)
+
+        assert _run(_with_server(database, scenario)) == 0
+
+    def test_unknown_engine_is_refused(self):
+        database = tourist_database()
+
+        async def scenario(state, port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                return await client_call(
+                    reader, writer, {"op": "open", "engine": "mystery"}
+                )
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        reply = _run(_with_server(database, scenario))
+        assert not reply["ok"] and "unknown engine" in reply["error"]
+
+
+class TestSmokeHarness:
+    def test_run_smoke_passes_on_parity(self):
+        outcome = run_smoke(tourist_database(), clients=4)
+        assert outcome["clients"] == 4
+        assert outcome["results_per_client"] == 6
+        assert outcome["cache"]["hits"] >= 3
+
+    def test_run_smoke_with_first_k(self):
+        database = star_database(spokes=3, tuples_per_relation=4, hub_domain=2, seed=2)
+        outcome = run_smoke(database, clients=5, k=7)
+        assert outcome["results_per_client"] == 7
+
+    def test_run_smoke_with_k_zero_is_a_clean_empty_parity(self):
+        outcome = run_smoke(tourist_database(), clients=4, k=0)
+        assert outcome["results_per_client"] == 0
+
+
+class TestAsyncFairness:
+    def test_round_robin_keeps_sessions_within_one_step(self):
+        """Strict fairness: no session leads a live peer by more than one."""
+        database = star_database(spokes=3, tuples_per_relation=4, hub_domain=2, seed=1)
+        backend = AsyncBackend()
+        sessions = [
+            open_session(database, "fd", use_index=True, name=f"s{i}")
+            for i in range(3)
+        ]
+        progress = []
+        originals = [s.next for s in sessions]
+
+        def tracking(index):
+            def wrapped(k=1):
+                batch = originals[index](k)
+                if batch:
+                    progress.append(index)
+                return batch
+            return wrapped
+
+        for index, session in enumerate(sessions):
+            session.next = tracking(index)
+        try:
+            results = backend.serve_first_k(sessions, 6)
+        finally:
+            for session in sessions:
+                session.close()
+        assert all(len(r) == 6 for r in results)
+        counts = [0, 0, 0]
+        for index in progress:
+            counts[index] += 1
+            assert max(counts) - min(counts) <= 1, (
+                f"unfair interleaving: {counts}"
+            )
+        assert set(backend.steps) == {"s0", "s1", "s2"}
+
+    def test_drive_yields_between_steps(self):
+        """Concurrent drive() tasks interleave instead of running to completion."""
+        database = star_database(spokes=3, tuples_per_relation=4, hub_domain=2, seed=1)
+        backend = AsyncBackend()
+        order = []
+
+        async def tracked(session, label, k):
+            results = []
+            while len(results) < k:
+                batch = await backend.drive(session, 1)
+                if not batch:
+                    break
+                results.extend(batch)
+                order.append(label)
+            return results
+
+        async def scenario():
+            sessions = [
+                open_session(database, "fd", use_index=True, name=f"t{i}")
+                for i in range(2)
+            ]
+            try:
+                return await asyncio.gather(
+                    tracked(sessions[0], "a", 5), tracked(sessions[1], "b", 5)
+                )
+            finally:
+                for session in sessions:
+                    session.close()
+
+        first, second = asyncio.run(scenario())
+        assert len(first) == len(second) == 5
+        # Both labels appear in the first half of the trace: neither task
+        # monopolized the loop for its whole prefix.
+        assert {"a", "b"} <= set(order[:4])

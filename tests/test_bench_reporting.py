@@ -1,9 +1,18 @@
 """Tests for the benchmark reporting helpers and the package metadata."""
 
+import json
+
 import pytest
 
 import repro
-from repro.bench.reporting import Table, format_table, print_table, time_call
+from repro.bench.reporting import (
+    BenchArtifacts,
+    Table,
+    experiment_id,
+    format_table,
+    print_table,
+    time_call,
+)
 
 
 class TestFormatTable:
@@ -44,6 +53,61 @@ class TestFormatTable:
         print_table("Printed", ["x"], [[1], [2]])
         output = capsys.readouterr().out
         assert "Printed" in output and "2" in output
+
+
+class TestExperimentId:
+    def test_standard_module_names(self):
+        assert experiment_id("bench_e6_indexing") == "E6"
+        assert experiment_id("bench_e10_serving") == "E10"
+        assert experiment_id("bench_table2_tourist") == "TABLE2"
+        assert experiment_id("benchmarks.bench_e1_total_runtime") == "E1"
+
+    def test_fallback_for_unconventional_names(self):
+        assert experiment_id("some_module") == "SOME_MODULE"
+
+
+class TestBenchArtifacts:
+    def test_record_writes_a_machine_readable_file(self, tmp_path):
+        artifacts = BenchArtifacts(tmp_path)
+        path = artifacts.record(
+            "E6", "E6: a table", ["k", "seconds"], [[1, 0.5], [2, "0.75"]]
+        )
+        assert path == tmp_path / "BENCH_E6.json"
+        payload = json.loads(path.read_text())
+        assert payload["experiment"] == "E6"
+        assert payload["schema_version"] == BenchArtifacts.SCHEMA_VERSION
+        assert payload["tables"] == [
+            {
+                "title": "E6: a table",
+                "headers": ["k", "seconds"],
+                "rows": [[1, 0.5], [2, "0.75"]],
+            }
+        ]
+
+    def test_multiple_tables_accumulate_per_experiment(self, tmp_path):
+        artifacts = BenchArtifacts(tmp_path)
+        artifacts.record("E10", "E10a", ["x"], [[1]])
+        artifacts.record("E10", "E10b", ["y"], [[2]])
+        artifacts.record("E6", "E6", ["z"], [[3]])
+        e10 = json.loads((tmp_path / "BENCH_E10.json").read_text())
+        assert [t["title"] for t in e10["tables"]] == ["E10a", "E10b"]
+        assert (tmp_path / "BENCH_E6.json").exists()
+
+    def test_non_serializable_cells_are_stringified(self, tmp_path):
+        artifacts = BenchArtifacts(tmp_path)
+        path = artifacts.record("E1", "t", ["obj"], [[object()], [None], [True]])
+        rows = json.loads(path.read_text())["tables"][0]["rows"]
+        assert isinstance(rows[0][0], str)
+        assert rows[1][0] is None and rows[2][0] is True
+
+    def test_reset_drops_stale_artifacts(self, tmp_path):
+        artifacts = BenchArtifacts(tmp_path)
+        artifacts.record("E1", "t", ["a"], [[1]])
+        artifacts.reset()
+        assert not list(tmp_path.glob("BENCH_*.json"))
+        # A fresh session starts its table list over.
+        path = artifacts.record("E1", "t2", ["a"], [[2]])
+        assert len(json.loads(path.read_text())["tables"]) == 1
 
 
 class TestTimeCall:
