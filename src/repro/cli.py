@@ -107,9 +107,8 @@ def _command_fd(arguments: argparse.Namespace) -> int:
     return 0
 
 
-def _command_topk(arguments: argparse.Namespace) -> int:
-    database = _load_database(arguments.csv, arguments.null_token)
-    attribute = arguments.importance_attribute
+def _attribute_importance(attribute: Optional[str]):
+    """``imp(t)`` reading a numeric attribute (missing/invalid → 0)."""
 
     def importance(t):
         if attribute is None or not t.has_attribute(attribute):
@@ -122,7 +121,12 @@ def _command_topk(arguments: argparse.Namespace) -> int:
         except (TypeError, ValueError):
             return 0.0
 
-    ranking = MaxRanking(importance)
+    return importance
+
+
+def _command_topk(arguments: argparse.Namespace) -> int:
+    database = _load_database(arguments.csv, arguments.null_token)
+    ranking = MaxRanking(_attribute_importance(arguments.importance_attribute))
     ranked = priority_incremental_fd(
         database, ranking, k=arguments.k, use_index=arguments.use_index,
         backend=_backend_of(arguments),
@@ -154,8 +158,21 @@ def _command_approx(arguments: argparse.Namespace) -> int:
 def _command_stream(arguments: argparse.Namespace) -> int:
     from repro.service.delta import DeltaSummary, incremental_replay_stream
 
+    if arguments.importance_attribute and not arguments.rank:
+        raise SystemExit("error: --importance-attribute requires --rank")
     database = _load_database(arguments.csv, arguments.null_token)
     workload = hold_back_arrivals(database, arguments.arrival_fraction)
+    ranking = None
+    if arguments.rank:
+        # The streamed tuples carry their values, so an attribute-derived
+        # importance scores arrivals and base tuples alike; without an
+        # attribute, the importance stored on each tuple is used.
+        spec = (
+            _attribute_importance(arguments.importance_attribute)
+            if arguments.importance_attribute
+            else None
+        )
+        ranking = MaxRanking(spec)
     if arguments.mode == "delta":
         summary = DeltaSummary()
         events = incremental_replay_stream(
@@ -165,6 +182,7 @@ def _command_stream(arguments: argparse.Namespace) -> int:
             use_index=arguments.use_index,
             backend=_backend_of(arguments),
             summary=summary,
+            ranking=ranking,
         )
     else:
         summary = StreamSummary()
@@ -175,6 +193,7 @@ def _command_stream(arguments: argparse.Namespace) -> int:
             use_index=arguments.use_index,
             backend=_backend_of(arguments),
             summary=summary,
+            ranking=ranking,
         )
     for event in events:
         if isinstance(event, IngestEvent):
@@ -182,7 +201,11 @@ def _command_stream(arguments: argparse.Namespace) -> int:
                   f"({event.total_applied}/{len(workload.arrivals)})")
         elif isinstance(event, ResultEvent):
             members = ", ".join(sorted(t.label for t in event.tuple_set))
-            print(f"[after {event.after_arrivals:3d} arrivals] {{{members}}}")
+            if event.score is not None:
+                print(f"[after {event.after_arrivals:3d} arrivals] "
+                      f"score {event.score:10.4f}   {{{members}}}")
+            else:
+                print(f"[after {event.after_arrivals:3d} arrivals] {{{members}}}")
     print(
         f"({len(summary.results)} answers over {summary.arrivals_applied} "
         f"streamed arrivals; {summary.catalog_rebuilds} catalog build)"
@@ -229,12 +252,14 @@ def _command_serve(arguments: argparse.Namespace) -> int:
             clients=arguments.smoke_clients,
             k=arguments.k,
             use_index=arguments.use_index,
+            engine="ranked" if arguments.ranked else "fd",
         )
         cache = outcome["cache"]
+        flavour = "ranked answers (scores included)" if arguments.ranked else "answers"
         print(
             f"smoke OK: {outcome['clients']} concurrent clients each received "
-            f"{outcome['results_per_client']} answers identical to the serial run "
-            f"(cache: {cache['hits']} hits / {cache['misses']} misses, "
+            f"{outcome['results_per_client']} {flavour} identical to the serial "
+            f"run (cache: {cache['hits']} hits / {cache['misses']} misses, "
             f"{outcome['requests']} requests)"
         )
         return 0
@@ -321,7 +346,18 @@ def build_parser() -> argparse.ArgumentParser:
     stream_parser.add_argument(
         "--mode", choices=("recompute", "delta"), default="recompute",
         help="per-batch strategy: full engine re-run with dedup, or true "
-        "delta maintenance (each arrival seeds only its own singleton)",
+        "delta maintenance (each arrival seeds only its own singleton; "
+        "with --rank, only the arrival's size-<=c subsets)",
+    )
+    stream_parser.add_argument(
+        "--rank", action="store_true",
+        help="serve the *ranked* full disjunction under f_max: results carry "
+        "scores and each batch's new results are emitted in rank order",
+    )
+    stream_parser.add_argument(
+        "--importance-attribute", default=None,
+        help="numeric attribute used as imp(t) with --rank "
+        "(default: the importance stored on each tuple)",
     )
     stream_parser.set_defaults(handler=_command_stream)
 
@@ -356,6 +392,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--k", type=int, default=None,
         help="answers per client in --smoke-clients mode (default: all)",
+    )
+    serve_parser.add_argument(
+        "--ranked", action="store_true",
+        help="--smoke-clients parity over the ranked engine: clients open "
+        "with a label-derived importance map and must receive the serial "
+        "top-k stream, scores included",
     )
     serve_parser.set_defaults(handler=_command_serve)
 

@@ -45,12 +45,16 @@ from repro.core.ranking import (
     MaxRanking,
     RankingFunction,
     SumRanking,
+    canonical_rank_key,
     enumerate_connected_subsets,
+    enumerate_connected_subsets_containing,
     importance_function,
     paper_example_ranking,
     top_k_by_exhaustive_ranking,
+    validate_importance_spec,
 )
 from repro.core.priority import (
+    PriorityState,
     above_threshold,
     build_priority_pools,
     priority_incremental_fd,
@@ -126,9 +130,13 @@ __all__ = [
     "CDeterminedRanking",
     "paper_example_ranking",
     "importance_function",
+    "validate_importance_spec",
+    "canonical_rank_key",
     "enumerate_connected_subsets",
+    "enumerate_connected_subsets_containing",
     "top_k_by_exhaustive_ranking",
     "priority_incremental_fd",
+    "PriorityState",
     "build_priority_pools",
     "top_k",
     "above_threshold",

@@ -55,9 +55,23 @@ def _is_numeric(value: object) -> bool:
 
 @dataclass
 class FDStatistics:
-    """Work counters of one ``IncrementalFD`` run (or one pass of the driver)."""
+    """Work counters of one ``IncrementalFD`` run (or one pass of the driver).
+
+    ``results`` counts the results *produced* (added to ``Complete``);
+    ``results_emitted`` counts the results actually delivered to the caller.
+    The two differ where production and delivery diverge: the ranked
+    threshold path (a result produced at a rank tie straddling the threshold
+    boundary is recorded in ``Complete`` — it was derived, and must suppress
+    re-derivations — but never emitted) and *unranked* streaming delta
+    passes (a re-derived old result is produced again but never re-emitted).
+    The ranked engine — delta passes included — follows Fig. 3's Line 17
+    convention instead: a duplicate popped through another queue is
+    discarded before either counter moves, so ``results`` counts distinct
+    productions there.
+    """
 
     results: int = 0
+    results_emitted: int = 0
     extension_passes: int = 0
     candidates_generated: int = 0
     candidates_subsumed: int = 0
@@ -79,6 +93,7 @@ class FDStatistics:
         where every worker ships its own ``extras`` dict.
         """
         self.results += other.results
+        self.results_emitted += other.results_emitted
         self.extension_passes += other.extension_passes
         self.candidates_generated += other.candidates_generated
         self.candidates_subsumed += other.candidates_subsumed
@@ -99,6 +114,7 @@ class FDStatistics:
     def as_dict(self) -> dict:
         return {
             "results": self.results,
+            "results_emitted": self.results_emitted,
             "extension_passes": self.extension_passes,
             "candidates_generated": self.candidates_generated,
             "candidates_subsumed": self.candidates_subsumed,
@@ -309,6 +325,7 @@ def incremental_fd(
             complete.add(result)
             if statistics is not None:
                 statistics.results += 1
+                statistics.results_emitted += 1
                 statistics.tuple_reads = scanner.tuple_reads
                 statistics.scan_passes = scanner.passes
             if on_iteration is not None:

@@ -16,16 +16,32 @@ The structure mirrors Fig. 3:
 2.  Repeatedly pick the queue whose top has the highest rank (Lines 10–15),
     call ``GetNextResult`` on it, and print the produced result unless it was
     already printed (Line 17); ``Complete`` is shared by all the queues.
+
+The queue machinery lives in an explicit :class:`PriorityState` object rather
+than loop locals, so the whole engine state — the per-relation priority
+queues, the shared ``Complete`` store and the scanner — survives between
+pulls.  That is what makes the state *resumable*: a first-k client stops the
+:meth:`PriorityState.results` generator mid-stream and continues later, and
+the streaming maintainer (:mod:`repro.service.delta`) pushes an arrival's
+qualifying size-≤c subsets into the live queues
+(:meth:`PriorityState.ingest`) and drains only the genuinely new results
+instead of rebuilding the queues from scratch.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple as TupleType
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple as TupleType
 
 from repro.relational.database import Database
+from repro.relational.tuples import Tuple
 from repro.core.incremental import FDStatistics, get_next_result
-from repro.core.store import CompleteStore, PriorityIncompletePool, record_store_statistics
-from repro.core.ranking import RankingFunction, enumerate_connected_subsets
+from repro.core.store import CompleteStore, PriorityIncompletePool
+from repro.core.ranking import (
+    RankingFunction,
+    canonical_rank_key,
+    enumerate_connected_subsets,
+    enumerate_connected_subsets_containing,
+)
 from repro.core.scanner import TupleScanner
 from repro.core.tupleset import TupleSet
 
@@ -82,6 +98,206 @@ def build_priority_pools(
     return pools
 
 
+class PriorityState:
+    """The explicit, resumable engine state of ``PriorityIncrementalFD``.
+
+    Owns everything Fig. 3 keeps between iterations: the per-relation
+    priority queues (built eagerly, Lines 3–8), the shared ``Complete``
+    store, and the tuple scanner.  :meth:`results` is the Fig. 3 main loop
+    reading and mutating this state — stopping the generator and calling
+    :meth:`results` again continues exactly where the previous pull left
+    off, which is what the serving layer's pausable sessions rely on.
+
+    Under streaming ingest the state stays live across arrivals:
+    :meth:`ingest` pushes each arrival's qualifying size-≤c connected
+    subsets into the queues (the delta counterpart of Lines 3–4; everything
+    not containing an arrival was already enumerated when the queues were
+    built) and a subsequent :meth:`drain_new` re-derives only results
+    anchored at the arrivals — mirroring the unranked delta argument that
+    every genuinely new result contains the arrival.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        ranking: RankingFunction,
+        use_index: bool = False,
+        statistics: Optional[FDStatistics] = None,
+        backend=None,
+    ):
+        ranking.require_monotonically_c_determined()
+        if backend is None:
+            self._next_result = get_next_result
+        else:
+            from repro.exec import resolve_backend
+
+            self._next_result = resolve_backend(backend).next_result
+        self.database = database
+        self.ranking = ranking
+        self.use_index = use_index
+        self.statistics = statistics
+        self.pools = build_priority_pools(database, ranking, use_index=use_index)
+        self.anchors = [relation.name for relation in database.relations]
+        self.complete = CompleteStore(anchor_relation=None, use_index=use_index)
+        self.scanner = TupleScanner(database)
+        #: Results emitted by :meth:`results` so far (across all pulls).
+        self.printed = 0
+        #: Arrival tuples seeded through :meth:`ingest` so far.
+        self.arrivals_seeded = 0
+        # Store-counter totals already flushed into ``statistics.extras`` —
+        # record_statistics() charges only the delta since the last flush,
+        # so resumable use (record, resume, record again) never double-counts.
+        self._flushed_totals: Dict[int, Dict[str, int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # the main loop (Lines 9-17)
+    # ------------------------------------------------------------------ #
+    def _best_queue(self) -> TupleType[Optional[int], Optional[float]]:
+        """Lines 10-15: the queue whose top has the highest rank."""
+        best_index = None
+        best_score = None
+        for index, pool in enumerate(self.pools):
+            score = pool.peek_score()
+            if score is None:
+                continue
+            if best_score is None or score > best_score:
+                best_score = score
+                best_index = index
+        return best_index, best_score
+
+    def results(
+        self, k: Optional[int] = None, threshold: Optional[float] = None
+    ) -> Iterator[RankedResult]:
+        """Generate the remaining results in non-increasing rank order.
+
+        ``k`` bounds the results emitted *by this call*; the queue state is
+        shared, so interleaved or repeated calls continue one stream.
+        """
+        statistics = self.statistics
+        emitted = 0
+        while True:
+            best_index, best_score = self._best_queue()
+            if best_index is None:
+                return  # every queue is exhausted
+            if threshold is not None and best_score < threshold:
+                # No remaining result can reach the threshold: every member of
+                # FD(R) still to be produced has a c-sized witness subset
+                # stored in some queue, whose rank bounds the member's rank
+                # from below only; monotonicity gives the upper bound via
+                # Lemma 5.4.
+                return
+
+            result = self._next_result(
+                self.database,
+                self.anchors[best_index],
+                self.pools[best_index],
+                self.complete,
+                self.scanner,
+                statistics,
+            )
+            if result in self.complete:
+                # Line 17: the same result was already produced via another
+                # queue (or, after ingest, re-derived from an old seed).
+                continue
+            self.complete.add(result)
+            if statistics is not None:
+                statistics.results += 1
+                statistics.tuple_reads = self.scanner.tuple_reads
+                statistics.scan_passes = self.scanner.passes
+
+            score = self.ranking(result)
+            if threshold is not None and score < threshold:
+                # Possible only through ties at the threshold boundary: the
+                # result was produced (and must stay in Complete to suppress
+                # re-derivations) but is never emitted — counted in
+                # ``results``, not in ``results_emitted``.  Keep scanning,
+                # sibling queue tops may still reach the threshold.
+                continue
+            if statistics is not None:
+                statistics.results_emitted += 1
+            yield result, score
+            self.printed += 1
+            emitted += 1
+            if k is not None and emitted >= k:
+                return
+
+    # ------------------------------------------------------------------ #
+    # streaming ingest (ranked delta maintenance)
+    # ------------------------------------------------------------------ #
+    def ingest(self, fresh_tuples: Sequence[Tuple]) -> int:
+        """Seed the live queues with the arrivals' qualifying subsets.
+
+        The tuples must already be in the database (appended through
+        :meth:`~repro.relational.database.Database.add_tuple`).  For each
+        arrival ``t``, every JCC subset of size ≤ c containing ``t`` is
+        pushed into the queue of every relation it holds a tuple of —
+        exactly the members the Lines 3–4 initialization would now include
+        but did not when the queues were built — and the touched queues are
+        re-merged to a fixpoint (Lines 5–8, Remark 4.5).  Returns the number
+        of subsets seeded.
+        """
+        catalog = self.database.catalog()
+        seeded = set()
+        touched = set()
+        for t in fresh_tuples:
+            for subset in enumerate_connected_subsets_containing(
+                self.database, t, self.ranking.c, catalog=catalog
+            ):
+                for index, anchor_name in enumerate(self.anchors):
+                    if subset.contains_tuple_from(anchor_name):
+                        if subset not in self.pools[index]:
+                            self.pools[index].add(subset)
+                            seeded.add(subset)
+                        touched.add(index)
+        for index in touched:
+            _merge_queue_members(self.pools[index])
+        self.arrivals_seeded += len(fresh_tuples)
+        return len(seeded)
+
+    def drain_new(self) -> List[RankedResult]:
+        """Drain the queues and return the genuinely new results, rank first.
+
+        Old results re-derived from the seeds are suppressed by the shared
+        ``Complete`` store (Line 17); the new ones — all containing an
+        arrival, since a maximal set without one was maximal before the
+        arrival too — are returned sorted by ``(-score, sort key)``, the
+        canonical rank order a full ranked recompute would emit them in.
+
+        Complete only relative to a drained base run: until the base stream
+        has been exhausted, ``Complete`` cannot distinguish "new" from "not
+        yet derived".
+        """
+        produced = list(self.results())
+        produced.sort(key=canonical_rank_key)
+        return produced
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    def record_statistics(self) -> None:
+        """Flush the store counters into ``statistics.extras`` (delta-safe).
+
+        Charges only the growth since the previous flush, so callers may
+        record at every pause point of a resumable run — the generator's
+        ``finally``, the maintainer's close — without double-counting.
+        """
+        if self.statistics is None:
+            return
+        containers = [("complete", self.complete)]
+        containers.extend(("incomplete", pool) for pool in self.pools)
+        for prefix, container in containers:
+            current = container.statistics.as_dict()
+            flushed = self._flushed_totals.setdefault(id(container), {})
+            for key, value in current.items():
+                delta = value - flushed.get(key, 0)
+                if delta:
+                    name = f"{prefix}_{key}"
+                    self.statistics.extras[name] = (
+                        self.statistics.extras.get(name, 0) + delta
+                    )
+            self._flushed_totals[id(container)] = current
+
+
 def priority_incremental_fd(
     database: Database,
     ranking: RankingFunction,
@@ -128,82 +344,16 @@ def priority_incremental_fd(
     if k == 0:
         return
 
-    if backend is None:
-        next_result = get_next_result
-    else:
-        from repro.exec import resolve_backend
-
-        next_result = resolve_backend(backend).next_result
-
-    pools = build_priority_pools(database, ranking, use_index=use_index)
-    anchors = [relation.name for relation in database.relations]
-    complete = CompleteStore(anchor_relation=None, use_index=use_index)
-    scanner = TupleScanner(database)
-
+    state = PriorityState(
+        database, ranking, use_index=use_index, statistics=statistics,
+        backend=backend,
+    )
     try:
-        yield from _priority_loop(
-            database, ranking, pools, anchors, complete, scanner,
-            k, threshold, statistics, next_result,
-        )
+        yield from state.results(k=k, threshold=threshold)
     finally:
         # Record store counters on every exit — exhaustion, the k or
         # threshold stop, or an abandoned generator — exactly once.
-        record_store_statistics(
-            statistics, ("complete", complete), *(("incomplete", p) for p in pools)
-        )
-
-
-def _priority_loop(
-    database, ranking, pools, anchors, complete, scanner, k, threshold, statistics,
-    next_result=get_next_result,
-):
-    printed = 0
-    while True:
-        # Lines 10-15: find the queue whose top has the highest rank.
-        best_index = None
-        best_score = None
-        for index, pool in enumerate(pools):
-            score = pool.peek_score()
-            if score is None:
-                continue
-            if best_score is None or score > best_score:
-                best_score = score
-                best_index = index
-        if best_index is None:
-            return  # every queue is exhausted
-        if threshold is not None and best_score < threshold:
-            # No remaining result can reach the threshold: every member of
-            # FD(R) still to be produced has a c-sized witness subset stored
-            # in some queue, whose rank bounds the member's rank from below
-            # only; monotonicity gives the upper bound via Lemma 5.4.
-            return
-
-        result = next_result(
-            database,
-            anchors[best_index],
-            pools[best_index],
-            complete,
-            scanner,
-            statistics,
-        )
-        if result in complete:
-            # Line 17: the same result was already produced via another queue.
-            continue
-        complete.add(result)
-        if statistics is not None:
-            statistics.results += 1
-            statistics.tuple_reads = scanner.tuple_reads
-            statistics.scan_passes = scanner.passes
-
-        score = ranking(result)
-        if threshold is not None and score < threshold:
-            # Possible only through ties at the threshold boundary; skip but
-            # keep scanning, sibling queue tops may still reach the threshold.
-            continue
-        yield result, score
-        printed += 1
-        if k is not None and printed >= k:
-            return
+        state.record_statistics()
 
 
 def top_k(

@@ -29,12 +29,21 @@ from repro.core.tupleset import TupleSet
 #: How importances may be supplied: a mapping from tuple label, or a callable.
 ImportanceSpec = Union[Dict[str, float], Callable[[Tuple], float], None]
 
+#: Sentinel distinguishing "no default supplied" from an explicit ``None``.
+_NO_DEFAULT = object()
 
-def importance_function(spec: ImportanceSpec) -> Callable[[Tuple], float]:
+
+def importance_function(
+    spec: ImportanceSpec, default: object = _NO_DEFAULT
+) -> Callable[[Tuple], float]:
     """Normalise an importance specification into a ``tuple -> float`` callable.
 
     * ``None`` — use the importance stored on each tuple (``t.importance``);
-    * a mapping — look the tuple's label up (missing labels get ``0.0``);
+    * a mapping — look the tuple's label up.  A label missing from the
+      mapping raises :class:`RankingError` when it is scored: a typo'd
+      importance map must surface as an error, not as a silently wrong
+      ranking order.  Pass an explicit ``default=`` to opt back into scoring
+      unlisted labels with that value;
     * a callable — used as is.
     """
     if spec is None:
@@ -42,8 +51,52 @@ def importance_function(spec: ImportanceSpec) -> Callable[[Tuple], float]:
     if callable(spec):
         return spec
     if isinstance(spec, dict):
-        return lambda t: float(spec.get(t.label, 0.0))
+        if default is _NO_DEFAULT:
+
+            def lookup(t: Tuple) -> float:
+                try:
+                    return float(spec[t.label])
+                except KeyError:
+                    raise RankingError(
+                        f"tuple label {t.label!r} has no entry in the importance "
+                        "map; pass default= to score unlisted labels, or fix "
+                        "the map"
+                    ) from None
+
+            return lookup
+        return lambda t: float(spec.get(t.label, default))
     raise RankingError(f"cannot interpret importance specification {spec!r}")
+
+
+def validate_importance_spec(
+    database: Database, spec: ImportanceSpec, default: object = _NO_DEFAULT
+) -> None:
+    """Eagerly check a dict importance spec against the database's labels.
+
+    Raises :class:`RankingError` when the mapping holds keys matching no
+    tuple label (a typo'd map scores the *intended* tuple wrongly even when a
+    ``default`` covers the typo'd key), or — unless ``default`` is given —
+    when some database tuple has no entry.  Non-dict specs always pass: a
+    callable or the stored-importance mode cannot be label-typo'd.
+
+    The serving layer runs this at ranked ``open`` time so a bad spec is a
+    client error, not a wrong answer stream.
+    """
+    if not isinstance(spec, dict):
+        return
+    labels = {t.label for t in database.tuples()}
+    unknown = sorted(set(spec) - labels)
+    if unknown:
+        raise RankingError(
+            f"importance map keys {unknown} match no tuple label in the database"
+        )
+    if default is _NO_DEFAULT:
+        missing = sorted(labels - set(spec))
+        if missing:
+            raise RankingError(
+                f"tuple labels {missing} have no entry in the importance map; "
+                "pass default= to score unlisted labels"
+            )
 
 
 class RankingFunction:
@@ -86,6 +139,17 @@ class RankingFunction:
                 "ranked retrieval is not guaranteed (see Proposition 5.1)"
             )
 
+    def cache_key(self):
+        """A hashable identity for result-prefix caching, or ``None``.
+
+        Two ranking functions with equal cache keys must rank every tuple set
+        identically — the serving layer's prefix cache keys ranked result
+        logs by ``(database generation, ranking cache key, c)``.  ``None``
+        (the default) means "no stable identity": the cache falls back to
+        object identity, which is always safe but never shares.
+        """
+        return None
+
 
 class MaxRanking(RankingFunction):
     """``f_max(T) = max { imp(t) | t ∈ T }`` — monotonically 1-determined."""
@@ -94,13 +158,30 @@ class MaxRanking(RankingFunction):
     c = 1
     monotone = True
 
-    def __init__(self, importance: ImportanceSpec = None):
-        self._imp = importance_function(importance)
+    def __init__(self, importance: ImportanceSpec = None, default: object = _NO_DEFAULT):
+        self._imp = importance_function(importance, default=default)
+        self._spec = importance
+        self._default = default
 
     def score(self, tuple_set: TupleSet) -> float:
         if len(tuple_set) == 0:
             return float("-inf")
         return max(self._imp(t) for t in tuple_set)
+
+    def cache_key(self):
+        """Stable for the declarative specs (a dict, or stored importance)."""
+        if type(self) is not MaxRanking:
+            # A subclass may override score(); its identity is not captured
+            # by the spec alone, so it must not collide with MaxRanking.
+            return None
+        if self._spec is None:
+            # Stored-importance mode ignores ``default`` entirely, so it
+            # must not fragment the cache key either.
+            return (self.name, self.c, "tuple-importance", None)
+        default = None if self._default is _NO_DEFAULT else ("default", self._default)
+        if isinstance(self._spec, dict):
+            return (self.name, self.c, tuple(sorted(self._spec.items())), default)
+        return None  # an arbitrary callable has no stable identity
 
 
 class SumRanking(RankingFunction):
@@ -110,8 +191,8 @@ class SumRanking(RankingFunction):
     c = None
     monotone = True
 
-    def __init__(self, importance: ImportanceSpec = None):
-        self._imp = importance_function(importance)
+    def __init__(self, importance: ImportanceSpec = None, default: object = _NO_DEFAULT):
+        self._imp = importance_function(importance, default=default)
 
     def score(self, tuple_set: TupleSet) -> float:
         return sum(self._imp(t) for t in tuple_set)
@@ -164,7 +245,9 @@ class CDeterminedRanking(RankingFunction):
         return best
 
 
-def paper_example_ranking(importance: ImportanceSpec = None) -> CDeterminedRanking:
+def paper_example_ranking(
+    importance: ImportanceSpec = None, default: object = _NO_DEFAULT
+) -> CDeterminedRanking:
     """The monotonically 3-determined example of Section 5.
 
     ``f(T) = max { imp(t1) + imp(t2) · imp(t3) | t1, t2, t3 ∈ T, {t1,t2,t3} connected }``
@@ -173,7 +256,7 @@ def paper_example_ranking(importance: ImportanceSpec = None) -> CDeterminedRanki
     member (the paper's expression ranges over all triples of not necessarily
     distinct tuples).
     """
-    imp = importance_function(importance)
+    imp = importance_function(importance, default=default)
 
     def subset_score(subset: Sequence[Tuple]) -> float:
         values = [imp(t) for t in subset]
@@ -222,6 +305,66 @@ def enumerate_connected_subsets(
                 next_frontier.append(grown)
                 yield grown
         frontier = next_frontier
+
+
+def enumerate_connected_subsets_containing(
+    database: Database,
+    t: Tuple,
+    max_size: int,
+    catalog=None,
+) -> Iterator[TupleSet]:
+    """Enumerate every JCC tuple set of size at most ``max_size`` containing ``t``.
+
+    The bounded variant of :func:`enumerate_connected_subsets` used by ranked
+    delta maintenance: when ``t`` arrives on a stream, the only size-≤c
+    witness subsets the priority queues are missing are exactly the ones
+    containing ``t`` — everything else was enumerated when the queues were
+    built.  The growth argument matches the unbounded enumerator: every
+    connected set containing ``t`` has a build order starting at ``{t}``
+    whose prefixes are all connected (a spanning-tree traversal from ``t``),
+    and join consistency is preserved under taking subsets, so growing
+    tuple by tuple through ``can_absorb`` reaches every qualifying subset.
+    Cost is ``O(s^(c-1))`` per arrival instead of the ``O(s^c)`` rebuild.
+    """
+    if max_size < 1:
+        raise RankingError(f"max_size must be at least 1, got {max_size}")
+    singleton = TupleSet.singleton(t, catalog=catalog)
+    seen = {singleton}
+    frontier: List[TupleSet] = [singleton]
+    yield singleton
+    if max_size == 1:
+        # The common case (f_max is 1-determined): no growth loop, and no
+        # point paying an O(s) database copy per arrival.
+        return
+    all_tuples = list(database.tuples())
+    for _ in range(max_size - 1):
+        next_frontier: List[TupleSet] = []
+        for current in frontier:
+            for other in all_tuples:
+                if other in current:
+                    continue
+                if not current.can_absorb(other):
+                    continue
+                grown = current.with_tuple(other)
+                if grown in seen:
+                    continue
+                seen.add(grown)
+                next_frontier.append(grown)
+                yield grown
+        frontier = next_frontier
+
+
+def canonical_rank_key(item):
+    """Sort key placing a ``(tuple set, score)`` stream in canonical rank order.
+
+    Highest score first, ties broken by the tuple set's sort key.  This is
+    the *serving contract* for ranked streams: the delta-maintained stream
+    and the full-recompute reference both order every emitted batch with
+    this key, which is what makes them byte-identical — keep it the single
+    definition.
+    """
+    tuple_set, score = item
+    return (-score, tuple_set.sort_key())
 
 
 def top_k_by_exhaustive_ranking(

@@ -164,6 +164,11 @@ class ShardedBackend(BatchedBackend):
         if max_workers < 1:
             raise ValueError(f"max_workers must be positive, got {max_workers}")
         self.max_workers = max_workers
+        # One fallback warning per backend instance: a streaming run pushes
+        # hundreds of passes through the same backend, and a host that could
+        # not spawn processes for the first one will not spawn them for the
+        # rest — re-warning per pass only spams stderr.
+        self._warned_fallback = False
 
     def __repr__(self) -> str:
         return f"ShardedBackend(max_workers={self.max_workers})"
@@ -254,17 +259,19 @@ class ShardedBackend(BatchedBackend):
                 # failures surface here, while the fallback can still take
                 # over cleanly.
                 first_output = futures[0].result()
-            except Exception as error:  # pragma: no cover - host-dependent
+            except Exception as error:
                 for future in futures:
                     future.cancel()
                 futures = []
                 _discard_pool(workers)
-                warnings.warn(
-                    f"sharded backend could not use a process pool ({error!r}); "
-                    "falling back to in-process passes",
-                    RuntimeWarning,
-                    stacklevel=3,
-                )
+                if not self._warned_fallback:
+                    self._warned_fallback = True
+                    warnings.warn(
+                        f"sharded backend could not use a process pool ({error!r}); "
+                        "falling back to in-process passes",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
                 yield from fallback()
                 return
 

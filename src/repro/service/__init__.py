@@ -18,12 +18,15 @@ finish wastes that shape.  This package turns the engines into a service:
 :mod:`repro.service.delta`
     :class:`~repro.service.delta.StreamingFullDisjunction` — incremental
     maintenance under streaming ingest: each arrival seeds only its own
-    singleton into a live pass against the accumulated ``Complete`` store,
-    so per-arrival work is proportional to the delta and open sessions
-    observe new results without restarting.
+    singleton into a live pass against the accumulated ``Complete`` store
+    (with a ``ranking``, only its own size-≤c subsets into the live priority
+    queues), so per-arrival work is proportional to the delta and open
+    sessions observe new results without restarting.
 :mod:`repro.service.server`
     An asyncio JSON-lines TCP server (``repro serve``) driving sessions for
-    many concurrent clients through the ``async`` execution backend.
+    many concurrent clients through the ``async`` execution backend; a
+    ranked ``open`` validates its wire importance map and ships scores with
+    every answer.
 """
 
 from repro.service.session import (

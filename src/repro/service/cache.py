@@ -84,15 +84,20 @@ def _query_key(database: Database, engine: str, options: dict, extra: Optional[s
     # Ranking / join functions are arbitrary callables.  A ``cache_tag``
     # *names* them: the caller asserts that equal tags mean equivalent
     # callables, so fresh-but-identical instances (a new ``MinJoin`` per
-    # request, say) share the cache.  Untagged callables fragment by
-    # identity, which is always safe.
+    # request, say) share the cache.  A ranking function may instead carry
+    # its own stable identity (``RankingFunction.cache_key()`` — the spec
+    # plus the determination bound ``c``), so ranked logs are keyed by
+    # ``(generation, ranking, c)`` and fresh-but-equal ``MaxRanking``
+    # instances share one computation.  Untagged, keyless callables
+    # fragment by identity, which is always safe.
     if extra is not None:
         parts.append(("tag", extra))
     else:
         for key in ("ranking", "join_function"):
             value = options.get(key)
             if value is not None:
-                parts.append((key, value))
+                identity = getattr(value, "cache_key", lambda: None)()
+                parts.append((key, value if identity is None else identity))
     return tuple(parts)
 
 

@@ -31,6 +31,21 @@ Open sessions observe arrivals without restarting: the maintainer's
 :class:`~repro.service.session.ResultLog` is *live* — delta results are
 appended to it, and any cursor past the old end simply finds more results on
 its next ``next(k)``.
+
+**Ranked delta maintenance.**  With a monotonically c-determined ``ranking``
+the maintainer runs on a live :class:`~repro.core.priority.PriorityState`
+instead: the base run drains the ranked engine (results carry scores), and
+each arrival ``t`` seeds the state's priority queues with only the
+qualifying size-≤c connected subsets *containing* ``t``
+(:func:`~repro.core.ranking.enumerate_connected_subsets_containing`) — the
+exact queue members the Fig. 3 initialization is missing after the arrival.
+Draining the queues re-derives only results anchored at the arrivals (the
+shared ``Complete`` store suppresses everything older), and the batch's new
+results are appended to the live log in canonical rank order.  The
+completeness argument is the unranked one verbatim: a set maximal after the
+arrival but not containing it was maximal before, so every genuinely new
+result contains the arrival — and the arrival's subsets are exactly the
+seeds pushed.
 """
 
 from __future__ import annotations
@@ -40,6 +55,8 @@ from typing import Iterator, List, Optional, Sequence
 
 from repro.core.full_disjunction import full_disjunction_sets
 from repro.core.incremental import FDStatistics
+from repro.core.priority import PriorityState
+from repro.core.ranking import canonical_rank_key
 from repro.core.scanner import TupleScanner
 from repro.core.store import CompleteStore, ListIncompletePool, record_store_statistics
 from repro.core.tupleset import TupleSet
@@ -73,6 +90,30 @@ class DeltaSummary(StreamSummary):
         return sum(batch["candidates_generated"] for batch in self.per_batch)
 
 
+def _canonical_rank_order(ranked_items):
+    """Reorder a rank-sorted stream so ties land in sort-key order.
+
+    The ranked engine breaks score ties by queue insertion order; the
+    serving contract sorts them by the tuple set's sort key instead, so the
+    delta-maintained stream and the full-recompute reference are
+    *identical*, not merely set-equal.  Scores are non-increasing on the
+    input stream, so buffering one tie group at a time suffices — each
+    group is released as soon as a strictly lower score arrives.
+    """
+    group: List = []
+    group_score = None
+    for item in ranked_items:
+        if group and item[1] != group_score:
+            group.sort(key=canonical_rank_key)
+            yield from group
+            group = []
+        group_score = item[1]
+        group.append(item)
+    if group:
+        group.sort(key=canonical_rank_key)
+        yield from group
+
+
 class StreamingFullDisjunction:
     """Maintain ``FD(R)`` incrementally while tuples arrive.
 
@@ -84,6 +125,11 @@ class StreamingFullDisjunction:
     ``backend`` schedules the per-step work (serial / batched / async —
     in-process backends; the per-arrival loop is a single pass, so there is
     nothing to shard).
+
+    With a ``ranking`` the maintained stream is the *ranked* full
+    disjunction: log entries are ``(tuple set, score)`` pairs, the base run
+    is rank-ordered, and every ingested batch appends its new results in
+    canonical rank order (see the module docstring for the argument).
     """
 
     def __init__(
@@ -92,24 +138,52 @@ class StreamingFullDisjunction:
         use_index: bool = True,
         backend=None,
         statistics: Optional[FDStatistics] = None,
+        ranking=None,
     ):
         from repro.exec import resolve_backend
 
         self.database = database
         self.use_index = use_index
+        self.ranking = ranking
         self.statistics = statistics if statistics is not None else FDStatistics()
         self._backend = resolve_backend(backend)
         self._next_result = self._backend.next_result
-        self._store = CompleteStore(anchor_relation=None, use_index=use_index)
+        if ranking is not None:
+            # The live queue state *is* the engine: its shared Complete
+            # store doubles as the maintainer's accumulated result mirror.
+            self._state = PriorityState(
+                database,
+                ranking,
+                use_index=use_index,
+                statistics=self.statistics,
+                backend=self._backend,
+            )
+            self._store = self._state.complete
+        else:
+            self._state = None
+            self._store = CompleteStore(anchor_relation=None, use_index=use_index)
         self._log = ResultLog(source=self._base_results(), live=True)
         self._primed = False
         self.arrivals_applied = 0
 
+    @property
+    def ranked(self) -> bool:
+        """Whether log entries are ``(tuple set, score)`` pairs."""
+        return self.ranking is not None
+
     # ------------------------------------------------------------------ #
     # the base run
     # ------------------------------------------------------------------ #
-    def _base_results(self) -> Iterator[TupleSet]:
+    def _base_results(self) -> Iterator[object]:
         """The initial database's full disjunction, mirrored into the store."""
+        if self._state is not None:
+            # The ranked engine mirrors into its own shared Complete store
+            # (= self._store) as it produces.  Canonicalising rank ties
+            # keeps the log byte-identical to the recompute reference
+            # stream; buffering is per tie group, so first-k stays
+            # incremental.
+            yield from _canonical_rank_order(self._state.results())
+            return
         for result in full_disjunction_sets(
             self.database,
             use_index=self.use_index,
@@ -129,6 +203,10 @@ class StreamingFullDisjunction:
         """
         self._log.exhaust_source()
         self._primed = True
+        if self._state is not None:
+            # Flush the base run's store counters; record_statistics is
+            # delta-safe, so later flushes charge only their own growth.
+            self._state.record_statistics()
         return len(self._log)
 
     # ------------------------------------------------------------------ #
@@ -139,8 +217,12 @@ class StreamingFullDisjunction:
         return QuerySession(self._log, owns_log=False, name=name)
 
     @property
-    def results(self) -> List[TupleSet]:
-        """Every distinct result emitted so far (base + deltas), in order."""
+    def results(self) -> List[object]:
+        """Every distinct result emitted so far (base + deltas), in order.
+
+        Tuple sets on unranked streams; ``(tuple set, score)`` pairs on
+        ranked ones.
+        """
         return list(self._log.results)
 
     @property
@@ -150,6 +232,8 @@ class StreamingFullDisjunction:
     def close(self) -> None:
         """End the stream gracefully: open sessions see a completed log."""
         self._log.finish()
+        if self._state is not None:
+            self._state.record_statistics()
 
     # ------------------------------------------------------------------ #
     # ingest
@@ -165,7 +249,6 @@ class StreamingFullDisjunction:
         """
         if not self._primed:
             self.prime()
-        catalog = self.database.catalog()
         # Normalise and validate the whole batch *before* mutating anything:
         # a bad arrival must not leave earlier ones applied to the database
         # with their delta passes never run (results silently missing).
@@ -179,17 +262,25 @@ class StreamingFullDisjunction:
                     f"arrival for {arrival.relation_name!r} has {got} values, "
                     f"schema has {expected} attributes"
                 )
-        by_relation: "dict[str, list]" = {}
+        fresh: list = []
         for arrival in arrivals:
-            t = self.database.add_tuple(
-                arrival.relation_name,
-                arrival.values,
-                importance=arrival.importance,
-                probability=arrival.probability,
+            fresh.append(
+                self.database.add_tuple(
+                    arrival.relation_name,
+                    arrival.values,
+                    importance=arrival.importance,
+                    probability=arrival.probability,
+                )
             )
-            by_relation.setdefault(arrival.relation_name, []).append(t)
         self.arrivals_applied += len(arrivals)
 
+        if self._state is not None:
+            return self._ranked_delta(arrivals, fresh)
+
+        catalog = self.database.catalog()
+        by_relation: "dict[str, list]" = {}
+        for t in fresh:
+            by_relation.setdefault(t.relation_name, []).append(t)
         batch_statistics = FDStatistics()
         emitted = 0
         for relation_name, fresh_tuples in by_relation.items():
@@ -202,6 +293,31 @@ class StreamingFullDisjunction:
             "results_emitted": emitted,
             "candidates_generated": batch_statistics.candidates_generated,
             "steps": batch_statistics.results,
+        }
+
+    def _ranked_delta(self, arrivals: Sequence[Arrival], fresh) -> dict:
+        """One ranked delta pass: seed the live queues, drain the new results.
+
+        All arrivals are seeded before the drain so subsets spanning several
+        same-batch arrivals are enumerated once, then the new results —
+        everything the queues produce that the accumulated ``Complete``
+        store does not already hold — are appended to the live log in
+        canonical rank order.
+        """
+        candidates_before = self.statistics.candidates_generated
+        steps_before = self.statistics.results
+        self._state.ingest(fresh)
+        new_items = self._state.drain_new()
+        for item in new_items:
+            self._log.append(item)
+        self._state.record_statistics()
+        return {
+            "arrivals": len(arrivals),
+            "results_emitted": len(new_items),
+            "candidates_generated": (
+                self.statistics.candidates_generated - candidates_before
+            ),
+            "steps": self.statistics.results - steps_before,
         }
 
     def _delta_pass(
@@ -237,6 +353,7 @@ class StreamingFullDisjunction:
                 continue
             self._log.append(result)
             emitted += 1
+            statistics.results_emitted += 1
         statistics.tuple_reads += scanner.tuple_reads
         statistics.scan_passes += scanner.passes
         record_store_statistics(statistics, ("incomplete", pool))
@@ -250,6 +367,7 @@ def incremental_replay_stream(
     use_index: bool = True,
     backend=None,
     summary: Optional[DeltaSummary] = None,
+    ranking=None,
 ) -> Iterator[StreamEvent]:
     """Drop-in, delta-maintained counterpart of :func:`replay_stream`.
 
@@ -260,6 +378,12 @@ def incremental_replay_stream(
     arrivals matches ``replay_stream`` exactly (order within a batch may
     differ — the full re-run interleaves passes differently); the
     equivalence tests assert this batch by batch.
+
+    With a ``ranking``, the delta counterpart of the ranked recompute:
+    events carry scores, the base stream is rank-ordered, and each batch's
+    new results are emitted in the same canonical ``(-score, sort key)``
+    order ``replay_stream(ranking=...)`` uses — the two ranked event
+    streams are *identical*, not merely set-equal.
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be positive, got {batch_size}")
@@ -267,7 +391,11 @@ def incremental_replay_stream(
         summary = DeltaSummary()
     rebuilds_before = database.catalog_rebuilds
     maintainer = StreamingFullDisjunction(
-        database, use_index=use_index, backend=backend, statistics=summary.statistics
+        database,
+        use_index=use_index,
+        backend=backend,
+        statistics=summary.statistics,
+        ranking=ranking,
     )
     cursor = maintainer.session(name="replay")
     maintainer.prime()
@@ -278,9 +406,17 @@ def incremental_replay_stream(
             batch = cursor.next(64)
             if not batch:
                 return
-            for tuple_set in batch:
+            for item in batch:
+                if maintainer.ranked:
+                    tuple_set, score = item
+                else:
+                    tuple_set, score = item, None
                 summary.results.append(tuple_set)
-                yield ResultEvent(tuple_set=tuple_set, after_arrivals=after_arrivals)
+                yield ResultEvent(
+                    tuple_set=tuple_set,
+                    after_arrivals=after_arrivals,
+                    score=score,
+                )
 
     yield from emit(after_arrivals=0)
     position = 0

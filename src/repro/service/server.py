@@ -18,17 +18,24 @@ Protocol (one JSON object per line, both directions)::
     → {"op": "close", "session": "s1"}
     → {"op": "stats"}
 
-``open`` accepts ``engine`` ∈ {"fd", "approx", "stream"} plus engine options
-(``use_index``, ``initialization``, ``threshold``, ``similarity``).  The
-``stream`` engine serves the live log of the server's
-:class:`~repro.service.delta.StreamingFullDisjunction` maintainer, so an open
-stream session observes ``ingest``-ed tuples without restarting; the exact
-and approximate engines go through the prefix cache, which the ingest
-invalidates via the database generation token.  Ranked engines need
-callables and are a library-level feature; the wire protocol exposes the
-rankable subset through ``importance`` attributes if ever needed.
+``open`` accepts ``engine`` ∈ {"fd", "approx", "ranked", "stream"} plus
+engine options (``use_index``, ``initialization``, ``threshold``,
+``similarity``, ``importance``).  The ``stream`` engine serves the live log
+of the server's :class:`~repro.service.delta.StreamingFullDisjunction`
+maintainer, so an open stream session observes ``ingest``-ed tuples without
+restarting; the exact, approximate and ranked engines go through the prefix
+cache, which the ingest invalidates via the database generation token.
 
-Results cross the wire as sorted label lists — the canonical,
+The ``ranked`` engine is the top-``(k, f_max)`` surface: ``importance`` is
+either a ``{label: value}`` map — validated against the database's labels at
+``open`` time, so a typo'd map is a client error, not a silently wrong
+ranking (pass ``"default"`` to opt into scoring unlisted labels) — or
+absent, which ranks by the importance stored on each tuple.  Ranked results
+cross the wire as ``{"labels": [...], "score": ...}`` objects; identical
+importance maps from different clients share one cached computation (the
+ranking participates in the cache key through its spec and ``c``).
+
+Unranked results cross the wire as sorted label lists — the canonical,
 order-insensitive rendering the CLI and tests use.
 """
 
@@ -43,8 +50,10 @@ from repro.core.approx_join import (
     ExactMatchSimilarity,
     MinJoin,
 )
+from repro.core.ranking import MaxRanking, validate_importance_spec
 from repro.exec import AsyncBackend
 from repro.relational.database import Database
+from repro.relational.errors import RankingError
 from repro.service.cache import PrefixCache
 from repro.service.delta import StreamingFullDisjunction
 from repro.service.session import QuerySession
@@ -55,6 +64,12 @@ def render_result(item) -> List[str]:
     """A result (tuple set, or (tuple set, score) pair) as sorted labels."""
     tuple_set = item[0] if isinstance(item, tuple) else item
     return sorted(t.label for t in tuple_set)
+
+
+def render_ranked_result(item) -> dict:
+    """A ranked result as its wire object: sorted labels plus the score."""
+    tuple_set, score = item
+    return {"labels": sorted(t.label for t in tuple_set), "score": score}
 
 
 class QueryServer:
@@ -72,6 +87,8 @@ class QueryServer:
         self.backend = AsyncBackend()
         self.maintainer = StreamingFullDisjunction(database, use_index=use_index)
         self._sessions: Dict[str, QuerySession] = {}
+        #: Names of sessions whose results carry scores on the wire.
+        self._ranked_sessions: set = set()
         self._session_counter = 0
         self.requests = 0
 
@@ -115,15 +132,17 @@ class QueryServer:
         engine = request.get("engine", "fd")
         self._session_counter += 1
         name = f"s{self._session_counter}"
+        ranked = False
         if engine == "stream":
             session = self.maintainer.session(name=name)
             cached = True  # the live log is always shared
-        elif engine in ("fd", "approx"):
+        elif engine in ("fd", "approx", "ranked"):
             options = {"use_index": request.get("use_index", self.use_index)}
+            cache_engine = engine
             if engine == "fd":
                 if request.get("initialization"):
                     options["initialization"] = request["initialization"]
-            else:
+            elif engine == "approx":
                 similarity = (
                     EditDistanceSimilarity()
                     if request.get("similarity", "edit") == "edit"
@@ -134,13 +153,72 @@ class QueryServer:
                 options["cache_tag"] = (
                     f"minjoin-{request.get('similarity', 'edit')}"
                 )
+            else:
+                try:
+                    options["ranking"] = self._wire_ranking(request)
+                    if request.get("k") is not None:
+                        try:
+                            options["k"] = int(request["k"])
+                        except (TypeError, ValueError):
+                            raise RankingError(
+                                "the 'k' option must be an integer"
+                            ) from None
+                except RankingError as error:
+                    # A bad importance spec is the *client's* error — refuse
+                    # the open instead of serving a wrong ranking order.
+                    return {"ok": False, "error": str(error)}
+                cache_engine = "priority"
+                ranked = True
             hits_before = self.cache.hits
-            session = self.cache.open(self.database, engine, name=name, **options)
+            session = self.cache.open(
+                self.database, cache_engine, name=name, **options
+            )
             cached = self.cache.hits > hits_before
         else:
             return {"ok": False, "error": f"unknown engine {engine!r}"}
         self._sessions[name] = session
-        return {"ok": True, "session": name, "cached": cached}
+        if ranked:
+            self._ranked_sessions.add(name)
+        response = {"ok": True, "session": name, "cached": cached}
+        if ranked:
+            response["ranked"] = True
+        return response
+
+    def _wire_ranking(self, request: dict) -> MaxRanking:
+        """The ``importance`` spec of a ranked ``open``, validated.
+
+        A ``{label: value}`` map must cover the database's labels exactly
+        (``"default"`` opts into scoring unlisted labels); no spec ranks by
+        the importance stored on each tuple.  Raises
+        :class:`~repro.relational.errors.RankingError` on a bad spec.
+        """
+        spec = request.get("importance")
+        if spec is not None and not isinstance(spec, dict):
+            raise RankingError(
+                "the 'importance' option must be a {label: value} object"
+            )
+        if spec is not None:
+            try:
+                spec = {str(label): float(value) for label, value in spec.items()}
+            except (TypeError, ValueError):
+                raise RankingError(
+                    "importance values must be numbers"
+                ) from None
+        if "default" in request:
+            if spec is None:
+                raise RankingError(
+                    "the 'default' option needs an 'importance' map to "
+                    "complete; without a map, tuples are scored by their "
+                    "stored importance and a default is meaningless"
+                )
+            try:
+                default = float(request["default"])
+            except (TypeError, ValueError):
+                raise RankingError("the 'default' option must be a number") from None
+            validate_importance_spec(self.database, spec, default=default)
+            return MaxRanking(spec, default=default)
+        validate_importance_spec(self.database, spec)
+        return MaxRanking(spec)
 
     def _session_of(self, request: dict) -> TupleType[Optional[QuerySession], dict]:
         name = request.get("session")
@@ -149,15 +227,22 @@ class QueryServer:
             return None, {"ok": False, "error": f"no session {name!r}"}
         return session, {}
 
+    def _renderer(self, request: dict):
+        """Ranked sessions ship scores; everything else ships label lists."""
+        if request.get("session") in self._ranked_sessions:
+            return render_ranked_result
+        return render_result
+
     async def _next(self, request: dict) -> dict:
         session, error = self._session_of(request)
         if session is None:
             return error
         k = int(request.get("k", 1))
+        render = self._renderer(request)
         results = await self.backend.drive(session, k)
         return {
             "ok": True,
-            "results": [render_result(item) for item in results],
+            "results": [render(item) for item in results],
             "exhausted": session.exhausted,
         }
 
@@ -166,9 +251,10 @@ class QueryServer:
         if session is None:
             return error
         item = session.peek()
+        render = self._renderer(request)
         return {
             "ok": True,
-            "result": None if item is None else render_result(item),
+            "result": None if item is None else render(item),
             "exhausted": session.exhausted,
         }
 
@@ -178,6 +264,7 @@ class QueryServer:
             return error
         session.close()
         del self._sessions[request["session"]]
+        self._ranked_sessions.discard(request["session"])
         return {"ok": True}
 
     def _ingest(self, request: dict) -> dict:
@@ -237,6 +324,7 @@ class QueryServer:
         finally:
             for name in connection_sessions:
                 session = self._sessions.pop(name, None)
+                self._ranked_sessions.discard(name)
                 if session is not None:
                     session.close()
             writer.close()
@@ -319,14 +407,28 @@ async def fetch_first_k(
             pass
 
 
+def smoke_importance_map(database: Database) -> Dict[str, float]:
+    """A deterministic ``{label: importance}`` map over a served database.
+
+    Label-derived (not random, not stored): the ranked smoke harness sends
+    it over the wire and recomputes the reference ranking in-process, so
+    both sides must agree on it without sharing state.  The modulus keeps
+    values small and forces score ties.
+    """
+    return {
+        t.label: float(sum(ord(ch) for ch in t.label) % 7)
+        for t in database.tuples()
+    }
+
+
 async def _smoke(
-    database: Database, clients: int, k: Optional[int], use_index: bool
+    database: Database, clients: int, k: Optional[int], use_index: bool, **opts
 ) -> dict:
     server, state, port = await start_server(database, use_index=use_index)
     try:
         per_client = await asyncio.gather(
             *(
-                fetch_first_k("127.0.0.1", port, k, engine="fd", chunk=3)
+                fetch_first_k("127.0.0.1", port, k, chunk=3, **opts)
                 for _ in range(clients)
             )
         )
@@ -345,24 +447,44 @@ def run_smoke(
     clients: int = 4,
     k: Optional[int] = None,
     use_index: bool = True,
+    engine: str = "fd",
 ) -> dict:
     """Start a server, run concurrent clients, assert parity with serial.
 
     The end-to-end check behind ``repro serve --smoke-clients`` and the CI
     serving job: every client must receive exactly the serial engine's
-    result sequence (as label lists), and all clients but the first must
-    have hit the shared prefix cache.  Raises ``AssertionError`` on any
-    mismatch; returns the summary dict on success.
+    result sequence (label lists for ``engine="fd"``; label-plus-score
+    objects, scores included, for ``engine="ranked"``), and all clients but
+    the first must have hit the shared prefix cache.  Raises
+    ``AssertionError`` on any mismatch; returns the summary dict on success.
     """
-    from repro.core.full_disjunction import full_disjunction_sets
+    opts: dict = {"engine": engine}
+    if engine == "ranked":
+        from repro.core.priority import priority_incremental_fd
 
-    serial: List[List[str]] = []
-    for tuple_set in full_disjunction_sets(database, use_index=use_index):
-        if k is not None and len(serial) >= k:
-            break
-        serial.append(sorted(t.label for t in tuple_set))
+        importance = smoke_importance_map(database)
+        opts["importance"] = importance
+        serial: List[object] = []
+        for tuple_set, score in priority_incremental_fd(
+            database, MaxRanking(importance), use_index=use_index
+        ):
+            if k is not None and len(serial) >= k:
+                break
+            serial.append(
+                {"labels": sorted(t.label for t in tuple_set), "score": score}
+            )
+    elif engine == "fd":
+        from repro.core.full_disjunction import full_disjunction_sets
 
-    outcome = asyncio.run(_smoke(database, clients, k, use_index))
+        serial = []
+        for tuple_set in full_disjunction_sets(database, use_index=use_index):
+            if k is not None and len(serial) >= k:
+                break
+            serial.append(sorted(t.label for t in tuple_set))
+    else:
+        raise ValueError(f"run_smoke supports engines 'fd' and 'ranked', not {engine!r}")
+
+    outcome = asyncio.run(_smoke(database, clients, k, use_index, **opts))
     for index, received in enumerate(outcome["per_client"]):
         assert received == serial, (
             f"client {index} diverged from the serial run: "
@@ -373,4 +495,5 @@ def run_smoke(
     assert cache["hits"] >= clients - 1, f"expected shared prefixes: {cache}"
     outcome["results_per_client"] = len(serial)
     outcome["clients"] = clients
+    outcome["engine"] = engine
     return outcome

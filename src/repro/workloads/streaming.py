@@ -164,10 +164,15 @@ class IngestEvent:
 
 @dataclass
 class ResultEvent:
-    """A result set appeared for the first time."""
+    """A result set appeared for the first time.
+
+    ``score`` carries the result's rank on ranked streams (``None`` on
+    unranked ones).
+    """
 
     tuple_set: TupleSet
     after_arrivals: int
+    score: Optional[float] = None
 
 
 StreamEvent = Union[IngestEvent, ResultEvent]
@@ -190,6 +195,7 @@ def replay_stream(
     use_index: bool = False,
     backend=None,
     summary: Optional[StreamSummary] = None,
+    ranking=None,
 ) -> Iterator[StreamEvent]:
     """Serve the full disjunction while ingesting ``arrivals`` batch by batch.
 
@@ -198,6 +204,14 @@ def replay_stream(
     rebuild) and the full disjunction is recomputed through ``backend``,
     emitting only result sets not seen before.  Events interleave
     :class:`IngestEvent` and :class:`ResultEvent` in stream order.
+
+    With a ``ranking`` (a monotonically c-determined
+    :class:`~repro.core.ranking.RankingFunction`), each recomputation runs
+    the ranked engine instead, and the batch's not-seen-before results are
+    emitted in canonical rank order — sorted by ``(-score, sort key)``, so
+    rank ties land in a deterministic order the delta-maintained counterpart
+    (:func:`repro.service.delta.incremental_replay_stream`) reproduces
+    exactly.  ``ResultEvent.score`` carries each result's rank.
 
     Pass a :class:`StreamSummary` to collect the final result list, the
     arrival count, the engine statistics, and the number of catalog rebuilds
@@ -208,6 +222,8 @@ def replay_stream(
         raise ValueError(f"batch_size must be positive, got {batch_size}")
     if summary is None:
         summary = StreamSummary()
+    if ranking is not None:
+        ranking.require_monotonically_c_determined()
     rebuilds_before = database.catalog_rebuilds
     database.catalog()  # the single initial build
     # Maintained eagerly (not just on exhaustion) so a partially consumed
@@ -217,6 +233,9 @@ def replay_stream(
     seen = set()
 
     def emit(after_arrivals: int) -> Iterator[ResultEvent]:
+        if ranking is not None:
+            yield from emit_ranked(after_arrivals)
+            return
         for tuple_set in full_disjunction_sets(
             database,
             use_index=use_index,
@@ -229,6 +248,32 @@ def replay_stream(
             seen.add(key)
             summary.results.append(tuple_set)
             yield ResultEvent(tuple_set=tuple_set, after_arrivals=after_arrivals)
+
+    def emit_ranked(after_arrivals: int) -> Iterator[ResultEvent]:
+        from repro.core.priority import priority_incremental_fd
+        from repro.core.ranking import canonical_rank_key
+
+        fresh = []
+        for tuple_set, score in priority_incremental_fd(
+            database,
+            ranking,
+            use_index=use_index,
+            backend=backend,
+            statistics=summary.statistics,
+        ):
+            key = frozenset((t.relation_name, t.label) for t in tuple_set)
+            if key in seen:
+                continue
+            seen.add(key)
+            fresh.append((tuple_set, score))
+        # The engine emits in rank order already; re-sorting with the sort
+        # key as tie-break canonicalises the order *within* equal scores.
+        fresh.sort(key=canonical_rank_key)
+        for tuple_set, score in fresh:
+            summary.results.append(tuple_set)
+            yield ResultEvent(
+                tuple_set=tuple_set, after_arrivals=after_arrivals, score=score
+            )
 
     yield from emit(after_arrivals=0)
     position = 0

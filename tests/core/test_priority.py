@@ -5,6 +5,7 @@ import pytest
 from repro.core.full_disjunction import full_disjunction
 from repro.core.incremental import FDStatistics
 from repro.core.priority import (
+    PriorityState,
     above_threshold,
     build_priority_pools,
     priority_incremental_fd,
@@ -138,6 +139,53 @@ class TestTopK:
             top_k(tourist_db, SumRanking(tourist_importance()), 1)
 
 
+class TestPriorityState:
+    def test_resumed_pulls_continue_one_stream(self, tourist_db, ranking):
+        """The queue state is explicit: stop, resume, get the same stream."""
+        reference = list(priority_incremental_fd(tourist_db, ranking))
+        state = PriorityState(tourist_db, ranking)
+        resumed = []
+        resumed.extend(state.results(k=2))
+        resumed.extend(state.results(k=1))
+        resumed.extend(state.results())
+        assert [(ts.labels(), s) for ts, s in resumed] == [
+            (ts.labels(), s) for ts, s in reference
+        ]
+        assert state.printed == len(reference)
+
+    def test_abandoned_generator_leaves_the_state_resumable(self, tourist_db, ranking):
+        state = PriorityState(tourist_db, ranking)
+        first = next(iter(state.results()))  # abandon the generator mid-stream
+        rest = list(state.results())
+        reference = list(priority_incremental_fd(tourist_db, ranking))
+        assert [first[1]] + [s for _, s in rest] == [s for _, s in reference]
+
+    def test_record_statistics_is_delta_safe(self, tourist_db, ranking):
+        """Recording at every pause never double-counts store work."""
+        statistics = FDStatistics()
+        state = PriorityState(tourist_db, ranking, use_index=True,
+                              statistics=statistics)
+        list(state.results(k=2))
+        state.record_statistics()
+        mid = dict(statistics.extras)
+        state.record_statistics()  # no work in between: nothing to charge
+        assert statistics.extras == mid
+        list(state.results())
+        state.record_statistics()
+
+        reference_statistics = FDStatistics()
+        list(
+            priority_incremental_fd(
+                tourist_db, ranking, use_index=True,
+                statistics=reference_statistics,
+            )
+        )
+        assert (
+            statistics.extras["complete_sets_scanned"]
+            == reference_statistics.extras["complete_sets_scanned"]
+        )
+
+
 class TestThreshold:
     def test_returns_exactly_the_results_at_or_above_tau(self, tourist_db, ranking):
         all_results = full_disjunction(tourist_db)
@@ -152,3 +200,73 @@ class TestThreshold:
 
     def test_threshold_above_everything_returns_nothing(self, tourist_db, ranking):
         assert above_threshold(tourist_db, ranking, 99.0) == []
+
+    def test_tie_boundary_counters_split_produced_from_emitted(self):
+        """Regression: a result produced at a rank tie straddling the
+        threshold is recorded in Complete but not emitted — ``results``
+        counts the former, ``results_emitted`` the latter."""
+        database = chain_database(
+            relations=3, tuples_per_relation=5, domain_size=3, seed=11
+        )
+        # Two importance levels only: masses of duplicated scores, so some
+        # queue top ties the threshold while its extension scores below it.
+        ranking = MaxRanking(
+            lambda t: 2.0 if sum(ord(ch) for ch in t.label) % 2 else 1.0
+        )
+        scores = sorted(
+            {score for _, score in priority_incremental_fd(database, ranking)}
+        )
+        assert len(scores) >= 2, "the fixture must produce both score levels"
+        tau = scores[-1]  # only the top tie group passes
+
+        statistics = FDStatistics()
+        emitted = list(
+            priority_incremental_fd(
+                database, ranking, threshold=tau, statistics=statistics
+            )
+        )
+        assert all(score >= tau for _, score in emitted)
+        assert statistics.results_emitted == len(emitted)
+        # The produced counter includes the below-threshold skips, which is
+        # exactly why it must not be read as "results delivered".
+        assert statistics.results >= statistics.results_emitted
+
+    def test_duplicated_importances_keep_counters_in_agreement(self, tourist_db):
+        """With a truly monotone ranking, ties at tau are all emitted and
+        the produced/emitted counters agree."""
+        ranking = MaxRanking(
+            {label: 1.0 for label in
+             ("c1", "c2", "c3", "a1", "a2", "a3", "s1", "s2", "s3", "s4")}
+        )
+        statistics = FDStatistics()
+        emitted = list(
+            priority_incremental_fd(
+                tourist_db, ranking, threshold=1.0, statistics=statistics
+            )
+        )
+        assert emitted and all(score == 1.0 for _, score in emitted)
+        assert statistics.results == statistics.results_emitted == len(emitted)
+
+    def test_tie_boundary_skips_are_counted_as_produced_not_emitted(self, tourist_db):
+        """The skip path itself: a ranking whose declared monotonicity is
+        violated makes whole results score below their queue-top witnesses,
+        so the threshold-tie skip fires — the result lands in Complete (it
+        was produced, and must suppress re-derivations) and is counted in
+        ``results`` but not in ``results_emitted``."""
+        class LyingRanking(MaxRanking):
+            def score(self, tuple_set):
+                return 1.0 if len(tuple_set) <= 1 else 0.5
+
+        statistics = FDStatistics()
+        emitted = list(
+            priority_incremental_fd(
+                tourist_db, LyingRanking({}, default=0.0),
+                threshold=1.0, statistics=statistics,
+            )
+        )
+        # Every queue top is a singleton scoring 1.0 >= tau, every extended
+        # result scores 0.5 < tau: nothing is emitted, yet results were
+        # produced — the two counters must disagree by exactly the skips.
+        assert emitted == []
+        assert statistics.results_emitted == 0
+        assert statistics.results > 0

@@ -7,9 +7,11 @@ from repro.core.ranking import (
     MaxRanking,
     SumRanking,
     enumerate_connected_subsets,
+    enumerate_connected_subsets_containing,
     importance_function,
     paper_example_ranking,
     top_k_by_exhaustive_ranking,
+    validate_importance_spec,
 )
 from repro.core.full_disjunction import full_disjunction
 from repro.core.tupleset import TupleSet
@@ -27,8 +29,19 @@ class TestImportanceFunction:
         imp = importance_function(None)
         assert imp(relation.tuple_by_label("c1")) == 0.0
 
-    def test_dict_lookup_with_default_zero(self, tourist_db):
+    def test_dict_lookup(self, tourist_db):
+        imp = importance_function({"c1": 2.5, "c2": 1.0})
+        assert imp(tourist_db.tuple_by_label("c1")) == 2.5
+        assert imp(tourist_db.tuple_by_label("c2")) == 1.0
+
+    def test_missing_label_raises_without_default(self, tourist_db):
+        """A typo'd importance map must error, not silently score 0."""
         imp = importance_function({"c1": 2.5})
+        with pytest.raises(RankingError, match="c2"):
+            imp(tourist_db.tuple_by_label("c2"))
+
+    def test_explicit_default_opts_back_into_unlisted_labels(self, tourist_db):
+        imp = importance_function({"c1": 2.5}, default=0.0)
         assert imp(tourist_db.tuple_by_label("c1")) == 2.5
         assert imp(tourist_db.tuple_by_label("c2")) == 0.0
 
@@ -136,6 +149,73 @@ class TestEnumerateConnectedSubsets:
     def test_invalid_size_raises(self, tourist_db):
         with pytest.raises(RankingError):
             list(enumerate_connected_subsets(tourist_db, "Climates", 0))
+
+
+class TestValidateImportanceSpec:
+    def _full_map(self, tourist_db):
+        return {t.label: 1.0 for t in tourist_db.tuples()}
+
+    def test_complete_map_passes(self, tourist_db):
+        validate_importance_spec(tourist_db, self._full_map(tourist_db))
+
+    def test_typod_key_is_rejected_even_with_a_default(self, tourist_db):
+        spec = self._full_map(tourist_db)
+        spec["cl1"] = spec.pop("c1")  # the typo scores the intended tuple wrongly
+        with pytest.raises(RankingError, match="cl1"):
+            validate_importance_spec(tourist_db, spec)
+        with pytest.raises(RankingError, match="cl1"):
+            validate_importance_spec(tourist_db, spec, default=0.0)
+
+    def test_missing_label_is_rejected_without_a_default(self, tourist_db):
+        spec = self._full_map(tourist_db)
+        del spec["s2"]
+        with pytest.raises(RankingError, match="s2"):
+            validate_importance_spec(tourist_db, spec)
+        validate_importance_spec(tourist_db, spec, default=0.0)  # opt-out
+
+    def test_non_dict_specs_always_pass(self, tourist_db):
+        validate_importance_spec(tourist_db, None)
+        validate_importance_spec(tourist_db, lambda t: 1.0)
+
+
+class TestEnumerateConnectedSubsetsContaining:
+    def test_matches_the_unbounded_enumeration_filtered_by_tuple(self, tourist_db):
+        """The bounded variant is exactly 'subsets containing t' of Lines 3-4."""
+        for anchor_name in tourist_db.relation_names:
+            for size in (1, 2, 3):
+                full = {
+                    ts.labels()
+                    for ts in enumerate_connected_subsets(tourist_db, anchor_name, size)
+                }
+                for t in tourist_db.relation(anchor_name):
+                    bounded = {
+                        ts.labels()
+                        for ts in enumerate_connected_subsets_containing(
+                            tourist_db, t, size
+                        )
+                    }
+                    assert bounded == {
+                        labels for labels in full if t.label in labels
+                    }
+
+    def test_every_subset_contains_the_tuple_and_is_jcc(self, tourist_db):
+        t = tourist_db.tuple_by_label("a2")
+        subsets = list(enumerate_connected_subsets_containing(tourist_db, t, 3))
+        assert subsets, "a2 joins with climates and sites"
+        for ts in subsets:
+            assert t in ts
+            assert ts.is_jcc
+            assert len(ts) <= 3
+
+    def test_size_one_is_the_singleton(self, tourist_db):
+        t = tourist_db.tuple_by_label("c1")
+        subsets = list(enumerate_connected_subsets_containing(tourist_db, t, 1))
+        assert [ts.labels() for ts in subsets] == [frozenset({"c1"})]
+
+    def test_invalid_size_raises(self, tourist_db):
+        t = tourist_db.tuple_by_label("c1")
+        with pytest.raises(RankingError):
+            list(enumerate_connected_subsets_containing(tourist_db, t, 0))
 
 
 class TestExhaustiveTopK:

@@ -1,0 +1,70 @@
+"""The sharded backend's in-process fallback: one warning per instance.
+
+A streaming run pushes many passes through one backend; a host that cannot
+spawn processes fails every one of them the same way, so the fallback
+warning must fire once per backend instance, not once per pass.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.exec import ShardedBackend
+from repro.exec import sharded as sharded_module
+from repro.workloads.tourist import tourist_database
+
+from tests.conftest import labels_of
+
+
+@pytest.fixture
+def broken_pool(monkeypatch):
+    """Make every process-pool acquisition fail, forcing the fallback."""
+
+    def explode(workers):
+        raise OSError("process spawn is disabled on this host")
+
+    monkeypatch.setattr(sharded_module, "_shared_pool", explode)
+
+
+def test_fallback_warns_once_per_backend_instance(broken_pool):
+    database = tourist_database()
+    backend = ShardedBackend(max_workers=2)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        for _ in range(3):
+            results = list(
+                backend.run_singleton_passes(database, use_index=True)
+            )
+            assert results  # the fallback still serves the full answer
+    fallback_warnings = [
+        w for w in caught if "process pool" in str(w.message)
+    ]
+    assert len(fallback_warnings) == 1, (
+        f"expected one fallback warning, saw {len(fallback_warnings)}"
+    )
+
+
+def test_fresh_instances_warn_again(broken_pool):
+    database = tourist_database()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        list(ShardedBackend(max_workers=2).run_singleton_passes(database))
+        list(ShardedBackend(max_workers=2).run_singleton_passes(database))
+    fallback_warnings = [
+        w for w in caught if "process pool" in str(w.message)
+    ]
+    assert len(fallback_warnings) == 2
+
+
+def test_fallback_results_match_serial(broken_pool):
+    from repro.core.full_disjunction import full_disjunction_sets
+
+    database = tourist_database()
+    backend = ShardedBackend(max_workers=2)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        sharded = list(backend.run_singleton_passes(database, use_index=True))
+    serial = list(full_disjunction_sets(database, use_index=True))
+    assert labels_of(sharded) == labels_of(serial)

@@ -283,6 +283,183 @@ class TestServer:
         assert not reply["ok"] and "unknown engine" in reply["error"]
 
 
+class TestRankedServing:
+    @staticmethod
+    def _importance(database):
+        from repro.service.server import smoke_importance_map
+
+        return smoke_importance_map(database)
+
+    def test_ranked_session_scores_match_an_in_process_top_k(self):
+        from repro.core.priority import top_k
+        from repro.core.ranking import MaxRanking
+
+        database = star_database(spokes=3, tuples_per_relation=4, hub_domain=2, seed=1)
+        importance = self._importance(database)
+        expected = [
+            {"labels": sorted(t.label for t in ts), "score": score}
+            for ts, score in top_k(
+                database, MaxRanking(importance), 5, use_index=True
+            )
+        ]
+
+        async def scenario(state, port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                opened = await client_call(
+                    reader, writer,
+                    {"op": "open", "engine": "ranked", "importance": importance},
+                )
+                assert opened["ok"] and opened["ranked"]
+                first = await client_call(
+                    reader, writer,
+                    {"op": "next", "session": opened["session"], "k": 2},
+                )
+                peeked = await client_call(
+                    reader, writer, {"op": "peek", "session": opened["session"]}
+                )
+                rest = await client_call(
+                    reader, writer,
+                    {"op": "next", "session": opened["session"], "k": 3},
+                )
+                return first, peeked, rest
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        first, peeked, rest = _run(_with_server(database, scenario))
+        assert first["results"] == expected[:2]
+        assert peeked["result"] == expected[2]
+        assert first["results"] + rest["results"] == expected
+
+    def test_identical_importance_maps_share_the_cached_ranked_log(self):
+        database = tourist_database()
+        importance = self._importance(database)
+
+        async def scenario(state, port):
+            for _ in range(3):
+                await fetch_first_k(
+                    "127.0.0.1", port, 4, engine="ranked", importance=importance
+                )
+            return state.cache.stats()
+
+        stats = _run(_with_server(database, scenario))
+        assert stats["misses"] == 1
+        assert stats["hits"] == 2
+
+    def test_typod_importance_map_is_a_client_error_not_a_wrong_answer(self):
+        database = tourist_database()
+        importance = self._importance(database)
+        importance["cl1"] = importance.pop("c1")  # the typo'd map
+
+        async def scenario(state, port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                refused = await client_call(
+                    reader, writer,
+                    {"op": "open", "engine": "ranked", "importance": importance},
+                )
+                missing = await client_call(
+                    reader, writer,
+                    {"op": "open", "engine": "ranked",
+                     "importance": {"c1": 1.0}},
+                )
+                not_a_map = await client_call(
+                    reader, writer,
+                    {"op": "open", "engine": "ranked", "importance": [1, 2]},
+                )
+                bad_value = await client_call(
+                    reader, writer,
+                    {"op": "open", "engine": "ranked",
+                     "importance": {"c1": "four stars"}},
+                )
+                bare_default = await client_call(
+                    reader, writer,
+                    {"op": "open", "engine": "ranked", "default": 5.0},
+                )
+                still_alive = await client_call(reader, writer, {"op": "ping"})
+                return (refused, missing, not_a_map, bad_value, bare_default,
+                        still_alive)
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        refused, missing, not_a_map, bad_value, bare_default, still_alive = _run(
+            _with_server(database, scenario)
+        )
+        assert not refused["ok"] and "cl1" in refused["error"]
+        assert not missing["ok"] and "no entry" in missing["error"]
+        assert not not_a_map["ok"] and "label" in not_a_map["error"]
+        assert not bad_value["ok"] and "numbers" in bad_value["error"]
+        # A default without a map would be silently meaningless — refused.
+        assert not bare_default["ok"] and "importance" in bare_default["error"]
+        assert still_alive["ok"]
+
+    def test_partial_importance_map_works_with_an_explicit_default(self):
+        database = tourist_database()
+
+        async def scenario(state, port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                opened = await client_call(
+                    reader, writer,
+                    {"op": "open", "engine": "ranked",
+                     "importance": {"a1": 9.0}, "default": 0.0},
+                )
+                top = await client_call(
+                    reader, writer,
+                    {"op": "next", "session": opened["session"], "k": 1},
+                )
+                return opened, top
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        opened, top = _run(_with_server(database, scenario))
+        assert opened["ok"]
+        assert top["results"][0]["score"] == 9.0
+        assert "a1" in top["results"][0]["labels"]
+
+    def test_ingest_invalidates_ranked_cached_sessions_fail_fast(self):
+        """StaleResultLog fail-fast semantics extend to ranked cursors."""
+        workload = streaming_chain_workload(
+            relations=3, base_tuples=4, arrivals=2, seed=3
+        )
+        database = workload.database
+        importance_of = self._importance
+
+        async def scenario(state, port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                opened = await client_call(
+                    reader, writer,
+                    {"op": "open", "engine": "ranked",
+                     "importance": importance_of(database), "default": 0.0},
+                )
+                session = opened["session"]
+                prefix = await client_call(
+                    reader, writer, {"op": "next", "session": session, "k": 2}
+                )
+                arrival = workload.arrivals[0]
+                ingested = await client_call(
+                    reader, writer,
+                    {"op": "ingest",
+                     "tuples": [[arrival.relation_name, list(arrival.values)]]},
+                )
+                stale = await client_call(
+                    reader, writer, {"op": "next", "session": session, "k": 1000}
+                )
+                return prefix, ingested, stale
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        prefix, ingested, stale = _run(_with_server(database, scenario))
+        assert len(prefix["results"]) == 2
+        assert ingested["invalidated_queries"] >= 1
+        assert not stale["ok"] and "generation" in stale["error"]
+
+
 class TestSmokeHarness:
     def test_run_smoke_passes_on_parity(self):
         outcome = run_smoke(tourist_database(), clients=4)
@@ -298,6 +475,21 @@ class TestSmokeHarness:
     def test_run_smoke_with_k_zero_is_a_clean_empty_parity(self):
         outcome = run_smoke(tourist_database(), clients=4, k=0)
         assert outcome["results_per_client"] == 0
+
+    def test_run_smoke_ranked_parity(self):
+        outcome = run_smoke(tourist_database(), clients=4, engine="ranked")
+        assert outcome["engine"] == "ranked"
+        assert outcome["results_per_client"] == 6
+        assert outcome["cache"]["hits"] >= 3
+
+    def test_run_smoke_ranked_first_k(self):
+        database = star_database(spokes=3, tuples_per_relation=4, hub_domain=2, seed=2)
+        outcome = run_smoke(database, clients=3, k=5, engine="ranked")
+        assert outcome["results_per_client"] == 5
+
+    def test_run_smoke_rejects_unknown_engines(self):
+        with pytest.raises(ValueError, match="engine"):
+            run_smoke(tourist_database(), clients=2, engine="mystery")
 
 
 class TestAsyncFairness:
