@@ -17,6 +17,7 @@ Examples
     python -m repro trace sources/*.csv --anchor Climates
     python -m repro stream sources/*.csv --arrival-fraction 0.5 --batch-size 2
     python -m repro stream sources/*.csv --mode delta
+    python -m repro stream sources/*.csv --mode delta --mutations 3
     python -m repro serve sources/*.csv --port 7411
     python -m repro serve --workload star --smoke-clients 4
 """
@@ -43,6 +44,7 @@ from repro.workloads.streaming import (
     ResultEvent,
     StreamSummary,
     hold_back_arrivals,
+    inject_mutations,
     replay_stream,
 )
 
@@ -160,8 +162,32 @@ def _command_stream(arguments: argparse.Namespace) -> int:
 
     if arguments.importance_attribute and not arguments.rank:
         raise SystemExit("error: --importance-attribute requires --rank")
+    if arguments.workers is not None and arguments.backend != "sharded":
+        raise SystemExit(
+            "error: --workers only applies to --backend sharded "
+            f"(got --backend {arguments.backend})"
+        )
+    if arguments.mode == "delta" and arguments.backend == "sharded":
+        # The delta maintainer schedules single seeded passes — there are no
+        # per-relation passes to shard, so the option would be silently
+        # ignored; refuse it instead.
+        raise SystemExit(
+            "error: --backend sharded is not supported with --mode delta "
+            "(the per-arrival delta pass is a single in-process loop); "
+            "use serial, batched or async"
+        )
+    if arguments.mutations < 0:
+        raise SystemExit("error: --mutations must be non-negative")
     database = _load_database(arguments.csv, arguments.null_token)
     workload = hold_back_arrivals(database, arguments.arrival_fraction)
+    ops = workload.arrivals
+    if arguments.mutations:
+        try:
+            ops = inject_mutations(
+                workload, arguments.mutations, seed=arguments.mutation_seed
+            )
+        except ValueError as error:
+            raise SystemExit(f"error: {error}") from None
     ranking = None
     if arguments.rank:
         # The streamed tuples carry their values, so an attribute-derived
@@ -177,7 +203,7 @@ def _command_stream(arguments: argparse.Namespace) -> int:
         summary = DeltaSummary()
         events = incremental_replay_stream(
             workload.database,
-            workload.arrivals,
+            ops,
             batch_size=arguments.batch_size,
             use_index=arguments.use_index,
             backend=_backend_of(arguments),
@@ -188,7 +214,7 @@ def _command_stream(arguments: argparse.Namespace) -> int:
         summary = StreamSummary()
         events = replay_stream(
             workload.database,
-            workload.arrivals,
+            ops,
             batch_size=arguments.batch_size,
             use_index=arguments.use_index,
             backend=_backend_of(arguments),
@@ -197,23 +223,32 @@ def _command_stream(arguments: argparse.Namespace) -> int:
         )
     for event in events:
         if isinstance(event, IngestEvent):
-            print(f"-- ingested {event.applied} tuple(s) "
-                  f"({event.total_applied}/{len(workload.arrivals)})")
+            print(f"-- applied {event.applied} op(s) "
+                  f"({event.total_applied}/{len(ops)})")
         elif isinstance(event, ResultEvent):
             members = ", ".join(sorted(t.label for t in event.tuple_set))
+            verb = "retract " if event.kind == "retract" else ""
             if event.score is not None:
-                print(f"[after {event.after_arrivals:3d} arrivals] "
+                print(f"[after {event.after_arrivals:3d} ops] {verb}"
                       f"score {event.score:10.4f}   {{{members}}}")
             else:
-                print(f"[after {event.after_arrivals:3d} arrivals] {{{members}}}")
+                print(f"[after {event.after_arrivals:3d} ops] {verb}{{{members}}}")
     print(
-        f"({len(summary.results)} answers over {summary.arrivals_applied} "
-        f"streamed arrivals; {summary.catalog_rebuilds} catalog build)"
+        f"({len(summary.results)} standing answers over "
+        f"{summary.arrivals_applied} streamed ops; "
+        f"{summary.catalog_rebuilds} catalog build)"
     )
+    if arguments.mutations:
+        print(
+            f"({arguments.mutations} mutations interleaved: tombstone "
+            f"deletions and in-place updates; epoch "
+            f"{workload.database.epoch})"
+        )
     if arguments.mode == "delta":
         print(
             f"(delta maintenance: {summary.delta_work()} candidates generated "
-            f"across {len(summary.per_batch)} batches)"
+            f"and {summary.retractions()} results retracted across "
+            f"{len(summary.per_batch)} batches)"
         )
     return 0
 
@@ -245,6 +280,23 @@ def _command_serve(arguments: argparse.Namespace) -> int:
 
     from repro.service.server import run_smoke, start_server
 
+    if arguments.csv and arguments.workload:
+        raise SystemExit(
+            "error: give CSV files or --workload, not both"
+        )
+    if arguments.smoke_clients is None:
+        # Options that only shape the smoke self-test would be silently
+        # ignored by a real server; refuse them instead.
+        ignored = [
+            flag
+            for flag, value in (("--k", arguments.k), ("--ranked", arguments.ranked))
+            if value
+        ]
+        if ignored:
+            raise SystemExit(
+                f"error: {', '.join(ignored)} only applies with "
+                "--smoke-clients"
+            )
     database = _serve_database(arguments)
     if arguments.smoke_clients is not None:
         outcome = run_smoke(
@@ -358,6 +410,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--importance-attribute", default=None,
         help="numeric attribute used as imp(t) with --rank "
         "(default: the importance stored on each tuple)",
+    )
+    stream_parser.add_argument(
+        "--mutations", type=int, default=0, metavar="N",
+        help="interleave N mutations (tombstone deletions and in-place "
+        "updates of base tuples) into the arrival stream; retracted "
+        "results are announced as retract events",
+    )
+    stream_parser.add_argument(
+        "--mutation-seed", type=int, default=0,
+        help="seed for the mutation schedule (default: 0)",
     )
     stream_parser.set_defaults(handler=_command_stream)
 

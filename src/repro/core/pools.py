@@ -295,6 +295,32 @@ class ListIncompletePool:
         self._members.add(new)
         self._index_add(new)
 
+    def discard_containing(self, dead_tuples) -> int:
+        """Evict every queued set holding a dead tuple (streaming deletion).
+
+        A queued set containing a deleted tuple can never extend into a
+        result of the post-deletion database; it is dropped from the list,
+        the membership set and the index in one sweep, without touching the
+        surviving members.  Returns the number of sets evicted.
+        """
+        dead = set(dead_tuples)
+        if not dead:
+            return 0
+        kept: List[TupleSet] = []
+        evicted = 0
+        for tuple_set in self._items:
+            if any(t in dead for t in tuple_set):
+                evicted += 1
+                self._members.discard(tuple_set)
+                self._index_discard(tuple_set)
+                self.statistics.removals += 1
+            else:
+                kept.append(tuple_set)
+        if evicted:
+            self._items = kept
+            self._insert_cursor = 0
+        return evicted
+
     def as_list(self) -> List[TupleSet]:
         """The live member sets in list order (used by the trace harness)."""
         return list(self._items)
@@ -416,6 +442,25 @@ class PriorityIncompletePool:
                 anchor = self._anchor_of(new)
                 if anchor is not None:
                     self._buckets.setdefault(anchor, []).append(new)
+
+    def discard_containing(self, dead_tuples) -> int:
+        """Evict every queued set holding a dead tuple (streaming deletion).
+
+        See :meth:`ListIncompletePool.discard_containing`; the heap entries
+        of evicted sets are pruned lazily, as for :meth:`pop`.
+        """
+        dead = set(dead_tuples)
+        if not dead:
+            return 0
+        victims = [
+            tuple_set
+            for tuple_set in self._members
+            if any(t in dead for t in tuple_set)
+        ]
+        for tuple_set in victims:
+            self._discard(tuple_set)
+            self.statistics.removals += 1
+        return len(victims)
 
     def as_list(self) -> List[TupleSet]:
         """The live member sets in descending rank order."""

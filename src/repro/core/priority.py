@@ -254,6 +254,24 @@ class PriorityState:
         self.arrivals_seeded += len(fresh_tuples)
         return len(seeded)
 
+    def retract(self, dead_tuples: Sequence[Tuple]) -> List[TupleSet]:
+        """Streaming deletion: evict dead queue members, retract dead results.
+
+        The tuples must already be tombstoned in the database's catalog
+        (removed through :meth:`~repro.relational.database.Database.remove_tuple`).
+        Every queued subset containing a dead tuple is evicted — it could
+        never extend into a result of the post-deletion database — and every
+        stored ``Complete`` result containing one is dropped so it stops
+        suppressing the subsets it used to cover.  Returns the retracted
+        results in their original emission order; re-deriving what the
+        retractions unblock is the caller's job (the streaming maintainer
+        extends each retracted result's surviving components).
+        """
+        for pool in self.pools:
+            pool.discard_containing(dead_tuples)
+        catalog = self.database.catalog()
+        return self.complete.retract_containing(dead_tuples, catalog=catalog)
+
     def drain_new(self) -> List[RankedResult]:
         """Drain the queues and return the genuinely new results, rank first.
 

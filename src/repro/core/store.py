@@ -168,6 +168,64 @@ class CompleteStore:
         """The stored sets in insertion (printing) order."""
         return list(self._sets)
 
+    def retract_containing(self, dead_tuples, catalog=None) -> List[TupleSet]:
+        """Drop every stored set holding a dead tuple; return them in order.
+
+        The non-monotone counterpart of :meth:`add`: after a deletion, every
+        stored result containing a tombstoned tuple is no longer an answer
+        and must stop subsuming new candidates.  Victims are found through
+        the anchor-tuple buckets when the index is on (one lookup per dead
+        tuple) and by a liveness sweep otherwise — on interned sets the
+        per-set test is one ``AND`` of the member bitmask against the
+        catalog's tombstone set
+        (:meth:`~repro.core.tupleset.TupleSet.contains_tombstoned`); nothing
+        is re-interned and surviving sets keep their ids.  Returned in
+        insertion (emission) order, deduplicated, which is the order the
+        serving layer retracts them in.
+        """
+        dead = set(dead_tuples)
+        if not dead or not self._sets:
+            return []
+        victims = set()
+        if self._use_index:
+            for t in dead:
+                groups = self._buckets.pop(t, None)
+                if groups:
+                    for group in groups.values():
+                        victims.update(group)
+        elif catalog is not None:
+            victims = {s for s in self._members if s.contains_tombstoned(catalog)}
+        else:
+            victims = {s for s in self._members if any(t in dead for t in s)}
+        if not victims:
+            return []
+        retracted: List[TupleSet] = []
+        seen = set()
+        for stored in self._sets:
+            if stored in victims and stored not in seen:
+                retracted.append(stored)
+                seen.add(stored)
+        self._sets = [stored for stored in self._sets if stored not in victims]
+        touched = set()
+        for stored in victims:
+            self._members.discard(stored)
+            self.statistics.removals += 1
+            touched.update(stored.tuples)
+        if self._use_index:
+            for t in touched - dead:
+                groups = self._buckets.get(t)
+                if not groups:
+                    continue
+                for relations in list(groups):
+                    kept = [s for s in groups[relations] if s not in victims]
+                    if kept:
+                        groups[relations] = kept
+                    else:
+                        del groups[relations]
+                if not groups:
+                    del self._buckets[t]
+        return retracted
+
 
 class ListIncompletePool(_ReferenceListIncompletePool):
     """The reference ``Incomplete`` list with an instrumented merge probe.

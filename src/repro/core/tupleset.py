@@ -175,6 +175,17 @@ class TupleSet:
         """The member-relation bitmask (``None`` when the set is not interned)."""
         return self._relation_mask
 
+    def contains_tombstoned(self, catalog) -> bool:
+        """Whether some member tuple is tombstoned in ``catalog``.
+
+        The serving layer's liveness test: on a set interned in ``catalog``
+        this is a single ``AND`` of the member bitmask against the catalog's
+        tombstone set; otherwise each member is looked up individually.
+        """
+        if self._id_mask is not None and self._catalog is catalog:
+            return bool(self._id_mask & catalog.dead_mask)
+        return any(catalog.is_tombstoned(t) for t in self._tuples)
+
     def attach_catalog(self, catalog) -> "TupleSet":
         """Return this set interned in ``catalog`` (self when already there).
 

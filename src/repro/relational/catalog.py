@@ -39,6 +39,15 @@ sets interned before the append stay valid.  Any other structural change
 (adding a relation, or adding tuples behind the database's back) still
 invalidates the snapshot and triggers a rebuild, counted by
 ``Database.catalog_rebuilds``.
+
+Deletions are append-only too: :meth:`Catalog.tombstone` marks a tuple's
+dense id *dead* in a bitmask instead of compacting the id space.  Nothing
+else moves — the bitmatrices, the ids, and every tuple set interned before
+the deletion stay valid — and liveness questions reduce to one ``AND``
+against :attr:`Catalog.dead_mask` (the store layer's retraction sweep and
+the serving layer's epoch revalidation both run on exactly that check).
+Dead ids are reclaimed only by an explicit rebuild
+(:meth:`Database.compact <repro.relational.database.Database.compact>`).
 """
 
 from __future__ import annotations
@@ -62,6 +71,7 @@ class Catalog:
         "_tuple_relation",
         "_consistent",
         "_all_tuples_mask",
+        "_dead_mask",
         "_connected_cache",
     )
 
@@ -127,6 +137,7 @@ class Catalog:
                             consistent[first_id] |= 1 << second_id
                             consistent[second_id] |= 1 << first_id
         self._consistent = consistent
+        self._dead_mask = 0
         self._connected_cache: Dict[int, bool] = {1: True} if count else {}
 
     # ------------------------------------------------------------------ #
@@ -144,10 +155,13 @@ class Catalog:
 
         Raises ``KeyError`` when the tuple's relation is not catalogued and
         ``ValueError`` when the tuple already is; both indicate the caller
-        should rebuild instead.
+        should rebuild instead.  A tuple equal to a *tombstoned* one may be
+        re-appended (an in-place update back to earlier values): it receives
+        a fresh id and the lookup maps to the live incarnation.
         """
         rid = self._relation_ids[t.relation_name]
-        if t in self._tuple_ids:
+        existing = self._tuple_ids.get(t)
+        if existing is not None and not (self._dead_mask >> existing) & 1:
             raise ValueError(f"tuple {t.label!r} is already catalogued")
         gid = len(self._tuples)
         bit = 1 << gid
@@ -163,7 +177,9 @@ class Catalog:
         for j in range(len(self._relation_names)):
             if j == rid:
                 continue
-            others = self._relation_tuples[j] & ~bit
+            # Dead tuples are skipped: nothing live ever asks about them, and
+            # their own (frozen) rows are filtered by the live mask instead.
+            others = self._relation_tuples[j] & ~bit & ~self._dead_mask
             if not others:
                 continue
             if not (adjacency >> j) & 1:
@@ -185,8 +201,26 @@ class Catalog:
         consistent.append(mask)
         return gid
 
+    def tombstone(self, t: Tuple) -> int:
+        """Mark a catalogued tuple dead in place; return its (retired) id.
+
+        Nothing is compacted: the id stays assigned, the bitmatrices keep
+        their rows, and tuple sets interned before the deletion stay valid —
+        only the dead bit moves, so the whole operation is O(1).  Raises
+        ``KeyError`` for an uncatalogued tuple and ``ValueError`` for one
+        that is already dead.
+        """
+        gid = self._tuple_ids.get(t)
+        if gid is None:
+            raise KeyError(f"tuple {t.label!r} is not catalogued")
+        bit = 1 << gid
+        if self._dead_mask & bit:
+            raise ValueError(f"tuple {t.label!r} is already tombstoned")
+        self._dead_mask |= bit
+        return gid
+
     # ------------------------------------------------------------------ #
-    # sizes
+    # sizes and liveness
     # ------------------------------------------------------------------ #
     @property
     def relation_count(self) -> int:
@@ -195,8 +229,33 @@ class Catalog:
 
     @property
     def tuple_count(self) -> int:
-        """Number of catalogued tuples."""
+        """Number of ids ever issued (live and tombstoned alike)."""
         return len(self._tuples)
+
+    @property
+    def dead_mask(self) -> int:
+        """Bitmask of the tombstoned tuple ids (the tombstone set)."""
+        return self._dead_mask
+
+    @property
+    def live_mask(self) -> int:
+        """Bitmask of the live (not tombstoned) tuple ids."""
+        return self._all_tuples_mask & ~self._dead_mask
+
+    @property
+    def tombstone_count(self) -> int:
+        """Number of tombstoned ids awaiting a compacting rebuild."""
+        return bin(self._dead_mask).count("1")
+
+    @property
+    def live_tuple_count(self) -> int:
+        """Number of live catalogued tuples."""
+        return len(self._tuples) - self.tombstone_count
+
+    def is_tombstoned(self, t: Tuple) -> bool:
+        """Whether ``t`` maps to a dead id (uncatalogued tuples are not)."""
+        gid = self._tuple_ids.get(t)
+        return gid is not None and bool((self._dead_mask >> gid) & 1)
 
     # ------------------------------------------------------------------ #
     # id assignment

@@ -32,6 +32,10 @@ class Database:
         self._catalog_cache = None
         self._catalog_key = None
         self.catalog_rebuilds = 0
+        #: Bumped by every *non-monotone* mutation (a deletion or an in-place
+        #: update) and never by appends — the epoch component of
+        #: :attr:`generation` the serving layer's revalidation keys on.
+        self.epoch = 0
         for relation in relations:
             self.add_relation(relation)
 
@@ -76,17 +80,147 @@ class Database:
         catalog build (observable as ``catalog_rebuilds``).
         """
         relation = self.relation(relation_name)
+        before = self._structure_key()
         t = relation.add(
             values, label=label, importance=importance, probability=probability
         )
         if self._catalog_cache is not None:
-            key = (len(self._relations), self.tuple_count())
-            if self._catalog_key == (len(self._relations), self.tuple_count() - 1):
+            if self._catalog_key == before:
                 self._catalog_cache.append_tuple(t)
-                self._catalog_key = key
+                self._catalog_key = self._structure_key()
             # A stale snapshot (tuples added behind the database's back)
             # keeps its stale key and is rebuilt on the next catalog() call.
         return t
+
+    def _structure_key(self):
+        """The catalog staleness key: relation count + total mutation version.
+
+        Relation versions are *monotone* (every add and remove bumps one),
+        so unlike a tuple count the key can never be aliased by a
+        count-neutral out-of-band mutation (a direct ``Relation.remove``
+        followed by an ``add``): any change moves the sum forward.
+        """
+        return (
+            len(self._relations),
+            sum(relation.version for relation in self._relations),
+        )
+
+    def _catalog_is_current(self) -> bool:
+        return (
+            self._catalog_cache is not None
+            and self._catalog_key == self._structure_key()
+        )
+
+    def remove_tuple(self, relation_name: str, label: str) -> Tuple:
+        """Delete a tuple, maintaining the catalog as an append-only tombstone.
+
+        The non-monotone counterpart of :meth:`add_tuple`: the tuple leaves
+        its relation (scans never see it again), the cached
+        :class:`~repro.relational.catalog.Catalog` marks its dense id dead in
+        place (no rebuild, no id reshuffling — see
+        :meth:`~repro.relational.catalog.Catalog.tombstone`), and
+        :attr:`epoch` is bumped so the serving layer can distinguish this
+        from a monotone append.  Dead ids are reclaimed only by
+        :meth:`compact`.  Returns the removed tuple.
+        """
+        relation = self.relation(relation_name)
+        was_current = self._catalog_is_current()
+        t = relation.remove(label)
+        self.epoch += 1
+        if was_current:
+            self._catalog_cache.tombstone(t)
+            self._catalog_key = self._structure_key()
+        return t
+
+    def resolve_update(
+        self,
+        relation_name: str,
+        label: str,
+        values: Iterable[object],
+        importance: Optional[float] = None,
+        probability: Optional[float] = None,
+    ):
+        """Validate an in-place update; decide whether it changes anything.
+
+        The single source of truth for update semantics, shared by
+        :meth:`update_tuple` and the streaming maintainer's batch
+        validation: resolves the target (raising
+        :class:`~repro.relational.errors.DatabaseError` /
+        :class:`~repro.relational.errors.RelationError` on unknown names),
+        checks the arity against the schema (raising
+        :class:`~repro.relational.errors.SchemaError`), and defaults
+        ``importance``/``probability`` to the old tuple's.  Returns ``None``
+        for a no-op update, else ``(old tuple, values, importance,
+        probability)``.
+        """
+        relation = self.relation(relation_name)
+        old = relation.tuple_by_label(label)
+        values = tuple(values)
+        if len(values) != len(relation.schema):
+            from repro.relational.errors import SchemaError
+
+            raise SchemaError(
+                f"update of {label!r} in {relation_name!r} has {len(values)} "
+                f"values, schema has {len(relation.schema)} attributes"
+            )
+        importance = old.importance if importance is None else importance
+        probability = old.probability if probability is None else probability
+        if (
+            values == old.values
+            and importance == old.importance
+            and probability == old.probability
+        ):
+            return None
+        return old, values, importance, probability
+
+    def update_tuple(
+        self,
+        relation_name: str,
+        label: str,
+        values: Iterable[object],
+        importance: Optional[float] = None,
+        probability: Optional[float] = None,
+    ) -> Tuple:
+        """Replace a tuple's values in place (tombstone + append, one epoch).
+
+        The old incarnation is tombstoned and a fresh tuple with the *same
+        label* is appended — downstream, an update is exactly a deletion plus
+        an arrival that happen in one epoch bump.  ``importance`` and
+        ``probability`` default to the old tuple's values.  An update that
+        changes nothing is a no-op (no epoch bump, the old tuple is
+        returned).  Returns the live tuple.
+        """
+        resolved = self.resolve_update(
+            relation_name, label, values,
+            importance=importance, probability=probability,
+        )
+        if resolved is None:
+            return self.relation(relation_name).tuple_by_label(label)
+        old, values, importance, probability = resolved
+        relation = self.relation(relation_name)
+        was_current = self._catalog_is_current()
+        relation.remove(label)
+        t = relation.add(
+            values, label=label, importance=importance, probability=probability
+        )
+        self.epoch += 1
+        if was_current:
+            self._catalog_cache.tombstone(old)
+            self._catalog_cache.append_tuple(t)
+            self._catalog_key = self._structure_key()
+        return t
+
+    def compact(self):
+        """Rebuild the catalog from the live tuples, reclaiming dead ids.
+
+        The off-hot-path counterpart of the tombstone scheme: the dense id
+        space is rebuilt without the tombstoned tuples (one
+        ``catalog_rebuilds`` bump, so every generation-keyed cache entry and
+        interned tuple set ages out).  Returns the fresh catalog.
+        """
+        self._catalog_cache = None
+        self._catalog_key = None
+        return self.catalog()
 
     # ------------------------------------------------------------------ #
     # accessors
@@ -164,17 +298,25 @@ class Database:
     def generation(self):
         """The structural version of this database, as a comparable token.
 
-        ``(catalog_rebuilds, relation count, tuple count)`` — any structural
-        change moves at least one component: appends through
-        :meth:`add_tuple` move the tuple count (the catalog is maintained in
-        place, no rebuild), while adding a relation or adding tuples behind
+        ``(catalog_rebuilds, epoch, relation count, live tuple count)`` —
+        any structural change moves at least one component: appends through
+        :meth:`add_tuple` move the live tuple count (the catalog is
+        maintained in place, no rebuild); deletions and in-place updates
+        through :meth:`remove_tuple` / :meth:`update_tuple` move ``epoch``
+        (and never anything but the counts — that is what lets the serving
+        layer *revalidate* a cached prefix across an epoch bump instead of
+        discarding it); adding a relation, compacting, or mutating behind
         the database's back forces a snapshot rebuild on the next
-        :meth:`catalog` call and bumps ``catalog_rebuilds``.  The serving
-        layer's prefix cache uses this token as its invalidation contract;
-        compare tokens taken *after* a :meth:`catalog` call so a pending
-        lazy build cannot move the counter in between.
+        :meth:`catalog` call and bumps ``catalog_rebuilds``.  Compare tokens
+        taken *after* a :meth:`catalog` call so a pending lazy build cannot
+        move the counter in between.
         """
-        return (self.catalog_rebuilds, len(self._relations), self.tuple_count())
+        return (
+            self.catalog_rebuilds,
+            self.epoch,
+            len(self._relations),
+            self.tuple_count(),
+        )
 
     # ------------------------------------------------------------------ #
     # interned catalog
@@ -192,7 +334,7 @@ class Database:
         """
         from repro.relational.catalog import Catalog
 
-        key = (len(self._relations), self.tuple_count())
+        key = self._structure_key()
         if self._catalog_cache is None or self._catalog_key != key:
             self._catalog_cache = Catalog(self)
             self._catalog_key = key

@@ -43,6 +43,17 @@ class Relation:
         self._tuples: List[Tuple] = []
         self._labels = set()
         self._label_prefix = label_prefix or name[0].lower()
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter: bumped by every add and remove.
+
+        Unlike the tuple *count* — which an add/remove pair leaves unchanged
+        — the version never repeats, so the database's catalog staleness
+        check cannot be fooled by count-neutral out-of-band mutations.
+        """
+        return self._version
 
     @property
     def name(self) -> str:
@@ -94,6 +105,7 @@ class Relation:
         )
         self._tuples.append(t)
         self._labels.add(label)
+        self._version += 1
         return t
 
     def add_mapping(
@@ -117,7 +129,27 @@ class Relation:
         )
         self._tuples.append(t)
         self._labels.add(label)
+        self._version += 1
         return t
+
+    def remove(self, label: str) -> Tuple:
+        """Remove and return the tuple with the given label.
+
+        The label becomes reusable (an in-place update re-adds under the same
+        label).  Prefer :meth:`Database.remove_tuple
+        <repro.relational.database.Database.remove_tuple>`, which also keeps
+        the cached catalog's tombstone set in step; removing directly leaves
+        the catalog stale and forces a full rebuild on its next use.
+        """
+        for idx, t in enumerate(self._tuples):
+            if t.label == label:
+                del self._tuples[idx]
+                self._labels.discard(label)
+                self._version += 1
+                return t
+        raise RelationError(
+            f"no tuple labelled {label!r} in relation {self._name!r}"
+        )
 
     def extend(self, rows: Iterable[Iterable[object]]) -> List[Tuple]:
         """Append many tuples given their value rows; return the created tuples."""

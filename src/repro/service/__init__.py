@@ -33,6 +33,7 @@ from repro.service.session import (
     ENGINES,
     QuerySession,
     ResultLog,
+    Retraction,
     StaleResultLog,
     open_session,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "ENGINES",
     "QuerySession",
     "ResultLog",
+    "Retraction",
     "StaleResultLog",
     "open_session",
     "PrefixCache",

@@ -46,6 +46,21 @@ completeness argument is the unranked one verbatim: a set maximal after the
 arrival but not containing it was maximal before, so every genuinely new
 result contains the arrival — and the arrival's subsets are exactly the
 seeds pushed.
+
+**Mutations.**  The monotone-emission contract ends here: deletions
+(:meth:`StreamingFullDisjunction.remove`) and in-place updates
+(:meth:`StreamingFullDisjunction.update`) are first-class.  A deleted tuple
+is tombstoned in the catalog (no rebuild); every previously emitted result
+containing it is *retracted* — dropped from the accumulated store so it
+stops subsuming, and announced to open cursors as a
+:class:`~repro.service.session.Retraction` log entry — and the results the
+retraction unblocks are re-derived by maximally extending each retracted
+result's surviving connected components (see :func:`_surviving_components`
+for why that is complete).  An update is a deletion plus an arrival in one
+batch.  The invariant, asserted by the randomized suites in
+``tests/service/test_mutations.py``: after any interleaving of arrivals,
+deletions and updates, the net event stream (emits minus retracts) equals a
+full recompute on the final database.
 """
 
 from __future__ import annotations
@@ -54,7 +69,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence
 
 from repro.core.full_disjunction import full_disjunction_sets
-from repro.core.incremental import FDStatistics
+from repro.core.incremental import FDStatistics, maximally_extend
 from repro.core.priority import PriorityState
 from repro.core.ranking import canonical_rank_key
 from repro.core.scanner import TupleScanner
@@ -62,13 +77,16 @@ from repro.core.store import CompleteStore, ListIncompletePool, record_store_sta
 from repro.core.tupleset import TupleSet
 from repro.relational.database import Database
 from repro.relational.errors import SchemaError
-from repro.service.session import QuerySession, ResultLog
+from repro.service.session import QuerySession, ResultLog, Retraction
 from repro.workloads.streaming import (
     Arrival,
     IngestEvent,
+    Removal,
     ResultEvent,
     StreamEvent,
+    StreamOp,
     StreamSummary,
+    Update,
 )
 
 
@@ -76,11 +94,11 @@ from repro.workloads.streaming import (
 class DeltaSummary(StreamSummary):
     """A :class:`StreamSummary` with the per-batch delta work alongside.
 
-    ``per_batch`` holds one record per ingested batch:
-    ``{"arrivals", "results_emitted", "candidates_generated", "steps"}`` —
-    the counters the streaming benchmark compares against ``replay_stream``'s
-    full recompute to show the per-arrival work is proportional to the
-    delta.
+    ``per_batch`` holds one record per applied batch: ``{"arrivals",
+    "removals", "updates", "results_emitted", "results_retracted",
+    "candidates_generated", "steps"}`` — the counters the streaming
+    benchmark compares against ``replay_stream``'s full recompute to show
+    the per-operation work is proportional to the delta.
     """
 
     per_batch: List[dict] = field(default_factory=list)
@@ -88,6 +106,33 @@ class DeltaSummary(StreamSummary):
     def delta_work(self) -> int:
         """Total candidates generated across all delta passes."""
         return sum(batch["candidates_generated"] for batch in self.per_batch)
+
+    def retractions(self) -> int:
+        """Total results retracted across all batches."""
+        return sum(batch.get("results_retracted", 0) for batch in self.per_batch)
+
+
+def _surviving_components(result: TupleSet, dead: set, catalog) -> List[TupleSet]:
+    """The connected JCC components of a retracted result's surviving members.
+
+    Deleting tuples from a JCC set keeps it join consistent but may cut its
+    relation graph; each connected piece is a JCC set again.  These
+    components are exactly the seeds whose maximal extensions are the
+    results a retraction can unblock: a result ``T`` of the post-deletion
+    database that was not maximal before is a strict subset of some
+    retracted result ``R`` (maximalising ``T`` in the old database must pass
+    through a deleted tuple), ``T``'s members all survive, and ``T`` being
+    connected lands it inside one component ``C`` of ``R``'s survivors —
+    whence ``T ⊆ C`` with ``C`` JCC forces ``T = C`` by ``T``'s maximality.
+    """
+    survivors = sorted(t for t in result if t not in dead)
+    components: List[TupleSet] = []
+    while survivors:
+        base = TupleSet(survivors, catalog=catalog)
+        component = base.maximal_jcc_subset_with(survivors[0])
+        components.append(component)
+        survivors = [t for t in survivors if t not in component]
+    return components
 
 
 def _canonical_rank_order(ranked_items):
@@ -165,6 +210,10 @@ class StreamingFullDisjunction:
         self._log = ResultLog(source=self._base_results(), live=True)
         self._primed = False
         self.arrivals_applied = 0
+        #: Deletions + effective in-place updates applied so far.
+        self.mutations_applied = 0
+        #: Rank of every live ranked result (for scoring retraction events).
+        self._scores: "dict" = {}
 
     @property
     def ranked(self) -> bool:
@@ -182,7 +231,9 @@ class StreamingFullDisjunction:
             # keeps the log byte-identical to the recompute reference
             # stream; buffering is per tie group, so first-k stays
             # incremental.
-            yield from _canonical_rank_order(self._state.results())
+            for item in _canonical_rank_order(self._state.results()):
+                self._scores[item[0]] = item[1]
+                yield item
             return
         for result in full_disjunction_sets(
             self.database,
@@ -218,12 +269,23 @@ class StreamingFullDisjunction:
 
     @property
     def results(self) -> List[object]:
-        """Every distinct result emitted so far (base + deltas), in order.
+        """The *net* results standing so far (emits minus retractions), in order.
 
         Tuple sets on unranked streams; ``(tuple set, score)`` pairs on
-        ranked ones.
+        ranked ones.  The raw event stream — including
+        :class:`~repro.service.session.Retraction` markers — is what
+        cursors over :attr:`log` read.
         """
-        return list(self._log.results)
+        live: List[object] = []
+        for item in self._log.results:
+            if isinstance(item, Retraction):
+                try:
+                    live.remove(item.item)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+            else:
+                live.append(item)
+        return live
 
     @property
     def log(self) -> ResultLog:
@@ -236,16 +298,36 @@ class StreamingFullDisjunction:
             self._state.record_statistics()
 
     # ------------------------------------------------------------------ #
-    # ingest
+    # ingest / retract / update
     # ------------------------------------------------------------------ #
+    def _record(self, counters, **counts) -> dict:
+        """One batch record: op counts plus the work charged since ``counters``."""
+        candidates_before, steps_before = counters
+        record = {
+            "arrivals": 0,
+            "removals": 0,
+            "updates": 0,
+            "results_emitted": 0,
+            "results_retracted": 0,
+            "candidates_generated": (
+                self.statistics.candidates_generated - candidates_before
+            ),
+            "steps": self.statistics.results - steps_before,
+        }
+        record.update(counts)
+        return record
+
+    def _counters(self):
+        return (self.statistics.candidates_generated, self.statistics.results)
+
     def ingest(self, arrivals: Sequence[Arrival]) -> dict:
         """Apply one batch of arrivals and emit the delta.
 
         All tuples are appended first (each an O(s) in-place catalog
         extension), then one delta pass runs per distinct target relation,
         seeded with that relation's new singletons.  Returns the batch
-        record also appended to summaries: arrivals applied, results
-        emitted, candidates generated, ``GetNextResult`` steps taken.
+        record also appended to summaries: ops applied, results emitted and
+        retracted, candidates generated, ``GetNextResult`` steps taken.
         """
         if not self._primed:
             self.prime()
@@ -262,6 +344,7 @@ class StreamingFullDisjunction:
                     f"arrival for {arrival.relation_name!r} has {got} values, "
                     f"schema has {expected} attributes"
                 )
+        counters = self._counters()
         fresh: list = []
         for arrival in arrivals:
             fresh.append(
@@ -273,10 +356,177 @@ class StreamingFullDisjunction:
                 )
             )
         self.arrivals_applied += len(arrivals)
+        emitted = self._emit_arrival_delta(fresh)
+        return self._record(
+            counters, arrivals=len(arrivals), results_emitted=emitted
+        )
 
+    def remove(self, removals: Sequence[Removal]) -> dict:
+        """Apply one batch of deletions: retract, then re-derive the unblocked.
+
+        Every tuple is tombstoned through :meth:`Database.remove_tuple
+        <repro.relational.database.Database.remove_tuple>` (no catalog
+        rebuild, one epoch bump per deletion); every previously emitted
+        result containing a dead tuple is *retracted* — a
+        :class:`~repro.service.session.Retraction` marker is appended to the
+        live log, so open cursors observe the withdrawal in stream order —
+        and the results those retractions unblock (maximal extensions of the
+        retracted results' surviving components) are derived and emitted.
+        The net stream after the batch equals a full recompute on the
+        post-deletion database.
+        """
+        if not self._primed:
+            self.prime()
+        removals = [Removal(*removal) for removal in removals]
+        targets = set()
+        for removal in removals:
+            relation = self.database.relation(removal.relation_name)
+            relation.tuple_by_label(removal.label)  # raises on unknown labels
+            key = (removal.relation_name, removal.label)
+            if key in targets:
+                raise ValueError(
+                    f"duplicate removal of {removal.label!r} from "
+                    f"{removal.relation_name!r} in one batch"
+                )
+            targets.add(key)
+        counters = self._counters()
+        dead = [
+            self.database.remove_tuple(removal.relation_name, removal.label)
+            for removal in removals
+        ]
+        self.mutations_applied += len(removals)
+        retracted, new_items = self._retract_and_rederive(dead)
         if self._state is not None:
-            return self._ranked_delta(arrivals, fresh)
+            new_items.sort(key=canonical_rank_key)
+        self._append_results(new_items)
+        return self._record(
+            counters,
+            removals=len(removals),
+            results_emitted=len(new_items),
+            results_retracted=retracted,
+        )
 
+    def update(self, updates: Sequence[Update]) -> dict:
+        """Apply one batch of in-place updates (tombstone + arrival, one batch).
+
+        Each update retracts every result containing the old incarnation and
+        re-derives what those retractions unblock, then the fresh
+        incarnations run the ordinary arrival delta — all inside one batch
+        record, so the net stream equals a full recompute on the updated
+        database.  Updates that change nothing are skipped entirely (no
+        epoch bump, no events).
+        """
+        if not self._primed:
+            self.prime()
+        updates = [Update(*update) for update in updates]
+        targets = set()
+        effective: list = []
+        for update in updates:
+            # Validation and no-op detection live on the database
+            # (``resolve_update``), so the maintainer can never disagree
+            # with ``update_tuple`` about what counts as a change.
+            resolved = self.database.resolve_update(
+                update.relation_name,
+                update.label,
+                update.values,
+                importance=update.importance,
+                probability=update.probability,
+            )
+            key = (update.relation_name, update.label)
+            if key in targets:
+                raise ValueError(
+                    f"duplicate update of {update.label!r} in "
+                    f"{update.relation_name!r} in one batch"
+                )
+            targets.add(key)
+            if resolved is None:
+                continue  # a no-op: nothing to retract, nothing to emit
+            effective.append((update, resolved[0]))
+        counters = self._counters()
+        dead: list = []
+        fresh: list = []
+        for update, old in effective:
+            fresh.append(
+                self.database.update_tuple(
+                    update.relation_name,
+                    update.label,
+                    tuple(update.values),
+                    importance=update.importance,
+                    probability=update.probability,
+                )
+            )
+            dead.append(old)
+        self.mutations_applied += len(effective)
+        retracted, rederived = self._retract_and_rederive(dead)
+        if self._state is not None:
+            # One canonical rank order across everything the batch created:
+            # the re-derived results and the drained arrival delta together,
+            # exactly as a full ranked recompute would order them.
+            self._state.ingest(fresh)
+            drained = self._state.drain_new()
+            self._state.record_statistics()
+            combined = rederived + drained
+            combined.sort(key=canonical_rank_key)
+            self._append_results(combined)
+            emitted = len(combined)
+        else:
+            self._append_results(rederived)
+            emitted = len(rederived) + self._emit_arrival_delta(fresh)
+        return self._record(
+            counters,
+            # Count the updates that took effect, consistently with
+            # ``mutations_applied`` (no-ops are not mutations).
+            updates=len(effective),
+            results_emitted=emitted,
+            results_retracted=retracted,
+        )
+
+    def apply(self, ops: Sequence[StreamOp]) -> dict:
+        """Apply one mixed batch of stream operations, preserving their order.
+
+        Consecutive runs of the same op kind (arrival / removal / update)
+        are dispatched together through :meth:`ingest` / :meth:`remove` /
+        :meth:`update`; the returned record sums the sub-batches.
+        """
+        record = self._record(self._counters())
+        group: list = []
+        kind: Optional[str] = None
+
+        def flush():
+            if not group:
+                return
+            if kind == "remove":
+                sub = self.remove(group)
+            elif kind == "update":
+                sub = self.update(group)
+            else:
+                sub = self.ingest(group)
+            for key, value in sub.items():
+                record[key] = record.get(key, 0) + value
+            del group[:]
+
+        for op in ops:
+            if isinstance(op, Removal):
+                op_kind = "remove"
+            elif isinstance(op, Update):
+                op_kind = "update"
+            else:
+                op_kind = "ingest"
+            if op_kind != kind:
+                flush()
+                kind = op_kind
+            group.append(op)
+        flush()
+        return record
+
+    def _emit_arrival_delta(self, fresh) -> int:
+        """The arrival delta: seed the engine with the fresh tuples, emit."""
+        if self._state is not None:
+            self._state.ingest(fresh)
+            new_items = self._state.drain_new()
+            self._append_results(new_items)
+            self._state.record_statistics()
+            return len(new_items)
         catalog = self.database.catalog()
         by_relation: "dict[str, list]" = {}
         for t in fresh:
@@ -288,37 +538,60 @@ class StreamingFullDisjunction:
                 relation_name, fresh_tuples, catalog, batch_statistics
             )
         self.statistics.merge(batch_statistics)
-        return {
-            "arrivals": len(arrivals),
-            "results_emitted": emitted,
-            "candidates_generated": batch_statistics.candidates_generated,
-            "steps": batch_statistics.results,
-        }
+        return emitted
 
-    def _ranked_delta(self, arrivals: Sequence[Arrival], fresh) -> dict:
-        """One ranked delta pass: seed the live queues, drain the new results.
+    def _retract_and_rederive(self, dead_tuples) -> "tuple":
+        """Retract results containing dead tuples; derive what they unblocked.
 
-        All arrivals are seeded before the drain so subsets spanning several
-        same-batch arrivals are enumerated once, then the new results —
-        everything the queues produce that the accumulated ``Complete``
-        store does not already hold — are appended to the live log in
-        canonical rank order.
+        Retraction markers are appended to the live log immediately (in the
+        retracted results' original emission order).  The unblocked results
+        — the maximal extensions of each retracted result's surviving
+        components that the accumulated store does not subsume — are
+        *returned*, not appended: the caller decides their order (canonical
+        rank order on ranked streams, derivation order otherwise).  Returns
+        ``(retracted count, new log items)``.
         """
-        candidates_before = self.statistics.candidates_generated
-        steps_before = self.statistics.results
-        self._state.ingest(fresh)
-        new_items = self._state.drain_new()
-        for item in new_items:
+        catalog = self.database.catalog()
+        dead = set(dead_tuples)
+        if not dead:
+            return 0, []
+        if self._state is not None:
+            retracted = self._state.retract(dead_tuples)
+        else:
+            retracted = self._store.retract_containing(dead, catalog=catalog)
+        for result in retracted:
+            if self._state is not None:
+                score = self._scores.pop(result, None)
+                self._log.append(Retraction((result, score)))
+            else:
+                self._log.append(Retraction(result))
+        stats = FDStatistics()
+        scanner = TupleScanner(self.database)
+        new_items: list = []
+        for result in retracted:
+            for component in _surviving_components(result, dead, catalog):
+                extended = maximally_extend(component, scanner, stats)
+                anchor = min(extended)
+                if self._store.contains_superset(extended, anchor=anchor):
+                    continue
+                self._store.add(extended)
+                stats.results += 1
+                stats.results_emitted += 1
+                if self._state is not None:
+                    new_items.append((extended, float(self.ranking(extended))))
+                else:
+                    new_items.append(extended)
+        stats.tuple_reads += scanner.tuple_reads
+        stats.scan_passes += scanner.passes
+        self.statistics.merge(stats)
+        return len(retracted), new_items
+
+    def _append_results(self, items) -> None:
+        """Append freshly derived results to the live log (scores recorded)."""
+        for item in items:
             self._log.append(item)
-        self._state.record_statistics()
-        return {
-            "arrivals": len(arrivals),
-            "results_emitted": len(new_items),
-            "candidates_generated": (
-                self.statistics.candidates_generated - candidates_before
-            ),
-            "steps": self.statistics.results - steps_before,
-        }
+            if self._state is not None:
+                self._scores[item[0]] = item[1]
 
     def _delta_pass(
         self,
@@ -362,7 +635,7 @@ class StreamingFullDisjunction:
 
 def incremental_replay_stream(
     database: Database,
-    arrivals: Sequence[Arrival],
+    arrivals: Sequence[StreamOp],
     batch_size: int = 1,
     use_index: bool = True,
     backend=None,
@@ -373,11 +646,15 @@ def incremental_replay_stream(
 
     Emits the same event stream shape (:class:`IngestEvent` /
     :class:`ResultEvent`) and fills the same summary fields, but each batch
-    costs one seeded delta pass per touched relation instead of a full
-    engine re-run.  The *set* of results emitted after any number of
-    arrivals matches ``replay_stream`` exactly (order within a batch may
-    differ — the full re-run interleaves passes differently); the
-    equivalence tests assert this batch by batch.
+    costs one seeded delta pass per touched relation — and, for
+    :class:`~repro.workloads.streaming.Removal` /
+    :class:`~repro.workloads.streaming.Update` ops, one retraction sweep
+    plus component re-derivations — instead of a full engine re-run.  The
+    *net* emitted set after any number of operations matches
+    ``replay_stream`` exactly (order within a batch may differ — the full
+    re-run interleaves passes differently); the equivalence tests assert
+    this batch by batch.  Deletions surface as ``kind="retract"`` events
+    naming the withdrawn results, mirroring the reference's recompute diff.
 
     With a ``ranking``, the delta counterpart of the ranked recompute:
     events carry scores, the base stream is rank-ordered, and each batch's
@@ -407,6 +684,19 @@ def incremental_replay_stream(
             if not batch:
                 return
             for item in batch:
+                if isinstance(item, Retraction):
+                    tuple_set = item.tuple_set
+                    try:
+                        summary.results.remove(tuple_set)
+                    except ValueError:  # pragma: no cover - defensive
+                        pass
+                    yield ResultEvent(
+                        tuple_set=tuple_set,
+                        after_arrivals=after_arrivals,
+                        score=item.score,
+                        kind="retract",
+                    )
+                    continue
                 if maintainer.ranked:
                     tuple_set, score = item
                 else:
@@ -422,7 +712,7 @@ def incremental_replay_stream(
     position = 0
     while position < len(arrivals):
         batch = arrivals[position : position + batch_size]
-        record = maintainer.ingest(batch)
+        record = maintainer.apply(batch)
         position += len(batch)
         summary.arrivals_applied = position
         summary.catalog_rebuilds = database.catalog_rebuilds - rebuilds_before

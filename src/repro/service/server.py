@@ -15,16 +15,30 @@ Protocol (one JSON object per line, both directions)::
     → {"op": "peek", "session": "s1"}
     → {"op": "ingest", "tuples": [["Prices", ["v1", "w2"]], ...]}
     ← {"ok": true, "applied": 1, "new_results": 2}
+    → {"op": "retract", "tuples": [["Prices", "p2"], ...]}
+    ← {"ok": true, "retracted": 3, "new_results": 1, "revalidated_queries": 2}
+    → {"op": "update", "tuples": [["Prices", "p3", ["v9", "w9"]], ...]}
     → {"op": "close", "session": "s1"}
     → {"op": "stats"}
 
 ``open`` accepts ``engine`` ∈ {"fd", "approx", "ranked", "stream"} plus
 engine options (``use_index``, ``initialization``, ``threshold``,
-``similarity``, ``importance``).  The ``stream`` engine serves the live log
+``similarity``, ``importance``) and a ``format`` ∈ {"labels", "padded"};
+options a given engine does not understand are rejected with a clear error
+rather than silently ignored.  The ``stream`` engine serves the live log
 of the server's :class:`~repro.service.delta.StreamingFullDisjunction`
 maintainer, so an open stream session observes ``ingest``-ed tuples without
-restarting; the exact, approximate and ranked engines go through the prefix
-cache, which the ingest invalidates via the database generation token.
+restarting — and ``retract``/``update`` mutations too: a deleted result
+crosses the wire as a ``{"retract": ...}`` object in stream order.  The
+exact, approximate and ranked engines go through the prefix cache; an
+``ingest`` invalidates its entries via the database generation token, while
+a ``retract`` *revalidates* them — cached first-k prefixes untouched by the
+deletion ride through and keep serving without recomputation.
+
+With ``"format": "padded"`` answers carry Table-2-style padded row objects:
+``{"labels": [...], "row": {attribute: value-or-null, ...}}`` over the
+union schema of the served database, nulls rendered as JSON ``null``
+(scores still included on ranked sessions).
 
 The ``ranked`` engine is the top-``(k, f_max)`` surface: ``importance`` is
 either a ``{label: value}`` map — validated against the database's labels at
@@ -53,11 +67,18 @@ from repro.core.approx_join import (
 from repro.core.ranking import MaxRanking, validate_importance_spec
 from repro.exec import AsyncBackend
 from repro.relational.database import Database
-from repro.relational.errors import RankingError
+from repro.relational.errors import (
+    DatabaseError,
+    RankingError,
+    RelationError,
+    SchemaError,
+)
+from repro.relational.nulls import is_null
+from repro.relational.operators import combined_schema, pad_tuple_set
 from repro.service.cache import PrefixCache
 from repro.service.delta import StreamingFullDisjunction
-from repro.service.session import QuerySession
-from repro.workloads.streaming import Arrival
+from repro.service.session import QuerySession, Retraction
+from repro.workloads.streaming import Arrival, Removal, Update
 
 
 def render_result(item) -> List[str]:
@@ -70,6 +91,28 @@ def render_ranked_result(item) -> dict:
     """A ranked result as its wire object: sorted labels plus the score."""
     tuple_set, score = item
     return {"labels": sorted(t.label for t in tuple_set), "score": score}
+
+
+def render_padded_result(item, schema, ranked: bool = False) -> dict:
+    """A result as a Table-2-style padded row object over the union ``schema``.
+
+    The row maps every attribute of the served database's combined schema to
+    the result's merged value, with nulls rendered as JSON ``null`` — the
+    wire-level counterpart of :func:`repro.relational.operators.pad_tuple_set`.
+    The caller computes the schema once per batch of renderings.
+    """
+    tuple_set = item[0] if isinstance(item, tuple) else item
+    padded = pad_tuple_set(tuple_set, schema)
+    payload = {
+        "labels": sorted(t.label for t in tuple_set),
+        "row": {
+            attribute: (None if is_null(value) else value)
+            for attribute, value in padded.items()
+        },
+    }
+    if ranked:
+        payload["score"] = item[1]
+    return payload
 
 
 class QueryServer:
@@ -89,6 +132,8 @@ class QueryServer:
         self._sessions: Dict[str, QuerySession] = {}
         #: Names of sessions whose results carry scores on the wire.
         self._ranked_sessions: set = set()
+        #: Names of sessions whose results cross as padded row objects.
+        self._padded_sessions: set = set()
         self._session_counter = 0
         self.requests = 0
 
@@ -117,6 +162,10 @@ class QueryServer:
             return self._close(request)
         if op == "ingest":
             return self._ingest(request)
+        if op == "retract":
+            return self._retract(request)
+        if op == "update":
+            return self._update(request)
         if op == "stats":
             return {
                 "ok": True,
@@ -125,11 +174,46 @@ class QueryServer:
                 "requests": self.requests,
                 "steps": dict(self.backend.steps),
                 "arrivals_applied": self.maintainer.arrivals_applied,
+                "mutations_applied": self.maintainer.mutations_applied,
             }
         return {"ok": False, "error": f"unknown op {op!r}"}
 
+    #: Request keys every ``open`` understands, plus the per-engine extras.
+    #: ``use_index`` is per-query, so the ``stream`` engine — which serves
+    #: the maintainer's live log, built with the *server's* index setting —
+    #: rejects it like any other option it would silently ignore.
+    _OPEN_BASE_KEYS = frozenset({"op", "engine", "format"})
+    _OPEN_ENGINE_KEYS = {
+        "fd": frozenset({"use_index", "initialization"}),
+        "approx": frozenset({"use_index", "threshold", "similarity"}),
+        "ranked": frozenset({"use_index", "importance", "default", "k"}),
+        "stream": frozenset(),
+    }
+
     def _open(self, request: dict) -> dict:
         engine = request.get("engine", "fd")
+        allowed = self._OPEN_ENGINE_KEYS.get(engine)
+        if allowed is not None:
+            unknown = sorted(set(request) - self._OPEN_BASE_KEYS - allowed)
+            if unknown:
+                # Silently dropping an option the engine never reads would
+                # hand the client a different query than it asked for.
+                return {
+                    "ok": False,
+                    "error": (
+                        f"unknown option(s) for engine {engine!r}: "
+                        f"{', '.join(unknown)}"
+                    ),
+                }
+        render_format = request.get("format", "labels")
+        if render_format not in ("labels", "padded"):
+            return {
+                "ok": False,
+                "error": (
+                    f"unknown format {render_format!r}; "
+                    "expected 'labels' or 'padded'"
+                ),
+            }
         self._session_counter += 1
         name = f"s{self._session_counter}"
         ranked = False
@@ -179,9 +263,13 @@ class QueryServer:
         self._sessions[name] = session
         if ranked:
             self._ranked_sessions.add(name)
+        if render_format == "padded":
+            self._padded_sessions.add(name)
         response = {"ok": True, "session": name, "cached": cached}
         if ranked:
             response["ranked"] = True
+        if render_format == "padded":
+            response["format"] = "padded"
         return response
 
     def _wire_ranking(self, request: dict) -> MaxRanking:
@@ -228,10 +316,30 @@ class QueryServer:
         return session, {}
 
     def _renderer(self, request: dict):
-        """Ranked sessions ship scores; everything else ships label lists."""
-        if request.get("session") in self._ranked_sessions:
-            return render_ranked_result
-        return render_result
+        """Ranked sessions ship scores; padded ones ship Table-2 row objects.
+
+        Retraction markers on live stream logs cross as ``{"retract": ...}``
+        wrapping the same rendering the original emission used.
+        """
+        name = request.get("session")
+        ranked = name in self._ranked_sessions
+        if name in self._padded_sessions:
+            # One schema computation per request, not one per rendered item.
+            schema = combined_schema(self.database.relations)
+
+            def base(item):
+                return render_padded_result(item, schema, ranked=ranked)
+        elif ranked:
+            base = render_ranked_result
+        else:
+            base = render_result
+
+        def render(item):
+            if isinstance(item, Retraction):
+                return {"retract": base(item.item)}
+            return base(item)
+
+        return render
 
     async def _next(self, request: dict) -> dict:
         session, error = self._session_of(request)
@@ -265,6 +373,7 @@ class QueryServer:
         session.close()
         del self._sessions[request["session"]]
         self._ranked_sessions.discard(request["session"])
+        self._padded_sessions.discard(request["session"])
         return {"ok": True}
 
     def _ingest(self, request: dict) -> dict:
@@ -285,6 +394,64 @@ class QueryServer:
             "new_results": record["results_emitted"],
             "candidates_generated": record["candidates_generated"],
             "invalidated_queries": invalidated,
+        }
+
+    def _retract(self, request: dict) -> dict:
+        entries = request.get("tuples", [])
+        try:
+            removals = [Removal(entry[0], entry[1]) for entry in entries]
+        except (IndexError, TypeError):
+            return {
+                "ok": False,
+                "error": "retract entries must be [relation, label] pairs",
+            }
+        try:
+            record = self.maintainer.remove(removals)
+        except (DatabaseError, RelationError, ValueError) as error:
+            # A bad target is the client's error; the batch was validated
+            # before anything was tombstoned, so nothing changed.
+            return {"ok": False, "error": str(error)}
+        # Unlike ingest, a deletion *revalidates* the cache: entries whose
+        # materialized prefix holds no deleted tuple are re-keyed under the
+        # new generation and keep serving; only touched entries die.
+        outcome = self.cache.revalidate(self.database)
+        return {
+            "ok": True,
+            "applied": record["removals"],
+            "retracted": record["results_retracted"],
+            "new_results": record["results_emitted"],
+            "revalidated_queries": outcome["revalidated"],
+            "invalidated_queries": outcome["invalidated"],
+        }
+
+    def _update(self, request: dict) -> dict:
+        entries = request.get("tuples", [])
+        try:
+            updates = [
+                Update(entry[0], entry[1], tuple(entry[2]), *entry[3:])
+                for entry in entries
+            ]
+        except (IndexError, TypeError):
+            return {
+                "ok": False,
+                "error": (
+                    "update entries must be [relation, label, values] triples"
+                ),
+            }
+        try:
+            record = self.maintainer.update(updates)
+        except (DatabaseError, RelationError, SchemaError, ValueError) as error:
+            return {"ok": False, "error": str(error)}
+        # Updates append fresh tuples, so no cached prefix can revalidate;
+        # revalidate() degrades to the eager invalidation ingest uses.
+        outcome = self.cache.revalidate(self.database)
+        return {
+            "ok": True,
+            "applied": record["updates"],
+            "retracted": record["results_retracted"],
+            "new_results": record["results_emitted"],
+            "revalidated_queries": outcome["revalidated"],
+            "invalidated_queries": outcome["invalidated"],
         }
 
     # ------------------------------------------------------------------ #
@@ -325,6 +492,7 @@ class QueryServer:
             for name in connection_sessions:
                 session = self._sessions.pop(name, None)
                 self._ranked_sessions.discard(name)
+                self._padded_sessions.discard(name)
                 if session is not None:
                     session.close()
             writer.close()

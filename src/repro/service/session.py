@@ -26,6 +26,7 @@ Two classes split the concern:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional
 
 from repro.core.incremental import FDStatistics
@@ -110,6 +111,30 @@ class StaleResultLog(RuntimeError):
     Serving clients treat this as "reopen the query" — the database moved to
     a new generation, or the cache evicted the shared computation.
     """
+
+
+@dataclass(frozen=True)
+class Retraction:
+    """A log entry announcing that an earlier result no longer holds.
+
+    The streaming maintainer appends one per previously-emitted result that
+    contained a deleted tuple, so open cursors observe the retraction in
+    stream order instead of silently serving a stale answer.  ``item`` is
+    the retracted log entry exactly as it was first appended — a tuple set,
+    or a ``(tuple set, score)`` pair on ranked streams.
+    """
+
+    item: object
+
+    @property
+    def tuple_set(self):
+        """The retracted result's tuple set (score stripped on ranked streams)."""
+        return self.item[0] if isinstance(self.item, tuple) else self.item
+
+    @property
+    def score(self) -> Optional[float]:
+        """The retracted result's rank, on ranked streams (else ``None``)."""
+        return self.item[1] if isinstance(self.item, tuple) else None
 
 
 _SOURCES: Dict[str, Callable[[Database, dict], Iterator[object]]] = {
@@ -234,6 +259,54 @@ class ResultLog:
             if self.ensure(before + 64) == before:
                 break
         return len(self.results)
+
+    @property
+    def sealed(self) -> bool:
+        """True when the log is a revalidated prefix awaiting a new source.
+
+        Sealing (unlike closing) keeps the log *servable*: the materialized
+        prefix is still valid under the current database generation, pulls
+        beyond it raise :class:`StaleResultLog` until a caller that knows the
+        query's options attaches a recomputation tail via
+        :meth:`reopen_with`.
+        """
+        return (
+            self._source is None
+            and not self._complete
+            and not self._closed
+            and self._invalidated_because is not None
+        )
+
+    def seal(self, reason: str) -> None:
+        """Epoch revalidation: drop the (tainted) source, keep serving the prefix.
+
+        After a deletion, a generator mid-stream observes a mutated database
+        and cannot be pulled further — but a prefix whose results contain no
+        deleted tuple is still exactly valid.  Sealing closes the source and
+        records ``reason`` for pulls beyond the prefix, while leaving the log
+        open so the prefix cache can re-key it under the new generation and
+        later attach a fresh tail (:meth:`reopen_with`).  A complete log has
+        nothing to seal.
+        """
+        self._settle()
+        if not self._complete:
+            self._invalidated_because = reason
+
+    def reopen_with(self, source: Iterator[object]) -> None:
+        """Attach a fresh source to a sealed log (the revalidation tail).
+
+        The source must yield only results *not* already in the materialized
+        prefix (the cache builds it as a deduplicating re-run); from the
+        cursor's point of view the log simply continues.
+        """
+        if self._closed:
+            raise RuntimeError("cannot reopen a closed ResultLog")
+        if self._source is not None:
+            raise RuntimeError("cannot reopen while a source generator is active")
+        if self._complete:
+            raise RuntimeError("cannot reopen a complete ResultLog")
+        self._invalidated_because = None
+        self._source = source
 
     def finish(self) -> None:
         """The graceful end: the stream is over, cursors at the end are done."""

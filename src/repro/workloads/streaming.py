@@ -25,6 +25,7 @@ driver as ``repro stream``.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import (
     Iterator,
@@ -54,6 +55,67 @@ class Arrival(NamedTuple):
     values: TupleType[object, ...]
     importance: float = 0.0
     probability: float = 1.0
+
+
+class Removal(NamedTuple):
+    """One streamed deletion: the tuple labelled ``label`` leaves ``relation_name``.
+
+    Applied through :meth:`~repro.relational.database.Database.remove_tuple`
+    — an append-only catalog tombstone plus an epoch bump; previously emitted
+    results containing the tuple are *retracted* from the stream.
+    """
+
+    relation_name: str
+    label: str
+
+
+class Update(NamedTuple):
+    """One streamed in-place update: the tuple keeps its label, values change.
+
+    Applied through :meth:`~repro.relational.database.Database.update_tuple`
+    — downstream this is exactly a deletion of the old incarnation plus an
+    arrival of the new one, in a single epoch bump.  ``importance`` /
+    ``probability`` of ``None`` keep the old tuple's values.
+    """
+
+    relation_name: str
+    label: str
+    values: TupleType[object, ...]
+    importance: Optional[float] = None
+    probability: Optional[float] = None
+
+
+#: Anything a stream batch may carry: an arrival (also as a plain
+#: ``(relation, values)`` pair), a deletion, or an in-place update.
+StreamOp = Union[Arrival, Removal, Update, tuple]
+
+
+def _tuple_identity(t) -> tuple:
+    """What makes a tuple "the same row" across recomputes.
+
+    Importance and probability participate alongside the values: a
+    score-only in-place update is still a mutation (rankings and
+    approximate joins read those fields), so the result built from the old
+    incarnation must not alias the one built from the new.
+    """
+    return (t.relation_name, t.label, t.values, t.importance, t.probability)
+
+
+def result_key(tuple_set: TupleSet) -> frozenset:
+    """The identity a result keeps across engine re-runs.
+
+    The shared cross-recompute result identity: the streaming reference
+    uses it to diff consecutive recomputes (retract vs emit) and the prefix
+    cache's revalidation tail uses it to deduplicate a fresh run against a
+    served prefix.  An in-place update (same label; new values, importance
+    or probability) therefore retracts the old result and emits the new one
+    instead of silently aliasing them.
+    """
+    return frozenset(_tuple_identity(t) for t in tuple_set)
+
+
+#: Backwards-compatible private alias (pre-existing internal name).
+_event_key = result_key
 
 
 @dataclass
@@ -154,9 +216,58 @@ def streaming_star_workload(
     return workload
 
 
+def inject_mutations(
+    workload: StreamingWorkload,
+    mutations: int,
+    seed: int = 0,
+    update_fraction: float = 0.5,
+) -> List[StreamOp]:
+    """Interleave deletions and in-place updates into an arrival stream.
+
+    Picks ``mutations`` distinct *base* tuples (present before any arrival,
+    so every target exists whenever its op fires), turns a ``seed``-chosen
+    ``update_fraction`` of them into :class:`Update` ops — each non-null
+    value gains a ``*`` suffix, a genuinely different row — and the rest
+    into :class:`Removal` ops, then spreads the mutations evenly through a
+    copy of ``workload.arrivals``.  The result is the mixed op list
+    ``repro stream --mutations`` and the E12 benchmark replay.
+    """
+    if mutations < 0:
+        raise ValueError(f"mutations must be non-negative, got {mutations}")
+    targets = [
+        (relation.name, t)
+        for relation in workload.database.relations
+        for t in relation
+    ]
+    if mutations > len(targets):
+        raise ValueError(
+            f"cannot mutate {mutations} tuples: the base database has "
+            f"only {len(targets)}"
+        )
+    rng = random.Random(seed)
+    chosen = rng.sample(targets, mutations)
+    ops: List[StreamOp] = []
+    for relation_name, t in chosen:
+        if rng.random() < update_fraction:
+            from repro.relational.nulls import is_null
+
+            values = tuple(
+                value if is_null(value) else f"{value}*" for value in t.values
+            )
+            ops.append(Update(relation_name, t.label, values))
+        else:
+            ops.append(Removal(relation_name, t.label))
+    mixed: List[StreamOp] = list(workload.arrivals)
+    # Spread the mutations evenly, never all bunched at either end.
+    step = max(1, (len(mixed) + 1) // (mutations + 1)) if mutations else 1
+    for index, op in enumerate(ops):
+        mixed.insert(min((index + 1) * step + index, len(mixed)), op)
+    return mixed
+
+
 @dataclass
 class IngestEvent:
-    """A batch of arrivals was applied to the database."""
+    """A batch of stream operations (arrivals, deletions, updates) was applied."""
 
     applied: int
     total_applied: int
@@ -164,15 +275,18 @@ class IngestEvent:
 
 @dataclass
 class ResultEvent:
-    """A result set appeared for the first time.
+    """A result set appeared (``kind="emit"``) or was withdrawn (``kind="retract"``).
 
     ``score`` carries the result's rank on ranked streams (``None`` on
-    unranked ones).
+    unranked ones).  A ``retract`` event names a previously emitted result
+    that contained a deleted tuple; the *net* stream — emits minus retracts
+    — always equals a full recompute on the current database.
     """
 
     tuple_set: TupleSet
     after_arrivals: int
     score: Optional[float] = None
+    kind: str = "emit"
 
 
 StreamEvent = Union[IngestEvent, ResultEvent]
@@ -188,35 +302,67 @@ class StreamSummary:
     statistics: FDStatistics = field(default_factory=FDStatistics)
 
 
+def apply_stream_op(database: Database, op: StreamOp):
+    """Apply one stream operation to ``database`` (in-place catalog maintenance).
+
+    Plain ``(relation, values, ...)`` tuples are accepted as arrivals; typed
+    :class:`Removal` and :class:`Update` ops dispatch to the tombstoning
+    mutation entry points.
+    """
+    if isinstance(op, Removal):
+        return database.remove_tuple(op.relation_name, op.label)
+    if isinstance(op, Update):
+        return database.update_tuple(
+            op.relation_name,
+            op.label,
+            op.values,
+            importance=op.importance,
+            probability=op.probability,
+        )
+    arrival = Arrival(*op)
+    return database.add_tuple(
+        arrival.relation_name,
+        arrival.values,
+        importance=arrival.importance,
+        probability=arrival.probability,
+    )
+
+
 def replay_stream(
     database: Database,
-    arrivals: Sequence[Arrival],
+    arrivals: Sequence[StreamOp],
     batch_size: int = 1,
     use_index: bool = False,
     backend=None,
     summary: Optional[StreamSummary] = None,
     ranking=None,
 ) -> Iterator[StreamEvent]:
-    """Serve the full disjunction while ingesting ``arrivals`` batch by batch.
+    """Serve the full disjunction while applying ``arrivals`` batch by batch.
 
-    The initial database is served first; then each batch is ingested through
-    :meth:`Database.add_tuple` (append-only catalog maintenance — no snapshot
-    rebuild) and the full disjunction is recomputed through ``backend``,
-    emitting only result sets not seen before.  Events interleave
-    :class:`IngestEvent` and :class:`ResultEvent` in stream order.
+    This is the recompute *reference* the delta maintainer is checked
+    against: each batch of stream operations — arrivals, and with
+    :class:`Removal` / :class:`Update` ops also deletions and in-place
+    updates — is applied through the in-place catalog maintenance entry
+    points, the full disjunction is recomputed through ``backend``, and the
+    event stream is the diff against the previous recompute: a ``retract``
+    :class:`ResultEvent` for every previously emitted result that
+    disappeared, then an ``emit`` event for every new one.  Events
+    interleave :class:`IngestEvent` and :class:`ResultEvent` in stream
+    order, and the net emitted set always equals the current database's full
+    disjunction.
 
     With a ``ranking`` (a monotonically c-determined
     :class:`~repro.core.ranking.RankingFunction`), each recomputation runs
-    the ranked engine instead, and the batch's not-seen-before results are
-    emitted in canonical rank order — sorted by ``(-score, sort key)``, so
-    rank ties land in a deterministic order the delta-maintained counterpart
+    the ranked engine instead, and the batch's new results are emitted in
+    canonical rank order — sorted by ``(-score, sort key)``, so rank ties
+    land in a deterministic order the delta-maintained counterpart
     (:func:`repro.service.delta.incremental_replay_stream`) reproduces
     exactly.  ``ResultEvent.score`` carries each result's rank.
 
-    Pass a :class:`StreamSummary` to collect the final result list, the
-    arrival count, the engine statistics, and the number of catalog rebuilds
-    the run performed — exactly one (the initial build) when the database's
-    catalog was not built before the call.
+    Pass a :class:`StreamSummary` to collect the final (net) result list,
+    the operation count, the engine statistics, and the number of catalog
+    rebuilds the run performed — exactly one (the initial build) when the
+    database's catalog was not built before the call.
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be positive, got {batch_size}")
@@ -230,46 +376,68 @@ def replay_stream(
     # stream still reports the builds that already happened.
     summary.catalog_rebuilds = database.catalog_rebuilds - rebuilds_before
 
-    seen = set()
+    #: key -> (tuple set, score) of every currently-standing emitted result,
+    #: in emission order (dicts preserve insertion order).
+    seen: "dict" = {}
+
+    def recompute() -> List[TupleType[TupleSet, Optional[float]]]:
+        if ranking is not None:
+            from repro.core.priority import priority_incremental_fd
+
+            return list(
+                priority_incremental_fd(
+                    database,
+                    ranking,
+                    use_index=use_index,
+                    backend=backend,
+                    statistics=summary.statistics,
+                )
+            )
+        return [
+            (tuple_set, None)
+            for tuple_set in full_disjunction_sets(
+                database,
+                use_index=use_index,
+                backend=backend,
+                statistics=summary.statistics,
+            )
+        ]
 
     def emit(after_arrivals: int) -> Iterator[ResultEvent]:
+        current = recompute()
+        # Retract exactly the standing results that lost a member tuple to a
+        # deletion or an update (score-only updates included).  A result
+        # that merely became non-maximal under later *arrivals* stays, per
+        # the monotone-emission contract: it remains a join-consistent,
+        # connected answer over the data that existed when it was emitted —
+        # and the delta maintainer keeps it for the same reason.
+        live = {_tuple_identity(t) for t in database.tuples()}
+        for key in [key for key in seen if not key <= live]:
+            tuple_set, score = seen.pop(key)
+            try:
+                summary.results.remove(tuple_set)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+            yield ResultEvent(
+                tuple_set=tuple_set,
+                after_arrivals=after_arrivals,
+                score=score,
+                kind="retract",
+            )
+        fresh = [
+            (tuple_set, score)
+            for tuple_set, score in current
+            if _event_key(tuple_set) not in seen
+        ]
         if ranking is not None:
-            yield from emit_ranked(after_arrivals)
-            return
-        for tuple_set in full_disjunction_sets(
-            database,
-            use_index=use_index,
-            backend=backend,
-            statistics=summary.statistics,
-        ):
-            key = frozenset((t.relation_name, t.label) for t in tuple_set)
-            if key in seen:
-                continue
-            seen.add(key)
-            summary.results.append(tuple_set)
-            yield ResultEvent(tuple_set=tuple_set, after_arrivals=after_arrivals)
+            # The engine emits in rank order already; re-sorting with the
+            # sort key as tie-break canonicalises the order *within* equal
+            # scores.
+            from repro.core.ranking import canonical_rank_key
 
-    def emit_ranked(after_arrivals: int) -> Iterator[ResultEvent]:
-        from repro.core.priority import priority_incremental_fd
-        from repro.core.ranking import canonical_rank_key
-
-        fresh = []
-        for tuple_set, score in priority_incremental_fd(
-            database,
-            ranking,
-            use_index=use_index,
-            backend=backend,
-            statistics=summary.statistics,
-        ):
-            key = frozenset((t.relation_name, t.label) for t in tuple_set)
-            if key in seen:
-                continue
-            seen.add(key)
-            fresh.append((tuple_set, score))
-        # The engine emits in rank order already; re-sorting with the sort
-        # key as tie-break canonicalises the order *within* equal scores.
-        fresh.sort(key=canonical_rank_key)
+            fresh.sort(key=canonical_rank_key)
         for tuple_set, score in fresh:
+            seen[_event_key(tuple_set)] = (tuple_set, score)
             summary.results.append(tuple_set)
             yield ResultEvent(
                 tuple_set=tuple_set, after_arrivals=after_arrivals, score=score
@@ -279,14 +447,8 @@ def replay_stream(
     position = 0
     while position < len(arrivals):
         batch = arrivals[position : position + batch_size]
-        for arrival in batch:
-            arrival = Arrival(*arrival)  # accept plain (name, values) pairs
-            database.add_tuple(
-                arrival.relation_name,
-                arrival.values,
-                importance=arrival.importance,
-                probability=arrival.probability,
-            )
+        for op in batch:
+            apply_stream_op(database, op)
         position += len(batch)
         summary.arrivals_applied = position
         summary.catalog_rebuilds = database.catalog_rebuilds - rebuilds_before

@@ -117,13 +117,13 @@ class TestStreamCommand:
             ["stream", *csv_paths, "--arrival-fraction", "0.4", "--batch-size", "2"]
         ) == 0
         output = capsys.readouterr().out
-        assert "ingested" in output
+        assert "applied" in output
         assert "1 catalog build)" in output
 
     def test_zero_arrival_fraction_serves_everything_upfront(self, csv_paths, capsys):
         assert main(["stream", *csv_paths, "--arrival-fraction", "0"]) == 0
         output = capsys.readouterr().out
-        assert "(6 answers over 0 streamed arrivals" in output
+        assert "(6 standing answers over 0 streamed ops" in output
 
     def test_stream_accepts_a_backend(self, csv_paths, capsys):
         assert main(
@@ -194,6 +194,51 @@ class TestStreamCommand:
         with pytest.raises(SystemExit, match="requires --rank"):
             main(["stream", *csv_paths, "--importance-attribute", "Stars"])
 
+    def test_mutations_interleave_and_report_retractions(self, csv_paths, capsys):
+        assert main(
+            ["stream", *csv_paths, "--arrival-fraction", "0.4",
+             "--mode", "delta", "--mutations", "2"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "2 mutations interleaved" in output
+        assert "results retracted" in output
+        assert "epoch 2" in output
+
+    def test_mutations_match_between_delta_and_recompute(self, csv_paths, capsys):
+        arguments = [
+            "stream", *csv_paths, "--arrival-fraction", "0.4", "--mutations", "2",
+        ]
+        assert main(arguments) == 0
+        recompute = capsys.readouterr().out
+        assert main([*arguments, "--mode", "delta"]) == 0
+        delta = capsys.readouterr().out
+
+        def standing(output):
+            live = set()
+            for line in output.splitlines():
+                if not line.startswith("[after"):
+                    continue
+                body = line.split("] ", 1)[1]
+                if body.startswith("retract "):
+                    live.discard(body[len("retract "):])
+                else:
+                    live.add(body)
+            return live
+
+        assert standing(delta) == standing(recompute)
+
+    def test_sharded_backend_is_rejected_in_delta_mode(self, csv_paths):
+        with pytest.raises(SystemExit, match="sharded"):
+            main(["stream", *csv_paths, "--mode", "delta", "--backend", "sharded"])
+
+    def test_workers_without_sharded_backend_is_an_error(self, csv_paths):
+        with pytest.raises(SystemExit, match="--workers"):
+            main(["stream", *csv_paths, "--workers", "4"])
+
+    def test_negative_mutations_is_an_error(self, csv_paths):
+        with pytest.raises(SystemExit, match="non-negative"):
+            main(["stream", *csv_paths, "--mutations", "-1"])
+
 
 class TestServeCommand:
     def test_smoke_mode_asserts_parity_with_serial(self, capsys):
@@ -219,6 +264,16 @@ class TestServeCommand:
         output = capsys.readouterr().out
         assert "smoke OK: 3 concurrent clients" in output
         assert "ranked answers (scores included)" in output
+
+    def test_smoke_only_options_require_smoke_clients(self):
+        with pytest.raises(SystemExit, match="--smoke-clients"):
+            main(["serve", "--workload", "star", "--k", "5"])
+        with pytest.raises(SystemExit, match="--smoke-clients"):
+            main(["serve", "--workload", "star", "--ranked"])
+
+    def test_csv_and_workload_are_mutually_exclusive(self, csv_paths):
+        with pytest.raises(SystemExit, match="not both"):
+            main(["serve", *csv_paths, "--workload", "star", "--smoke-clients", "2"])
 
 
 class TestTraceCommand:

@@ -131,9 +131,9 @@ class TestGeneration:
 
     def test_streamed_append_moves_only_the_tuple_count(self, chain_db):
         chain_db.catalog()
-        rebuilds, relations, tuples = chain_db.generation
+        rebuilds, epoch, relations, tuples = chain_db.generation
         chain_db.add_tuple("R1", ["x", "y"])
-        assert chain_db.generation == (rebuilds, relations, tuples + 1)
+        assert chain_db.generation == (rebuilds, epoch, relations, tuples + 1)
 
     def test_adding_a_relation_moves_the_token(self, chain_db):
         chain_db.catalog()

@@ -1,0 +1,200 @@
+"""Tombstone deletions, in-place updates, epochs and compaction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.database import Database
+from repro.relational.errors import RelationError, SchemaError
+from repro.relational.relation import Relation
+
+
+def _chain_db():
+    database = Database()
+    first = Relation("R1", ["A", "B"])
+    second = Relation("R2", ["B", "C"])
+    for row in range(3):
+        first.add([f"a{row}", f"b{row}"])
+        second.add([f"b{row}", f"c{row}"])
+    database.add_relation(first)
+    database.add_relation(second)
+    return database
+
+
+class TestRelationRemove:
+    def test_remove_returns_the_tuple_and_frees_the_label(self):
+        database = _chain_db()
+        relation = database.relation("R1")
+        removed = relation.remove("r2")
+        assert removed.label == "r2"
+        assert len(relation) == 2
+        assert all(t.label != "r2" for t in relation)
+        replacement = relation.add(["x", "y"], label="r2")
+        assert replacement.label == "r2"
+
+    def test_remove_unknown_label_raises(self):
+        with pytest.raises(RelationError, match="r9"):
+            _chain_db().relation("R1").remove("r9")
+
+
+class TestDatabaseRemoveTuple:
+    def test_tombstones_in_place_without_a_rebuild(self):
+        database = _chain_db()
+        catalog = database.catalog()
+        rebuilds = database.catalog_rebuilds
+        removed = database.remove_tuple("R1", "r2")
+        assert database.catalog() is catalog
+        assert database.catalog_rebuilds == rebuilds
+        assert catalog.is_tombstoned(removed)
+        assert catalog.tombstone_count == 1
+        assert catalog.live_tuple_count == database.tuple_count() == 5
+        # Ids are retired, not reclaimed: the catalog still knows the tuple.
+        assert catalog.id_of(removed) is not None
+        assert catalog.tuple_count == 6
+
+    def test_epoch_bumps_only_on_non_monotone_mutations(self):
+        database = _chain_db()
+        database.catalog()
+        assert database.epoch == 0
+        database.add_tuple("R1", ["p", "q"])
+        assert database.epoch == 0
+        database.remove_tuple("R1", "r1")
+        assert database.epoch == 1
+        database.update_tuple("R2", "r1", ["bX", "cX"])
+        assert database.epoch == 2
+
+    def test_scans_never_see_a_removed_tuple(self):
+        database = _chain_db()
+        database.catalog()
+        database.remove_tuple("R2", "r3")
+        labels = [t.label for t in database.relation("R2")]
+        assert labels == ["r1", "r2"]
+
+    def test_removal_without_a_built_catalog_just_removes(self):
+        database = _chain_db()
+        database.remove_tuple("R1", "r1")
+        catalog = database.catalog()  # first build: dead tuple never catalogued
+        assert catalog.tombstone_count == 0
+        assert catalog.tuple_count == 5
+
+    def test_removal_on_a_stale_catalog_forces_a_rebuild(self):
+        database = _chain_db()
+        database.catalog()
+        database.relation("R1").add(["z", "z"])  # behind the database's back
+        database.remove_tuple("R1", "r1")
+        rebuilds = database.catalog_rebuilds
+        catalog = database.catalog()
+        assert database.catalog_rebuilds == rebuilds + 1
+        assert catalog.tombstone_count == 0
+
+    def test_count_neutral_out_of_band_mutation_cannot_alias_the_snapshot(self):
+        # Regression: remove + add behind the database's back nets the tuple
+        # count to zero; the version-keyed staleness check must still rebuild.
+        database = _chain_db()
+        stale = database.catalog()
+        removed = database.relation("R1").remove("r1")
+        fresh_tuple = database.relation("R1").add(["q", "q"])
+        rebuilds = database.catalog_rebuilds
+        catalog = database.catalog()
+        assert catalog is not stale
+        assert database.catalog_rebuilds == rebuilds + 1
+        assert catalog.id_of(fresh_tuple) is not None
+        assert catalog.id_of(removed) is None
+
+
+class TestDatabaseUpdateTuple:
+    def test_update_is_tombstone_plus_append_under_the_same_label(self):
+        database = _chain_db()
+        catalog = database.catalog()
+        old = database.relation("R1").tuple_by_label("r1")
+        fresh = database.update_tuple("R1", "r1", ["aX", "bX"])
+        assert database.catalog() is catalog  # maintained in place
+        assert fresh.label == "r1" and fresh.values == ("aX", "bX")
+        assert catalog.is_tombstoned(old)
+        assert not catalog.is_tombstoned(fresh)
+        assert catalog.id_of(fresh) > catalog.id_of(old)
+
+    def test_update_preserves_importance_unless_overridden(self):
+        database = Database()
+        relation = Relation("R1", ["A"])
+        relation.add(["x"], importance=3.0, probability=0.5)
+        database.add_relation(relation)
+        database.catalog()
+        fresh = database.update_tuple("R1", "r1", ["y"])
+        assert fresh.importance == 3.0 and fresh.probability == 0.5
+        fresh = database.update_tuple("R1", "r1", ["z"], importance=7.0)
+        assert fresh.importance == 7.0
+
+    def test_noop_update_changes_nothing(self):
+        database = _chain_db()
+        database.catalog()
+        old = database.relation("R1").tuple_by_label("r1")
+        same = database.update_tuple("R1", "r1", old.values)
+        assert same is old
+        assert database.epoch == 0
+
+    def test_update_back_to_original_values_re_appends_the_dead_twin(self):
+        database = _chain_db()
+        catalog = database.catalog()
+        original = database.relation("R1").tuple_by_label("r1").values
+        database.update_tuple("R1", "r1", ["aX", "bX"])
+        database.update_tuple("R1", "r1", original)
+        assert database.catalog() is catalog
+        live = database.relation("R1").tuple_by_label("r1")
+        assert live.values == original
+        assert not catalog.is_tombstoned(live)
+        assert database.epoch == 2
+
+    def test_update_arity_mismatch_raises_before_mutating(self):
+        database = _chain_db()
+        database.catalog()
+        with pytest.raises(SchemaError, match="schema has 2"):
+            database.update_tuple("R1", "r1", ["only-one"])
+        assert database.epoch == 0
+        assert database.relation("R1").tuple_by_label("r1") is not None
+
+
+class TestGenerationAndCompaction:
+    def test_generation_components(self):
+        database = _chain_db()
+        database.catalog()
+        rebuilds, epoch, relations, tuples = database.generation
+        database.add_tuple("R1", ["n", "n"])
+        assert database.generation == (rebuilds, epoch, relations, tuples + 1)
+        database.remove_tuple("R1", "r1")
+        assert database.generation == (rebuilds, epoch + 1, relations, tuples)
+        database.update_tuple("R2", "r2", ["u", "u"])
+        assert database.generation == (rebuilds, epoch + 2, relations, tuples)
+
+    def test_compact_reclaims_dead_ids_with_one_rebuild(self):
+        database = _chain_db()
+        catalog = database.catalog()
+        database.remove_tuple("R1", "r1")
+        database.update_tuple("R2", "r2", ["u", "u"])
+        assert catalog.tombstone_count == 2
+        rebuilds = database.catalog_rebuilds
+        compacted = database.compact()
+        assert compacted is not catalog
+        assert database.catalog_rebuilds == rebuilds + 1
+        assert compacted.tombstone_count == 0
+        assert compacted.tuple_count == database.tuple_count() == 5
+        # Equivalent fresh build: every live tuple catalogued, none dead.
+        for t in database.tuples():
+            assert compacted.id_of(t) is not None
+
+    def test_catalog_masks_partition_on_deletion(self):
+        database = _chain_db()
+        catalog = database.catalog()
+        all_mask = catalog.live_mask
+        assert catalog.dead_mask == 0
+        removed = database.remove_tuple("R1", "r3")
+        gid = catalog.id_of(removed)
+        assert catalog.dead_mask == 1 << gid
+        assert catalog.live_mask == all_mask & ~(1 << gid)
+
+    def test_double_tombstone_raises(self):
+        database = _chain_db()
+        catalog = database.catalog()
+        removed = database.remove_tuple("R1", "r1")
+        with pytest.raises(ValueError, match="already tombstoned"):
+            catalog.tombstone(removed)

@@ -29,7 +29,19 @@ class TestGenerationToken:
         after = database_generation(database)
         assert after != before
         assert after[0] == before[0]  # in-place catalog maintenance: no rebuild
-        assert after[2] == before[2] + 1
+        assert after[1] == before[1]  # appends are monotone: no epoch bump
+        assert after[3] == before[3] + 1
+
+    def test_removal_moves_only_the_epoch_and_the_count(self):
+        database = tourist_database()
+        database.catalog()
+        before = database_generation(database)
+        removed = database.relation("Climates").tuples[0]
+        database.remove_tuple("Climates", removed.label)
+        after = database_generation(database)
+        assert after[0] == before[0]  # tombstoned in place: no rebuild
+        assert after[1] == before[1] + 1
+        assert after[3] == before[3] - 1
 
     def test_adding_a_relation_moves_the_token(self):
         from repro.relational.relation import Relation
@@ -192,5 +204,6 @@ class TestPrefixCache:
         cache = PrefixCache()
         stats = cache.stats()
         assert set(stats) == {
-            "entries", "capacity", "hits", "misses", "invalidations", "evictions",
+            "entries", "capacity", "hits", "misses", "invalidations",
+            "revalidations", "evictions",
         }
