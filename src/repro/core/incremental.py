@@ -285,6 +285,10 @@ def incremental_fd(
         Each member of ``FD_i(R)``, exactly once (Theorem 4.6).
     """
     anchor_name = resolve_anchor(database, anchor)
+    if statistics is not None:
+        from repro.core.kernels import tag_kernel
+
+        tag_kernel(statistics)
     if scanner is None:
         scanner = TupleScanner(database)
     catalog = database.catalog()

@@ -1,0 +1,508 @@
+"""The packed kernel: bitset inner loops on NumPy ``uint64`` word arrays.
+
+The big-int representation answers one candidate per Python bytecode loop
+iteration; this module answers a whole batch per NumPy array operation.  The
+data layout is a columnar mirror of the catalog's bitmatrices
+(:class:`PackedMirror`): every big-int bitmask becomes a row of ``uint64``
+little-endian words, so a mask of ``n`` tuples occupies ``ceil(n/64)`` words
+and the engine's predicates become word-wise ``AND``/``ANDN`` reductions
+over contiguous arrays.
+
+Layout invariant: for every mask ``m`` and width ``w``,
+``pack_int(m, w)`` is exactly ``m.to_bytes(w*8, 'little')`` viewed as
+``<u8`` words — so ``unpack_to_int(pack_int(m, w)) == m`` and the packed
+rows can always be checked bit-for-bit against the catalog's big ints
+(``tests/core/test_kernels.py`` does).
+
+The mirror is created lazily by :meth:`Catalog.packed_mirror
+<repro.relational.catalog.Catalog.packed_mirror>` and maintained
+*incrementally* by the catalog's ``append_tuple``/``tombstone`` hooks:
+appending a tuple writes one packed row and ORs one bit-column
+(amortized O(n/64) words via capacity doubling), a tombstone sets one bit.
+Interned tuple sets cache their own packed row in a ``TupleSet`` slot, built
+on first use and padded when the id space grows.
+
+Every operation here obeys the parity contract of
+:mod:`repro.core.kernels.base`: inputs the packed representation cannot
+express (uninterned sets, mixed catalogs, uncatalogued tuples, ambiguous
+dead-tuple incarnations) are delegated to the big-int reference kernel for
+that call, so answers — and the serial-equivalent ``scanned`` counts — are
+identical by construction, not by luck.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple as TupleType
+
+import numpy as np
+
+from repro.core.kernels.base import Kernel
+from repro.core.kernels.bigint import BigintKernel
+
+#: All packed arrays use explicit little-endian words so ``pack_int`` /
+#: ``unpack_to_int`` round-trip through ``int.to_bytes(..., "little")`` on
+#: any host byte order.
+U64 = np.dtype("<u8")
+
+_ONE = np.uint64(1)
+
+
+def words_for(bits: int) -> int:
+    """Words needed for ``bits`` bit positions (at least one)."""
+    return max(1, (bits + 63) >> 6)
+
+
+def pack_int(mask: int, width: int) -> np.ndarray:
+    """A big-int bitmask as ``width`` little-endian ``uint64`` words (read-only)."""
+    return np.frombuffer(mask.to_bytes(width * 8, "little"), dtype=U64)
+
+
+def unpack_to_int(words: np.ndarray) -> int:
+    """The inverse of :func:`pack_int`."""
+    return int.from_bytes(np.ascontiguousarray(words).tobytes(), "little")
+
+
+def unpack_bits(mask: int, bits: int) -> np.ndarray:
+    """A big-int bitmask as a boolean array of ``bits`` positions."""
+    if bits <= 0:
+        return np.zeros(0, dtype=bool)
+    raw = np.frombuffer(mask.to_bytes((bits + 7) >> 3, "little"), dtype=np.uint8)
+    return np.unpackbits(raw, bitorder="little")[:bits].astype(bool)
+
+
+def take_bits(words: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    """The bits of a packed row at positions ``idx``, as booleans."""
+    shifts = (idx & 63).astype(U64)
+    return ((words[idx >> 6] >> shifts) & _ONE).astype(bool)
+
+
+def popcount_words(words: np.ndarray) -> int:
+    """Word-wise population count of a packed array."""
+    bitwise_count = getattr(np, "bitwise_count", None)
+    if bitwise_count is not None:
+        return int(bitwise_count(words).sum())
+    return int(np.unpackbits(np.ascontiguousarray(words).view(np.uint8)).sum())
+
+
+def set_words(tuple_set, width: int) -> np.ndarray:
+    """The packed row of an interned tuple set, cached on the set itself.
+
+    The cached row only ever needs to *grow* (dense ids are append-only), so
+    a cached row at least ``width`` words wide is sliced, a narrower one is
+    rebuilt and re-cached.
+    """
+    row = tuple_set._packed_row
+    if row is None or row.shape[0] < width:
+        row = pack_int(tuple_set._id_mask, width)
+        tuple_set._packed_row = row
+    return row[:width]
+
+
+class PackedMirror:
+    """The catalog's bitmatrices as packed ``uint64`` arrays, kept in sync.
+
+    Built once from the catalog's big ints, then maintained incrementally by
+    the catalog's append/tombstone hooks.  Arrays are over-allocated
+    (capacity doubling in both rows and words), with ``n``/``width`` marking
+    the logical extent, so streaming appends stay amortized O(row).
+    """
+
+    __slots__ = (
+        "n",
+        "width",
+        "r_words",
+        "consistent",
+        "dead",
+        "relation_tuples",
+        "tuple_relation",
+        "adjacency",
+    )
+
+    def __init__(self, catalog):
+        n = catalog.tuple_count
+        r = catalog.relation_count
+        self.n = n
+        self.width = words_for(n)
+        self.r_words = words_for(max(r, 1))
+        row_cap = max(n, 16)
+        self.consistent = np.zeros((row_cap, self.width), dtype=U64)
+        for gid in range(n):
+            self.consistent[gid] = pack_int(catalog.consistent_mask(gid), self.width)
+        self.dead = pack_int(catalog.dead_mask, self.width).copy()
+        self.relation_tuples = np.zeros((max(r, 1), self.width), dtype=U64)
+        self.adjacency = np.zeros((max(r, 1), self.r_words), dtype=U64)
+        for rid in range(r):
+            self.relation_tuples[rid] = pack_int(
+                catalog.relation_tuples_mask(rid), self.width
+            )
+            self.adjacency[rid] = pack_int(catalog.adjacency_mask(rid), self.r_words)
+        self.tuple_relation = np.zeros(row_cap, dtype=np.int64)
+        for gid in range(n):
+            self.tuple_relation[gid] = catalog.relation_of_tuple(gid)
+
+    def _grow(self, need_rows: int, need_words: int) -> None:
+        row_cap, word_cap = self.consistent.shape
+        new_rows = row_cap
+        while new_rows < need_rows:
+            new_rows *= 2
+        new_words = word_cap
+        while new_words < need_words:
+            new_words *= 2
+        if new_rows != row_cap or new_words != word_cap:
+            grown = np.zeros((new_rows, new_words), dtype=U64)
+            grown[:self.n, :self.width] = self.consistent[:self.n, :self.width]
+            self.consistent = grown
+            relation = np.zeros((self.relation_tuples.shape[0], new_words), dtype=U64)
+            relation[:, :self.width] = self.relation_tuples[:, :self.width]
+            self.relation_tuples = relation
+            dead = np.zeros(new_words, dtype=U64)
+            dead[:self.width] = self.dead[:self.width]
+            self.dead = dead
+            tuple_relation = np.zeros(new_rows, dtype=np.int64)
+            tuple_relation[:self.n] = self.tuple_relation[:self.n]
+            self.tuple_relation = tuple_relation
+
+    def append_row(self, gid: int, mask: int, rid: int) -> None:
+        """Mirror ``Catalog.append_tuple``: one new row plus one bit-column."""
+        width = words_for(gid + 1)
+        self._grow(gid + 1, width)
+        self.width = max(self.width, width)
+        self.consistent[gid, :self.width] = pack_int(mask, self.width)
+        bit = _ONE << np.uint64(gid & 63)
+        word = gid >> 6
+        if mask:
+            rows = np.flatnonzero(unpack_bits(mask, gid))
+            self.consistent[rows, word] |= bit
+        self.relation_tuples[rid, word] |= bit
+        self.tuple_relation[gid] = rid
+        self.n = gid + 1
+
+    def tombstone(self, gid: int) -> None:
+        """Mirror ``Catalog.tombstone``: one bit in the dead words."""
+        self.dead[gid >> 6] |= _ONE << np.uint64(gid & 63)
+
+    def dead_words(self) -> np.ndarray:
+        return self.dead[:self.width]
+
+    def consistent_row(self, gid: int) -> np.ndarray:
+        return self.consistent[gid, :self.width]
+
+    def row_as_int(self, gid: int) -> int:
+        """The consistency row as a big int (parity checks in tests)."""
+        return unpack_to_int(self.consistent_row(gid))
+
+
+class _GroupMatrix:
+    """The packed (negated) rows of one store group, grown append-only.
+
+    ``CompleteStore`` groups only ever *gain* sets between retractions (the
+    store clears its kernel cache on retract), so the matrix extends by the
+    suffix on each probe.  ``ensure`` returns ``None`` when a group member is
+    outside the packed representation — the caller then falls back whole.
+    """
+
+    __slots__ = ("catalog", "width", "negated", "built")
+
+    def __init__(self, catalog, width: int):
+        self.catalog = catalog
+        self.width = width
+        self.negated = np.zeros((0, width), dtype=U64)
+        self.built = 0
+
+    def ensure(self, group) -> Optional[np.ndarray]:
+        if self.built < len(group):
+            fresh = group[self.built:]
+            for stored in fresh:
+                if stored._id_mask is None or stored._catalog is not self.catalog:
+                    return None
+            rows = np.vstack([~set_words(stored, self.width) for stored in fresh])
+            self.negated = np.vstack([self.negated, rows]) if self.built else rows
+            self.built = len(group)
+        return self.negated
+
+
+class PackedKernel(Kernel):
+    """Vectorized batch operations over the packed-word representation."""
+
+    name = "packed"
+
+    #: Empirical regime cutoffs (measured by
+    #: ``benchmarks/bench_e13_kernels.py``): below each one the big-int
+    #: reference is faster — a CPython big-int ``AND`` is already one C
+    #: call, so vectorization only pays once a whole batch amortizes the
+    #: NumPy dispatch and row-gathering — and the call delegates.  Same
+    #: answers either way, per the parity contract.  ``inf`` marks ops
+    #: where the reference won at every measured size: the early-breaking
+    #: Line-14 merge probe and the one-AND-per-set tombstone sweep.  The
+    #: vectorized forms stay available (parity tests zero the cutoffs) for
+    #: workloads wide enough to tip the balance.
+    MIN_GROUP = 64  #: batch_contains_superset — stored sets in the bucket
+    MIN_WAITING = float("inf")  #: first_jcc_union — waiting sets per probe
+    MIN_TOMBSTONED = float("inf")  #: batch_contains_tombstoned — sets per sweep
+    MIN_DEAD = 64  #: batch_contains_dead — sets per equality sweep
+    MIN_EXTEND = 256  #: maximally_extend — catalogued tuples
+
+    #: first_jcc_union evaluates this many waiting sets per array op; the
+    #: serial loop stops at the first merge partner, so chunking bounds the
+    #: wasted vector work to one chunk past the match.
+    WAITING_CHUNK = 256
+
+    def __init__(self):
+        self._reference = BigintKernel()
+
+    # -------------------------------------------------------------- #
+    # subsumption (Line 11)
+    # -------------------------------------------------------------- #
+    def batch_contains_superset(
+        self, group, probes, cache: Optional[dict] = None, cache_key=None
+    ) -> TupleType[List[bool], int]:
+        if not probes or not group:
+            return [False] * len(probes), 0
+        if len(group) < self.MIN_GROUP:
+            return self._reference.batch_contains_superset(group, probes)
+        first = probes[0]
+        catalog = first._catalog if first._id_mask is not None else None
+        if catalog is None or any(
+            p._id_mask is None or p._catalog is not catalog for p in probes
+        ):
+            return self._reference.batch_contains_superset(group, probes)
+        width = words_for(catalog.tuple_count)
+        entry = cache.get(cache_key) if cache is not None else None
+        if entry is None or entry.catalog is not catalog or entry.width != width:
+            entry = _GroupMatrix(catalog, width)
+            if cache is not None:
+                cache[cache_key] = entry
+        negated = entry.ensure(group)
+        if negated is None:
+            if cache is not None:
+                cache.pop(cache_key, None)
+            return self._reference.batch_contains_superset(group, probes)
+        probe_rows = np.vstack([set_words(p, width) for p in probes])
+        # subset[i, j]: no probe-i bit falls outside stored set j.
+        subset = ~np.any(probe_rows[:, None, :] & negated[None, :, :], axis=2)
+        size = len(group)
+        answers: List[bool] = []
+        scanned = 0
+        for hits in subset:
+            if hits.any():
+                answers.append(True)
+                # The serial loop breaks at the first superset: it scanned
+                # that stored set and everything before it.
+                scanned += int(np.argmax(hits)) + 1
+            else:
+                answers.append(False)
+                scanned += size
+        return answers, scanned
+
+    # -------------------------------------------------------------- #
+    # merge probe (Line 14)
+    # -------------------------------------------------------------- #
+    def first_jcc_union(self, waiting_list: Sequence, candidate) -> int:
+        if not waiting_list:
+            return -1
+        if len(waiting_list) < self.MIN_WAITING:
+            return self._reference.first_jcc_union(waiting_list, candidate)
+        catalog = candidate._catalog if candidate._id_mask is not None else None
+        if (
+            catalog is None
+            or not candidate._tuples
+            or any(
+                w._id_mask is None or w._catalog is not catalog or not w._tuples
+                for w in waiting_list
+            )
+        ):
+            return self._reference.first_jcc_union(waiting_list, candidate)
+        mirror = catalog.packed_mirror()
+        width = mirror.width
+        gids = np.flatnonzero(unpack_bits(candidate._id_mask, mirror.n))
+        negated = ~mirror.consistent[gids, :width]
+        shifts = (gids & 63).astype(U64)
+        words = gids >> 6
+        candidate_words = set_words(candidate, width)
+        relation_mask = candidate._relation_mask
+        chunk_size = max(1, self.WAITING_CHUNK)
+        for start in range(0, len(waiting_list), chunk_size):
+            chunk = waiting_list[start : start + chunk_size]
+            rows = np.vstack([set_words(w, width) for w in chunk])
+            # pair_bad[j, c]: some member of waiting j is inconsistent with
+            # candidate member c (the consistency matrix also charges a
+            # second tuple of c's relation here).
+            pair_bad = np.any(rows[:, None, :] & negated[None, :, :], axis=2)
+            # A candidate member already inside the waiting set is not
+            # incoming.
+            member = ((rows[:, words] >> shifts) & _ONE).astype(bool)
+            consistent = ~np.any(pair_bad & ~member, axis=1)
+            shares = np.any(rows & candidate_words[None, :], axis=1)
+            for j in np.flatnonzero(consistent):
+                if shares[j] or (chunk[j]._adjacent_relations & relation_mask):
+                    return start + int(j)
+        return -1
+
+    # -------------------------------------------------------------- #
+    # absorb test (Lines 2-6)
+    # -------------------------------------------------------------- #
+    def batch_can_absorb(self, catalog, id_mask: int, relation_mask: int, gids):
+        mirror = catalog.packed_mirror()
+        width = mirror.width
+        gids = np.asarray(gids, dtype=np.int64)
+        if gids.size == 0:
+            return np.zeros(0, dtype=bool)
+        row = pack_int(id_mask, width)
+        inconsistent = np.any(row[None, :] & ~mirror.consistent[gids, :width], axis=1)
+        relation_ids = mirror.tuple_relation[gids]
+        relation_row = pack_int(relation_mask, mirror.r_words)
+        adjacent = np.any(mirror.adjacency[relation_ids] & relation_row[None, :], axis=1)
+        return ~inconsistent & adjacent
+
+    def maximally_extend(self, tuple_set, scanner, statistics=None):
+        catalog = tuple_set.catalog
+        if (
+            catalog is None
+            or tuple_set._id_mask is None
+            or not tuple_set._tuples
+            or catalog.tuple_count < self.MIN_EXTEND
+        ):
+            return self._reference.maximally_extend(tuple_set, scanner, statistics)
+        mirror = catalog.packed_mirror()
+        width = mirror.width
+        current_words = pack_int(tuple_set._id_mask, width).copy()
+        adjacent_words = pack_int(tuple_set._adjacent_relations, mirror.r_words).copy()
+        absorbed = False
+        packed_ok = True
+        current = tuple_set  # maintained only after a fallback switch
+        changed = True
+        while changed:
+            changed = False
+            if statistics is not None:
+                statistics.extension_passes += 1
+            # One materialized pass per iteration keeps every scanner
+            # counter (passes, tuple/block reads) identical to the serial
+            # tuple-at-a-time loop.
+            order = list(scanner.scan())
+            if packed_ok:
+                resolved = [catalog.id_of(t) for t in order]
+                if any(gid is None for gid in resolved):
+                    packed_ok = False
+                    if absorbed:
+                        current = _materialize(catalog, current_words)
+            if not packed_ok:
+                for t in order:
+                    if t in current:
+                        continue
+                    if current.can_absorb(t):
+                        current = current.with_tuple(t)
+                        changed = True
+                continue
+            gids = np.asarray(resolved, dtype=np.int64)
+            consistent = ~np.any(
+                current_words[None, :] & ~mirror.consistent[gids, :width], axis=1
+            )
+            relation_ids = mirror.tuple_relation[gids]
+            # t is connectable iff bit rel(t) is set in the union of the
+            # members' adjacency masks (adjacency is symmetric).
+            connected = take_bits(adjacent_words, relation_ids)
+            member = take_bits(current_words, gids)
+            absorbable = consistent & connected & ~member
+            position = 0
+            while True:
+                ahead = np.flatnonzero(absorbable[position:])
+                if ahead.size == 0:
+                    break
+                index = position + int(ahead[0])
+                gid = int(gids[index])
+                current_words[gid >> 6] |= _ONE << np.uint64(gid & 63)
+                absorbed = True
+                changed = True
+                # The serial loop keeps walking the same pass with the grown
+                # set: tighten consistency, widen adjacency, and continue
+                # from the next scan position.
+                consistent &= take_bits(mirror.consistent_row(gid), gids)
+                relation_row = mirror.adjacency[int(relation_ids[index])]
+                adjacent_words |= relation_row
+                connected |= take_bits(relation_row, relation_ids)
+                member[index] = True
+                absorbable = consistent & connected & ~member
+                position = index + 1
+        if not packed_ok:
+            return current
+        if not absorbed:
+            return tuple_set
+        return _materialize(catalog, current_words)
+
+    # -------------------------------------------------------------- #
+    # retraction sweeps
+    # -------------------------------------------------------------- #
+    def batch_contains_tombstoned(self, sets, catalog) -> List[bool]:
+        if not sets:
+            return []
+        if not catalog.dead_mask:
+            return [False] * len(sets)
+        if len(sets) < self.MIN_TOMBSTONED:
+            return self._reference.batch_contains_tombstoned(sets, catalog)
+        width = words_for(catalog.tuple_count)
+        dead_row = pack_int(catalog.dead_mask, width)
+        flags: List[bool] = []
+        packed_indices: List[int] = []
+        packed_rows: List[np.ndarray] = []
+        for index, tuple_set in enumerate(sets):
+            if tuple_set._id_mask is not None and tuple_set._catalog is catalog:
+                flags.append(False)
+                packed_indices.append(index)
+                packed_rows.append(set_words(tuple_set, width))
+            else:
+                flags.append(tuple_set.contains_tombstoned(catalog))
+        if packed_rows:
+            hits = np.any(np.vstack(packed_rows) & dead_row[None, :], axis=1)
+            for index, hit in zip(packed_indices, hits):
+                flags[index] = bool(hit)
+        return flags
+
+    def batch_contains_dead(self, sets, dead) -> List[bool]:
+        dead = dead if isinstance(dead, (set, frozenset)) else set(dead)
+        if not dead or not sets:
+            return [False] * len(sets)
+        if len(sets) < self.MIN_DEAD:
+            return self._reference.batch_contains_dead(sets, dead)
+        first = sets[0]
+        catalog = first._catalog if first._id_mask is not None else None
+        if catalog is None or any(
+            s._id_mask is None or s._catalog is not catalog for s in sets
+        ):
+            return self._reference.batch_contains_dead(sets, dead)
+        mask = 0
+        dead_mask = catalog.dead_mask
+        for t in dead:
+            gid = catalog.id_of(t)
+            if gid is None:
+                # No catalogued tuple equals t, so no interned set holds it.
+                continue
+            if not (dead_mask >> gid) & 1:
+                # t maps to a *live* incarnation: equality-based eviction is
+                # ambiguous in ids, so answer by tuple equality instead.
+                return self._reference.batch_contains_dead(sets, dead)
+            mask |= 1 << gid
+        width = words_for(catalog.tuple_count)
+        rows = np.vstack([set_words(s, width) for s in sets])
+        flags = np.any(rows & pack_int(mask, width)[None, :], axis=1)
+        # A set may hold an *older* tombstoned incarnation equal to a dead
+        # tuple under a different id; such sets intersect the remaining
+        # tombstone bits and are re-checked by equality.
+        suspect_mask = dead_mask & ~mask
+        if suspect_mask:
+            suspects = np.flatnonzero(
+                np.any(rows & pack_int(suspect_mask, width)[None, :], axis=1) & ~flags
+            )
+            for index in suspects:
+                if any(t in dead for t in sets[int(index)]):
+                    flags[int(index)] = True
+        return [bool(flag) for flag in flags]
+
+    def popcount(self, mask: int) -> int:
+        return popcount_words(pack_int(mask, words_for(max(mask.bit_length(), 1))))
+
+
+def _materialize(catalog, current_words: np.ndarray):
+    from repro.core.tupleset import TupleSet
+
+    members = catalog.tuples_of_mask(unpack_to_int(current_words))
+    return TupleSet(members, catalog=catalog)

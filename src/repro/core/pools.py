@@ -304,12 +304,15 @@ class ListIncompletePool:
         surviving members.  Returns the number of sets evicted.
         """
         dead = set(dead_tuples)
-        if not dead:
+        if not dead or not self._items:
             return 0
+        from repro.core.kernels import active_kernel
+
+        flags = active_kernel().batch_contains_dead(self._items, dead)
         kept: List[TupleSet] = []
         evicted = 0
-        for tuple_set in self._items:
-            if any(t in dead for t in tuple_set):
+        for tuple_set, hit in zip(self._items, flags):
+            if hit:
                 evicted += 1
                 self._members.discard(tuple_set)
                 self._index_discard(tuple_set)
@@ -450,13 +453,13 @@ class PriorityIncompletePool:
         of evicted sets are pruned lazily, as for :meth:`pop`.
         """
         dead = set(dead_tuples)
-        if not dead:
+        if not dead or not self._members:
             return 0
-        victims = [
-            tuple_set
-            for tuple_set in self._members
-            if any(t in dead for t in tuple_set)
-        ]
+        from repro.core.kernels import active_kernel
+
+        members = list(self._members)
+        flags = active_kernel().batch_contains_dead(members, dead)
+        victims = [tuple_set for tuple_set, hit in zip(members, flags) if hit]
         for tuple_set in victims:
             self._discard(tuple_set)
             self.statistics.removals += 1

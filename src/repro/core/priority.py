@@ -136,6 +136,10 @@ class PriorityState:
         self.ranking = ranking
         self.use_index = use_index
         self.statistics = statistics
+        if statistics is not None:
+            from repro.core.kernels import tag_kernel
+
+            tag_kernel(statistics)
         self.pools = build_priority_pools(database, ranking, use_index=use_index)
         self.anchors = [relation.name for relation in database.relations]
         self.complete = CompleteStore(anchor_relation=None, use_index=use_index)

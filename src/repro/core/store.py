@@ -35,6 +35,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterator, List, Optional
 
 from repro.relational.tuples import Tuple
+from repro.core.kernels import active_kernel
 from repro.core.pools import (
     ListIncompletePool as _ReferenceListIncompletePool,
     PoolStatistics,
@@ -76,6 +77,11 @@ class CompleteStore:
         self._members = set()
         # tuple -> relation set -> stored sets holding that tuple.
         self._buckets: Dict[Tuple, Dict[FrozenSet[str], List[TupleSet]]] = {}
+        # (anchor, relations) -> packed group matrix, owned by the kernel.
+        # Groups only grow between retractions, so entries extend in place
+        # and the whole cache is dropped whenever a retraction reshapes the
+        # buckets.
+        self._kernel_cache: Dict = {}
         self.statistics = PoolStatistics()
 
     def __len__(self) -> int:
@@ -147,18 +153,29 @@ class CompleteStore:
             groups = self._buckets.get(anchor)
             if not groups:
                 return answers
+            kernel = active_kernel()
             unanswered = len(probes)
             for relations, group in groups.items():
                 self.statistics.bucket_probes += 1
-                for index, probe in enumerate(probes):
-                    if answers[index] or not probe.relations <= relations:
-                        continue
-                    for stored in group:
-                        self.statistics.sets_scanned += 1
-                        if probe.issubset(stored):
+                # A stored set can only contain a probe whose relation set
+                # its own contains; the kernel sees only the open probes.
+                open_indices = [
+                    index
+                    for index, probe in enumerate(probes)
+                    if not answers[index] and probe.relations <= relations
+                ]
+                if open_indices:
+                    group_answers, scanned = kernel.batch_contains_superset(
+                        group,
+                        [probes[index] for index in open_indices],
+                        cache=self._kernel_cache,
+                        cache_key=(anchor, relations),
+                    )
+                    self.statistics.sets_scanned += scanned
+                    for index, hit in zip(open_indices, group_answers):
+                        if hit:
                             answers[index] = True
                             unanswered -= 1
-                            break
                 if not unanswered:
                     break  # every probe found a superset; mirror the serial early return
             return answers
@@ -194,11 +211,18 @@ class CompleteStore:
                     for group in groups.values():
                         victims.update(group)
         elif catalog is not None:
-            victims = {s for s in self._members if s.contains_tombstoned(catalog)}
+            members = list(self._members)
+            flags = active_kernel().batch_contains_tombstoned(members, catalog)
+            victims = {s for s, hit in zip(members, flags) if hit}
         else:
-            victims = {s for s in self._members if any(t in dead for t in s)}
+            members = list(self._members)
+            flags = active_kernel().batch_contains_dead(members, dead)
+            victims = {s for s, hit in zip(members, flags) if hit}
         if not victims:
             return []
+        # Retractions reshape the groups, so the packed group matrices are
+        # rebuilt from scratch on the next probe.
+        self._kernel_cache.clear()
         retracted: List[TupleSet] = []
         seen = set()
         for stored in self._sets:

@@ -90,6 +90,7 @@ class TupleSet:
         "_id_mask",
         "_relation_mask",
         "_adjacent_relations",
+        "_packed_row",
     )
 
     def __init__(self, tuples: Iterable[Tuple], catalog=None):
@@ -111,7 +112,11 @@ class TupleSet:
         self._join_consistent: Optional[bool] = None
         self._connected: Optional[bool] = None
 
-        # Interning against the catalog's dense ids.
+        # Interning against the catalog's dense ids.  The packed kernel
+        # caches this set's id mask as a word array here (see
+        # repro.core.kernels.packed.set_words); the mask itself is immutable
+        # so the cache only ever widens.
+        self._packed_row = None
         self._catalog = None
         self._id_mask: Optional[int] = None
         self._relation_mask: Optional[int] = None
@@ -402,11 +407,25 @@ class TupleSet:
         return TupleSet(self._tuples | {t}, catalog=self._catalog)
 
     def union(self, other: "TupleSet") -> "TupleSet":
-        """Return ``T ∪ S`` as a new tuple set."""
-        return TupleSet(
-            self._tuples | other._tuples,
-            catalog=self._catalog if self._catalog is not None else other._catalog,
-        )
+        """Return ``T ∪ S`` as a new tuple set.
+
+        The union is interned in ``self``'s catalog when possible, otherwise
+        in ``other``'s: after a catalog rebuild the two operands may carry
+        different snapshots, and only the newer one can describe every
+        member.  Only when *neither* catalog covers the union does the
+        result fall back to the uninterned representation.
+        """
+        catalog = self._catalog if self._catalog is not None else other._catalog
+        merged = TupleSet(self._tuples | other._tuples, catalog=catalog)
+        if (
+            not merged.is_interned
+            and other._catalog is not None
+            and other._catalog is not catalog
+        ):
+            retry = TupleSet(merged._tuples, catalog=other._catalog)
+            if retry.is_interned:
+                return retry
+        return merged
 
     def difference(self, other: "TupleSet") -> "TupleSet":
         """Return ``T \\ S`` as a new tuple set."""

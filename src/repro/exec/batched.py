@@ -33,7 +33,7 @@ from typing import Dict, List, Optional, Tuple as TupleType
 
 from repro.relational.database import Database
 from repro.relational.tuples import Tuple
-from repro.core.incremental import maximally_extend
+from repro.core.kernels import active_kernel
 from repro.core.scanner import TupleScanner
 from repro.core.tupleset import TupleSet
 from repro.exec.serial import SerialBackend
@@ -57,7 +57,8 @@ def _batch_subsumption(complete, buckets: Dict[Tuple, List[TupleSet]]):
 
 
 def _batched_candidate_phases(
-    anchor, incomplete, complete, statistics, candidates, merge_union
+    anchor, incomplete, complete, statistics, candidates, merge_union,
+    jcc_merge: bool = False,
 ) -> None:
     """The three phases of Lines 7–18, shared by the exact and starred steps.
 
@@ -66,8 +67,13 @@ def _batched_candidate_phases(
     given a waiting set and a candidate it returns their union when the pair
     may merge, ``None`` otherwise.  Phase 2 answers all subsumption probes
     bucket by bucket; Phase 3 replays the survivors in the original order
-    against the live ``Incomplete`` pool.
+    against the live ``Incomplete`` pool.  When ``jcc_merge`` is true the
+    merge predicate is the exact Line 14 ``JCC(S ∪ T')`` test and Phase 3
+    finds the first partner through the active kernel's batched probe
+    (identical first-match semantics, one call per candidate instead of one
+    ``union_is_jcc`` per waiting set).
     """
+    kernel = active_kernel() if jcc_merge else None
     entries: List[TupleType[TupleSet, Tuple]] = []
     buckets: Dict[Tuple, List[TupleSet]] = {}
     for candidate in candidates:
@@ -95,14 +101,24 @@ def _batched_candidate_phases(
                 statistics.candidates_subsumed += 1
             continue
         merged = False
-        for waiting in incomplete.candidates(candidate):
-            union = merge_union(waiting, candidate)
-            if union is not None:
-                incomplete.replace(waiting, union)
+        if kernel is not None:
+            waiting_list = incomplete.candidates(candidate)
+            index = kernel.first_jcc_union(waiting_list, candidate)
+            if index >= 0:
+                waiting = waiting_list[index]
+                incomplete.replace(waiting, waiting.union(candidate))
                 merged = True
                 if statistics is not None:
                     statistics.candidates_merged += 1
-                break
+        else:
+            for waiting in incomplete.candidates(candidate):
+                union = merge_union(waiting, candidate)
+                if union is not None:
+                    incomplete.replace(waiting, union)
+                    merged = True
+                    if statistics is not None:
+                        statistics.candidates_merged += 1
+                    break
         if merged:
             continue
         incomplete.add(candidate)
@@ -128,9 +144,11 @@ def get_next_result_batched(
     if scanner is None:
         scanner = TupleScanner(database)
 
-    # Line 1: remove a tuple set from Incomplete; Lines 2-6: extend it.
+    # Line 1: remove a tuple set from Incomplete; Lines 2-6: extend it
+    # through the active kernel (the packed kernel evaluates each scan pass
+    # as one batched absorb test; the reference kernel is the serial loop).
     result = incomplete.pop()
-    result = maximally_extend(result, scanner, statistics)
+    result = active_kernel().maximally_extend(result, scanner, statistics)
 
     def candidates():
         # Lines 7-8: one candidate per outside tuple (footnote 3).
@@ -145,7 +163,8 @@ def get_next_result_batched(
         return None
 
     _batched_candidate_phases(
-        anchor, incomplete, complete, statistics, candidates(), merge_union
+        anchor, incomplete, complete, statistics, candidates(), merge_union,
+        jcc_merge=True,
     )
 
     # Line 19.

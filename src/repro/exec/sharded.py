@@ -39,6 +39,7 @@ from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple as TupleType
 
 from repro.relational.database import Database
 from repro.core.incremental import FDStatistics, incremental_fd
+from repro.core.kernels import active_kernel, set_kernel
 from repro.core.scanner import make_scanner
 from repro.core.tupleset import TupleSet
 from repro.exec.batched import BatchedBackend
@@ -79,6 +80,7 @@ def _singleton_passes_worker(
     use_index: bool,
     block_size: Optional[int],
     batched: bool,
+    kernel_name: Optional[str] = None,
 ) -> List[TupleType[List[ResultKeys], FDStatistics]]:
     """A chunk of ``IncrementalFD`` passes, run inside one worker process.
 
@@ -87,7 +89,12 @@ def _singleton_passes_worker(
     catalog matrices) is serialized once per chunk, not once per relation.
     Results are returned as frozensets of ``(relation_name, label)`` keys —
     tiny to ship, and unambiguous because labels are unique per relation.
+    The parent's kernel name rides along so workers run the same inner-loop
+    implementation even when the parent selected it programmatically rather
+    than through the (inherited) ``REPRO_KERNEL`` environment.
     """
+    if kernel_name is not None:
+        set_kernel(kernel_name)
     backend = BatchedBackend() if batched else None
     outputs: List[TupleType[List[ResultKeys], FDStatistics]] = []
     for anchor_name in anchor_names:
@@ -114,6 +121,7 @@ def _approx_passes_worker(
     join_function,
     threshold: float,
     use_index: bool,
+    kernel_name: Optional[str] = None,
 ) -> List[TupleType[List[ResultKeys], FDStatistics]]:
     """A chunk of ``ApproxIncrementalFD`` passes, run inside one worker process.
 
@@ -123,6 +131,8 @@ def _approx_passes_worker(
     """
     from repro.core.approx import approx_incremental_fd
 
+    if kernel_name is not None:
+        set_kernel(kernel_name)
     backend = BatchedBackend()
     outputs: List[TupleType[List[ResultKeys], FDStatistics]] = []
     for anchor_name in anchor_names:
@@ -184,7 +194,8 @@ class ShardedBackend(BatchedBackend):
             database,
             statistics,
             submit_chunk=lambda executor, chunk: executor.submit(
-                _singleton_passes_worker, database, chunk, use_index, block_size, True
+                _singleton_passes_worker, database, chunk, use_index, block_size,
+                True, active_kernel().name,
             ),
             fallback=lambda: super(ShardedBackend, self).run_singleton_passes(
                 database,
@@ -214,7 +225,7 @@ class ShardedBackend(BatchedBackend):
             statistics,
             submit_chunk=lambda executor, chunk: executor.submit(
                 _approx_passes_worker, database, chunk, join_function, threshold,
-                use_index,
+                use_index, active_kernel().name,
             ),
             fallback=lambda: super(ShardedBackend, self).run_approx_passes(
                 database,

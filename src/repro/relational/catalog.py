@@ -73,6 +73,7 @@ class Catalog:
         "_all_tuples_mask",
         "_dead_mask",
         "_connected_cache",
+        "_packed_mirror",
     )
 
     def __init__(self, database: Database):
@@ -139,6 +140,10 @@ class Catalog:
         self._consistent = consistent
         self._dead_mask = 0
         self._connected_cache: Dict[int, bool] = {1: True} if count else {}
+        # Columnar mirror of the bitmatrices for the packed kernel, built
+        # lazily by packed_mirror() and maintained by the append/tombstone
+        # hooks below.
+        self._packed_mirror = None
 
     # ------------------------------------------------------------------ #
     # append-only maintenance
@@ -199,6 +204,8 @@ class Catalog:
                         consistent[other_gid] |= bit
                     others ^= low
         consistent.append(mask)
+        if self._packed_mirror is not None:
+            self._packed_mirror.append_row(gid, mask, rid)
         return gid
 
     def tombstone(self, t: Tuple) -> int:
@@ -217,7 +224,40 @@ class Catalog:
         if self._dead_mask & bit:
             raise ValueError(f"tuple {t.label!r} is already tombstoned")
         self._dead_mask |= bit
+        if self._packed_mirror is not None:
+            self._packed_mirror.tombstone(gid)
         return gid
+
+    # ------------------------------------------------------------------ #
+    # the packed columnar mirror
+    # ------------------------------------------------------------------ #
+    def packed_mirror(self):
+        """The catalog's bitmatrices as packed ``uint64`` word arrays.
+
+        Built lazily on first use (requires NumPy) and from then on
+        maintained incrementally by :meth:`append_tuple`/:meth:`tombstone`,
+        so streaming appends stay O(row) on both representations.  The
+        mirror never goes stale: the big ints remain the source of truth
+        and every mirror mutation happens inside the same call that mutates
+        them.
+        """
+        if self._packed_mirror is None:
+            from repro.core.kernels.packed import PackedMirror
+
+            self._packed_mirror = PackedMirror(self)
+        return self._packed_mirror
+
+    def __getstate__(self):
+        # The mirror is a derived cache of NumPy arrays: dropping it keeps
+        # catalogs picklable without NumPy on the receiving side (sharded
+        # workers rebuild it lazily if their kernel wants it).
+        state = {slot: getattr(self, slot) for slot in self.__slots__}
+        state["_packed_mirror"] = None
+        return state
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)
 
     # ------------------------------------------------------------------ #
     # sizes and liveness

@@ -69,7 +69,8 @@ from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence
 
 from repro.core.full_disjunction import full_disjunction_sets
-from repro.core.incremental import FDStatistics, maximally_extend
+from repro.core.incremental import FDStatistics
+from repro.core.kernels import active_kernel, tag_kernel
 from repro.core.priority import PriorityState
 from repro.core.ranking import canonical_rank_key
 from repro.core.scanner import TupleScanner
@@ -191,6 +192,7 @@ class StreamingFullDisjunction:
         self.use_index = use_index
         self.ranking = ranking
         self.statistics = statistics if statistics is not None else FDStatistics()
+        tag_kernel(self.statistics)
         self._backend = resolve_backend(backend)
         self._next_result = self._backend.next_result
         if ranking is not None:
@@ -567,10 +569,11 @@ class StreamingFullDisjunction:
                 self._log.append(Retraction(result))
         stats = FDStatistics()
         scanner = TupleScanner(self.database)
+        kernel = active_kernel()
         new_items: list = []
         for result in retracted:
             for component in _surviving_components(result, dead, catalog):
-                extended = maximally_extend(component, scanner, stats)
+                extended = kernel.maximally_extend(component, scanner, stats)
                 anchor = min(extended)
                 if self._store.contains_superset(extended, anchor=anchor):
                     continue

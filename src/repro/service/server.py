@@ -167,12 +167,15 @@ class QueryServer:
         if op == "update":
             return self._update(request)
         if op == "stats":
+            from repro.core.kernels import active_kernel
+
             return {
                 "ok": True,
                 "cache": self.cache.stats(),
                 "sessions": len(self._sessions),
                 "requests": self.requests,
                 "steps": dict(self.backend.steps),
+                "kernel": active_kernel().name,
                 "arrivals_applied": self.maintainer.arrivals_applied,
                 "mutations_applied": self.maintainer.mutations_applied,
             }
@@ -603,10 +606,13 @@ async def _smoke(
     finally:
         server.close()
         await server.wait_closed()
+    from repro.core.kernels import active_kernel
+
     return {
         "per_client": per_client,
         "cache": state.cache.stats(),
         "requests": state.requests,
+        "kernel": active_kernel().name,
     }
 
 

@@ -151,6 +151,189 @@ def test_engine_output_matches_reference_run(name, database, use_index):
     assert engine == reference
 
 
+# --------------------------------------------------------------------- #
+# three-way suite: reference (dict/BFS) vs big-int vs packed kernels
+# --------------------------------------------------------------------- #
+from repro.core.kernels import KERNELS, numpy_available, use_kernel  # noqa: E402
+from repro.core.store import CompleteStore  # noqa: E402
+
+AVAILABLE_KERNELS = [
+    name for name in KERNELS if name != "packed" or numpy_available()
+]
+
+
+
+def _vectorized(kernel):
+    """Zero the packed kernel's small-batch cutoffs so the vectorized
+    paths run even on these small workloads (below them the kernel
+    delegates to the big-int reference)."""
+    for attr in (
+        "MIN_GROUP", "MIN_WAITING", "MIN_TOMBSTONED", "MIN_DEAD", "MIN_EXTEND",
+    ):
+        if hasattr(kernel, attr):
+            setattr(kernel, attr, 0)
+    return kernel
+
+
+def _sorted(tuples):
+    return sorted(tuples, key=lambda t: (t.relation_name, t.label))
+
+
+@pytest.mark.parametrize("kernel", AVAILABLE_KERNELS)
+@pytest.mark.parametrize("name,database", WORKLOADS, ids=WORKLOAD_IDS)
+def test_inner_loop_tests_match_reference_under_every_kernel(
+    name, database, kernel
+):
+    """union_is_jcc / can_absorb / maximal_jcc_subset_with, three ways.
+
+    The uninterned dict/BFS reference, the interned big-int fast path and
+    the packed kernel's batch forms must all give the same answer on the
+    same random JCC sets.
+    """
+    catalog = database.catalog()
+    all_tuples = list(database.tuples())
+    rng = random.Random(271)
+    jcc_sets = [_random_jcc_set(rng, all_tuples) for _ in range(12)]
+    interned = [TupleSet(ts.tuples, catalog=catalog) for ts in jcc_sets]
+    with use_kernel(kernel) as active:
+        _vectorized(active)
+        for reference, bits in zip(jcc_sets, interned):
+            gids = [catalog.id_of(t) for t in all_tuples]
+            absorb = active.batch_can_absorb(
+                catalog, bits._id_mask, bits._relation_mask, gids
+            )
+            for t, gid, flag in zip(all_tuples, gids, absorb):
+                if t not in reference:
+                    assert reference.can_absorb(t) == bool(flag)
+                assert (
+                    bits.maximal_jcc_subset_with(t).tuples
+                    == reference.maximal_jcc_subset_with(t).tuples
+                )
+        for candidate_ref, candidate in zip(jcc_sets, interned):
+            expected = next(
+                (
+                    j
+                    for j, waiting in enumerate(jcc_sets)
+                    if waiting.union_is_jcc(candidate_ref)
+                ),
+                -1,
+            )
+            assert active.first_jcc_union(interned, candidate) == expected
+
+
+@pytest.mark.parametrize("kernel", AVAILABLE_KERNELS)
+@pytest.mark.parametrize("name,database", WORKLOADS, ids=WORKLOAD_IDS)
+def test_contains_superset_batch_matches_reference_under_every_kernel(
+    name, database, kernel
+):
+    catalog = database.catalog()
+    all_tuples = list(database.tuples())
+    rng = random.Random(137)
+    with use_kernel(kernel) as active:
+        _vectorized(active)
+        reference_store = ReferenceCompleteStore(None)
+        store = CompleteStore(anchor_relation=None, use_index=True)
+        stored = [
+            TupleSet(_random_jcc_set(rng, all_tuples).tuples, catalog=catalog)
+            for _ in range(10)
+        ]
+        for ts in stored:
+            reference_store.add(TupleSet(ts.tuples))
+            store.add(ts)
+        for _ in range(25):
+            donor = rng.choice(stored)
+            members = rng.sample(_sorted(donor.tuples), rng.randint(1, len(donor)))
+            anchor = members[0]
+            probes = [
+                TupleSet(members, catalog=catalog),
+                TupleSet(
+                    _random_jcc_set(rng, all_tuples).with_tuple(anchor).tuples
+                    if rng.random() < 0.5
+                    else members,
+                    catalog=catalog,
+                ),
+            ]
+            expected = [
+                reference_store.contains_superset(TupleSet(p.tuples)) for p in probes
+            ]
+            assert store.contains_superset_batch(probes, anchor=anchor) == expected
+
+
+@pytest.mark.parametrize("kernel", AVAILABLE_KERNELS)
+def test_retraction_matches_reference_under_every_kernel(kernel):
+    """remove_tuple / update_tuple sweeps, three ways.
+
+    After each mutation the kernel-backed tombstone and dead-tuple sweeps
+    must flag exactly the sets a per-member Python scan flags.
+    """
+    database = chain_database(
+        relations=3, tuples_per_relation=5, domain_size=3, null_rate=0.2, seed=41
+    )
+    catalog = database.catalog()
+    all_tuples = list(database.tuples())
+    rng = random.Random(43)
+    sets = [
+        TupleSet(_random_jcc_set(rng, all_tuples).tuples, catalog=catalog)
+        for _ in range(10)
+    ]
+    with use_kernel(kernel) as active:
+        _vectorized(active)
+        for step in range(8):
+            live = [t for t in database.tuples() if not catalog.is_tombstoned(t)]
+            victim = rng.choice(live)
+            if step % 2:
+                database.update_tuple(
+                    victim.relation_name,
+                    victim.label,
+                    [rng.choice([1, 2, 3]) for _ in victim.values],
+                )
+            else:
+                database.remove_tuple(victim.relation_name, victim.label)
+            dead = {t for t in all_tuples if catalog.is_tombstoned(t)}
+            expected_tombstoned = [
+                any(catalog.is_tombstoned(t) for t in ts.tuples) for ts in sets
+            ]
+            expected_dead = [any(t in dead for t in ts.tuples) for ts in sets]
+            assert active.batch_contains_tombstoned(sets, catalog) == expected_tombstoned
+            assert active.batch_contains_dead(sets, dead) == expected_dead
+
+
+def test_union_across_two_catalogs_interns_in_the_wider_one():
+    """Regression: ``a.union(b)`` must also try ``b``'s catalog.
+
+    ``a`` is interned in a catalog snapshot taken *before* new tuples
+    arrived; ``b`` is interned in the current catalog, which can describe
+    both operands.  The union used to try only ``a``'s catalog, silently
+    de-interning the result (and with it every downstream bitset fast
+    path).
+    """
+    database = chain_database(
+        relations=3, tuples_per_relation=4, domain_size=3, null_rate=0.2, seed=19
+    )
+    old_catalog = database.catalog()
+    old_tuple = next(iter(database.relations[0]))
+    a = TupleSet.singleton(old_tuple).attach_catalog(old_catalog)
+    assert a.is_interned
+
+    # Add behind the database's back: the cached catalog goes stale and the
+    # next catalog() call is a full rebuild — a genuinely *different*
+    # snapshot, unlike add_tuple's in-place extension.
+    fresh = database.relations[1].add(
+        [1 for _ in database.relations[1].schema], label="late"
+    )
+    new_catalog = database.catalog()
+    assert new_catalog is not old_catalog
+    b = TupleSet.singleton(fresh).attach_catalog(new_catalog)
+    assert b.is_interned
+    assert new_catalog.id_of(fresh) is not None
+    assert old_catalog.id_of(fresh) is None  # a's catalog cannot describe b
+
+    for union in (a.union(b), b.union(a)):
+        assert union.tuples == a.tuples | b.tuples
+        assert union.is_interned, "union fell off the bitset fast path"
+        assert union._catalog is new_catalog
+
+
 def test_tourist_table2_output_is_unchanged():
     """The paper's Table 2 workload: the six known result sets, exactly."""
     database = tourist_database()
