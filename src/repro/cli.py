@@ -278,12 +278,15 @@ def _serve_database(arguments: argparse.Namespace) -> Database:
 def _command_serve(arguments: argparse.Namespace) -> int:
     import asyncio
 
+    from repro.exec import shutdown_pools
     from repro.service.server import run_smoke, start_server
 
     if arguments.csv and arguments.workload:
         raise SystemExit(
             "error: give CSV files or --workload, not both"
         )
+    if arguments.shards < 1:
+        raise SystemExit("error: --shards must be positive")
     if arguments.smoke_clients is None:
         # Options that only shape the smoke self-test would be silently
         # ignored by a real server; refuse them instead.
@@ -299,15 +302,38 @@ def _command_serve(arguments: argparse.Namespace) -> int:
             )
     database = _serve_database(arguments)
     if arguments.smoke_clients is not None:
+        flavour = "ranked answers (scores included)" if arguments.ranked else "answers"
+        engine = "ranked" if arguments.ranked else "fd"
+        if arguments.shards > 1:
+            from repro.service.sharding import run_sharded_smoke
+
+            outcome = run_sharded_smoke(
+                database,
+                clients=arguments.smoke_clients,
+                k=arguments.k,
+                shards=arguments.shards,
+                use_index=arguments.use_index,
+                engine=engine,
+            )
+            gauges = ", ".join(
+                f"shard {entry['shard']}: {entry['requests']} requests"
+                for entry in outcome["stats"]["per_shard"]
+            )
+            print(
+                f"smoke OK: {outcome['clients']} concurrent clients each "
+                f"received {outcome['results_per_client']} {flavour} identical "
+                f"to the serial run through {outcome['shards']} shards "
+                f"({gauges})"
+            )
+            return 0
         outcome = run_smoke(
             database,
             clients=arguments.smoke_clients,
             k=arguments.k,
             use_index=arguments.use_index,
-            engine="ranked" if arguments.ranked else "fd",
+            engine=engine,
         )
         cache = outcome["cache"]
-        flavour = "ranked answers (scores included)" if arguments.ranked else "answers"
         print(
             f"smoke OK: {outcome['clients']} concurrent clients each received "
             f"{outcome['results_per_client']} {flavour} identical to the serial "
@@ -317,6 +343,24 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         return 0
 
     async def _serve() -> None:
+        if arguments.shards > 1:
+            from repro.service.sharding import start_sharded_server
+
+            server, router, port = await start_sharded_server(
+                database, shards=arguments.shards, host=arguments.host,
+                port=arguments.port, use_index=arguments.use_index,
+            )
+            print(
+                f"serving {len(database)} relations on {arguments.host}:{port} "
+                f"across {arguments.shards} shard processes "
+                "(JSON lines; ops: open/next/peek/close/ingest/stats)"
+            )
+            try:
+                async with server:
+                    await server.serve_forever()
+            finally:
+                await router.shutdown()
+            return
         server, _, port = await start_server(
             database, host=arguments.host, port=arguments.port,
             use_index=arguments.use_index,
@@ -330,6 +374,10 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         asyncio.run(_serve())
     except KeyboardInterrupt:
         print("stopped")
+    finally:
+        # The server may have run sharded-backend passes; release the worker
+        # pool with the service instead of waiting for interpreter exit.
+        shutdown_pools()
     return 0
 
 
@@ -446,6 +494,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--host", default="127.0.0.1")
     serve_parser.add_argument("--port", type=int, default=0,
                               help="TCP port (default: 0 = ephemeral)")
+    serve_parser.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="run N shard processes behind a consistent-hash router with "
+        "admission control (default: 1 = the single-process server)",
+    )
     serve_parser.add_argument(
         "--smoke-clients", type=int, default=None, metavar="N",
         help="self-test: run N concurrent clients against an in-process "

@@ -34,7 +34,14 @@ The structure follows the paper's pseudocode line by line:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Optional, Union
+from typing import (
+    AbstractSet,
+    Callable,
+    Iterable,
+    Iterator,
+    Optional,
+    Union,
+)
 
 from repro.relational.database import Database
 from repro.relational.errors import DatabaseError
@@ -176,11 +183,22 @@ def get_next_result(
     complete: CompleteStore,
     scanner: Optional[TupleScanner] = None,
     statistics: Optional[FDStatistics] = None,
+    anchor_tuples: Optional[AbstractSet] = None,
 ) -> TupleSet:
     """One call of ``GetNextResult`` (Fig. 2): produce the next result of ``FD_i``.
 
     The ``incomplete`` pool decides the extraction order: FIFO for plain
     ``IncrementalFD``, highest-rank-first for ``PriorityIncrementalFD``.
+
+    ``anchor_tuples`` restricts the pass to an *anchor bucket range*: when
+    given, the Line 9 test requires the candidate's anchor tuple to be a
+    member of the set, not merely a tuple of the anchor relation.  This is
+    exactly the paper's algorithm run over a database in which ``R_i`` has
+    been split into sub-relations — sound because two distinct tuples of one
+    relation are never join consistent (so a tuple set holds at most one
+    ``R_i`` tuple, every pool merge is anchor-local, and the split pass
+    produces precisely the ``FD_i`` members anchored in the range, once
+    each).  The sharded backend's bucket-grained fan-out is built on this.
     """
     if scanner is None:
         scanner = TupleScanner(database)
@@ -198,9 +216,12 @@ def get_next_result(
         candidate = result.maximal_jcc_subset_with(outside)
         if statistics is not None:
             statistics.candidates_generated += 1
-        # Line 9: only candidates containing a tuple of the anchor relation matter.
+        # Line 9: only candidates containing a tuple of the anchor relation
+        # (and, under a bucket-range restriction, of the anchor bucket) matter.
         anchor_tuple = candidate.tuple_from(anchor)
-        if anchor_tuple is None:
+        if anchor_tuple is None or (
+            anchor_tuples is not None and anchor_tuple not in anchor_tuples
+        ):
             if statistics is not None:
                 statistics.candidates_without_anchor += 1
             continue
@@ -244,6 +265,7 @@ def incremental_fd(
     on_iteration: Optional[IterationCallback] = None,
     complete: Optional[CompleteStore] = None,
     backend=None,
+    anchor_tuples: Optional[Iterable] = None,
 ) -> Iterator[TupleSet]:
     """``IncrementalFD(R, i)`` (Fig. 1): generate ``FD_i(R)`` one tuple set at a time.
 
@@ -278,6 +300,14 @@ def incremental_fd(
         The :class:`~repro.exec.base.ExecutionBackend` (or its name) whose
         ``next_result`` schedules each step; ``None`` is the serial
         reference step, :func:`get_next_result`.
+    anchor_tuples:
+        Restrict the pass to the *anchor bucket range* holding exactly these
+        ``R_i`` tuples: ``Incomplete`` starts from their singletons only and
+        the Line 9 test requires the anchor tuple to be one of them.  This
+        is the paper's algorithm over a database in which ``R_i`` is split
+        into sub-relations (see :func:`get_next_result`), and yields exactly
+        the ``FD_i`` members anchored in the range, once each.  The sharded
+        backend fans a pass out as one such range per worker task.
 
     Yields
     ------
@@ -299,6 +329,10 @@ def incremental_fd(
 
         next_result = resolve_backend(backend).next_result
 
+    bucket = None
+    if anchor_tuples is not None:
+        bucket = frozenset(anchor_tuples)
+
     incomplete = ListIncompletePool(anchor_name, use_index=use_index)
     owned_complete = complete is None
     if owned_complete:
@@ -306,11 +340,13 @@ def incremental_fd(
 
     # Lines 1-4: initialization of the two lists.  Initial sets are interned
     # against the catalog so every set the run derives from them carries the
-    # bitset representation.
+    # bitset representation.  Under a bucket restriction the seeds are the
+    # bucket's singletons only, in scan order.
     if initial is None:
         initial = (
             TupleSet.singleton(t, catalog=catalog)
             for t in database.relation(anchor_name)
+            if bucket is None or t in bucket
         )
     for tuple_set in initial:
         incomplete.add(tuple_set.attach_catalog(catalog))
@@ -322,9 +358,22 @@ def incremental_fd(
         # Line 5: loop until Incomplete is exhausted.
         while incomplete:
             iteration += 1
-            result = next_result(
-                database, anchor_name, incomplete, complete, scanner, statistics
-            )
+            if bucket is None:
+                # The positional call keeps custom backends that predate the
+                # bucket restriction working unchanged.
+                result = next_result(
+                    database, anchor_name, incomplete, complete, scanner, statistics
+                )
+            else:
+                result = next_result(
+                    database,
+                    anchor_name,
+                    incomplete,
+                    complete,
+                    scanner,
+                    statistics,
+                    anchor_tuples=bucket,
+                )
             # Lines 7-8: print the result and remember it in Complete.
             complete.add(result)
             if statistics is not None:

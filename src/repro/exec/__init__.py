@@ -13,10 +13,16 @@ scheduled.  Three backends ship:
     (:class:`~repro.exec.batched.BatchedBackend`).  Exactly
     order-equivalent to serial.
 ``sharded``
-    The independent per-relation passes of the exact *and* approximate
-    drivers fan out to a process pool; results and statistics merge
-    deterministically (:class:`~repro.exec.sharded.ShardedBackend`).
-    Accepts a worker count: ``"sharded:4"``.
+    Anchor-bucket ranges of the exact passes (and whole approximate passes)
+    fan out to a process pool through a shared work-stealing queue; results
+    and statistics merge deterministically regardless of worker count or
+    steal order (:class:`~repro.exec.sharded.ShardedBackend`).  Accepts a
+    worker count: ``"sharded:4"``.
+``sharded-pass``
+    The same pool fanning out whole per-relation passes instead of bucket
+    ranges — the pre-bucket schedule, kept for comparison benchmarks and
+    for workloads whose passes are already balanced.  Output order is
+    identical to serial.  Accepts a worker count: ``"sharded-pass:4"``.
 ``async``
     Cooperative multiplexing of many query sessions' steps on one asyncio
     event loop (:class:`~repro.exec.asyncio_backend.AsyncBackend`); the
@@ -41,7 +47,7 @@ from repro.exec.batched import (
     get_next_result_batched,
 )
 from repro.exec.serial import SerialBackend
-from repro.exec.sharded import ShardedBackend
+from repro.exec.sharded import ShardedBackend, plan_bucket_ranges, shutdown_pools
 
 __all__ = [
     "BACKENDS",
@@ -52,11 +58,13 @@ __all__ = [
     "AsyncBackend",
     "get_next_result_batched",
     "approx_get_next_result_batched",
+    "plan_bucket_ranges",
     "resolve_backend",
+    "shutdown_pools",
 ]
 
 #: The backend names accepted by :func:`resolve_backend` (and the CLI).
-BACKENDS = ("serial", "batched", "sharded", "async")
+BACKENDS = ("serial", "batched", "sharded", "sharded-pass", "async")
 
 #: Anything an engine's ``backend`` argument accepts.
 BackendSpec = Union[None, str, ExecutionBackend]
@@ -71,9 +79,10 @@ def resolve_backend(
 
     ``spec`` may be ``None`` (the serial reference execution), an existing
     backend instance (returned unchanged), or a name: ``"serial"``,
-    ``"batched"``, ``"sharded"``, ``"async"`` (alias ``"asyncio"``).  The
-    sharded worker count can ride along as ``"sharded:4"`` or through the
-    ``workers`` argument (the suffix wins).
+    ``"batched"``, ``"sharded"``, ``"sharded-pass"``, ``"async"`` (alias
+    ``"asyncio"``).  The sharded worker count can ride along as
+    ``"sharded:4"`` / ``"sharded-pass:4"`` or through the ``workers``
+    argument (the suffix wins).
     """
     if spec is None:
         return SerialBackend()
@@ -89,9 +98,10 @@ def resolve_backend(
             ) from None
     if workers is not None and workers < 1:
         raise ValueError(f"worker count must be positive, got {workers}")
-    if name == "sharded":
+    if name in ("sharded", "sharded-pass"):
         return ShardedBackend(
-            max_workers=_DEFAULT_WORKERS if workers is None else workers
+            max_workers=_DEFAULT_WORKERS if workers is None else workers,
+            granularity="pass" if name == "sharded-pass" else "bucket",
         )
     if workers is not None:
         # A worker count on a single-process backend would be a silent no-op;

@@ -61,8 +61,13 @@ class ExecutionBackend:
         complete,
         scanner=None,
         statistics=None,
+        anchor_tuples=None,
     ) -> TupleSet:
-        """One ``GetNextResult`` step (Fig. 2) under this backend's schedule."""
+        """One ``GetNextResult`` step (Fig. 2) under this backend's schedule.
+
+        ``anchor_tuples``, when given, restricts Line 9 to an anchor bucket
+        range (see :func:`repro.core.incremental.get_next_result`).
+        """
         raise NotImplementedError
 
     def approx_next_result(

@@ -59,6 +59,7 @@ def _batch_subsumption(complete, buckets: Dict[Tuple, List[TupleSet]]):
 def _batched_candidate_phases(
     anchor, incomplete, complete, statistics, candidates, merge_union,
     jcc_merge: bool = False,
+    anchor_tuples=None,
 ) -> None:
     """The three phases of Lines 7–18, shared by the exact and starred steps.
 
@@ -80,7 +81,9 @@ def _batched_candidate_phases(
         if statistics is not None:
             statistics.candidates_generated += 1
         anchor_tuple = candidate.tuple_from(anchor)
-        if anchor_tuple is None:
+        if anchor_tuple is None or (
+            anchor_tuples is not None and anchor_tuple not in anchor_tuples
+        ):
             if statistics is not None:
                 statistics.candidates_without_anchor += 1
             continue
@@ -133,6 +136,7 @@ def get_next_result_batched(
     complete,
     scanner: Optional[TupleScanner] = None,
     statistics=None,
+    anchor_tuples=None,
 ) -> TupleSet:
     """``GetNextResult`` (Fig. 2) with bucket-batched ``Complete`` probes.
 
@@ -140,6 +144,8 @@ def get_next_result_batched(
     :func:`repro.core.incremental.get_next_result` — same result, same pool
     mutations in the same order, same ``sets_scanned`` — with the subsumption
     probes of Lines 10–11 amortized to one store probe per anchor bucket.
+    ``anchor_tuples`` applies the bucket-range restriction of
+    :func:`repro.core.incremental.get_next_result` to the Line 9 test.
     """
     if scanner is None:
         scanner = TupleScanner(database)
@@ -165,6 +171,7 @@ def get_next_result_batched(
     _batched_candidate_phases(
         anchor, incomplete, complete, statistics, candidates(), merge_union,
         jcc_merge=True,
+        anchor_tuples=anchor_tuples,
     )
 
     # Line 19.
@@ -229,10 +236,23 @@ class BatchedBackend(SerialBackend):
     name = "batched"
 
     def next_result(
-        self, database, anchor, incomplete, complete, scanner=None, statistics=None
+        self,
+        database,
+        anchor,
+        incomplete,
+        complete,
+        scanner=None,
+        statistics=None,
+        anchor_tuples=None,
     ) -> TupleSet:
         return get_next_result_batched(
-            database, anchor, incomplete, complete, scanner, statistics
+            database,
+            anchor,
+            incomplete,
+            complete,
+            scanner,
+            statistics,
+            anchor_tuples=anchor_tuples,
         )
 
     def approx_next_result(

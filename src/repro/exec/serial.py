@@ -26,10 +26,23 @@ class SerialBackend(ExecutionBackend):
     name = "serial"
 
     def next_result(
-        self, database, anchor, incomplete, complete, scanner=None, statistics=None
+        self,
+        database,
+        anchor,
+        incomplete,
+        complete,
+        scanner=None,
+        statistics=None,
+        anchor_tuples=None,
     ) -> TupleSet:
         return get_next_result(
-            database, anchor, incomplete, complete, scanner, statistics
+            database,
+            anchor,
+            incomplete,
+            complete,
+            scanner,
+            statistics,
+            anchor_tuples=anchor_tuples,
         )
 
     def approx_next_result(

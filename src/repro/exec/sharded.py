@@ -1,30 +1,52 @@
-"""The sharded backend: per-relation passes across a process pool.
+"""The sharded backend: bucket-range work stealing across a process pool.
 
 Under the ``singletons`` initialization strategy the ``n`` ``IncrementalFD``
-passes of the full-disjunction driver are completely independent: each pass
-reads only the (immutable) database and writes only its own ``Complete`` /
-``Incomplete`` containers.  This backend fans them out to a
-``concurrent.futures.ProcessPoolExecutor``:
+passes of the full-disjunction driver are completely independent, and *within*
+a pass the anchor buckets are independent too: restricting Line 9 to a subset
+``B ⊆ R_i`` of anchor tuples is exactly the paper's algorithm over a database
+in which ``R_i`` has been split into sub-relations (two tuples of one relation
+are never join consistent, so every tuple set holds at most one ``R_i`` tuple
+and all pool merges are anchor-local — see
+:func:`repro.core.incremental.get_next_result`).  The restricted pass produces
+precisely the ``FD_i`` members anchored in ``B``, once each.
 
-* the database — including its cached, immutable
+This backend therefore distributes **bucket ranges**, not whole passes:
+
+* :func:`plan_bucket_ranges` splits every pass's anchor tuples into
+  size-weighted contiguous ranges, using the catalog's per-tuple consistency
+  masks as the weight — a skewed hot bucket lands in its own range instead of
+  serializing the pass.  The plan depends only on the database, never on the
+  worker count.
+* Every range becomes one task on the long-lived
+  ``concurrent.futures.ProcessPoolExecutor``.  The executor's shared task
+  queue *is* the work-stealing queue: idle workers pull the next pending
+  range the moment they finish one, so a straggler range never idles the
+  rest of the pool.
+* The database — including its cached, immutable
   :class:`~repro.relational.catalog.Catalog` snapshot with the precomputed
-  bitmatrices — is pickled to each worker, so workers skip the catalog build;
-* each worker runs the unmodified serial/batched pass and ships back its
-  results as ``(relation_name, label)`` key sets plus its
-  :class:`~repro.core.incremental.FDStatistics`;
-* the parent re-interns the results against its own catalog, applies the
-  earlier-relation duplicate suppression, and yields pass results **in
-  database relation order** — so the output sequence and the merged
-  statistics are deterministic and identical to the serial driver's.
+  bitmatrices — is pickled **once** in the parent and shipped as bytes with
+  every task; workers cache the unpickled snapshot by token, so the catalog
+  is rebuilt neither per task nor per worker.
+* The parent consumes futures in **plan order** (relation order, then range
+  order), re-interns results against its own catalog, applies the
+  earlier-relation duplicate suppression, and merges statistics range by
+  range in that same fixed order — so results *and* merged
+  ``FDStatistics`` (``sets_scanned`` included) are byte-identical across
+  worker counts and steal interleavings.
 
-Passes are consumed as they finish but always in relation order, so the first
-pass's results stream while later passes are still running.  Worker pools are
-long-lived (one per worker count, shut down at interpreter exit): the
-tens-of-milliseconds process spawn is paid once per Python process, not once
-per call.  When the host cannot spawn processes (restricted sandboxes,
-unpicklable ad-hoc databases) the backend degrades to the inherited
-in-process schedule with a warning rather than failing — the schedule is a
-performance choice, never a correctness one.
+``granularity="pass"`` retains the previous whole-pass fan-out (one task per
+relation chunk, output order identical to serial); the approximate driver
+always uses it — without the exact Line 14 ``JCC`` test, a similarity merge
+could join candidates across anchor tuples, so bucket-splitting an approx
+pass is not sound.
+
+Worker pools are long-lived: one shared pool, sized to the most recent
+request — resizing discards the old pool instead of leaking it, and
+:func:`shutdown_pools` releases it eagerly (the server calls it on shutdown;
+interpreter exit remains the backstop).  When the host cannot spawn processes
+(restricted sandboxes, unpicklable ad-hoc databases) the backend degrades to
+the inherited in-process schedule with a warning rather than failing — the
+schedule is a performance choice, never a correctness one.
 
 Per-step scheduling (``next_result``) is inherited from
 :class:`~repro.exec.batched.BatchedBackend`: sharding composes with bucket
@@ -34,6 +56,9 @@ batching instead of replacing it.
 from __future__ import annotations
 
 import atexit
+import itertools
+import os
+import pickle
 import warnings
 from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple as TupleType
 
@@ -47,31 +72,170 @@ from repro.exec.batched import BatchedBackend
 #: A result shipped across the process boundary: its member tuples' keys.
 ResultKeys = FrozenSet[TupleType[str, str]]
 
-#: Long-lived worker pools, one per worker count.  Spawning processes costs
-#: tens of milliseconds — paid once per Python process, not once per call.
-_POOLS: Dict[int, object] = {}
+#: How many ranges a pass is split into when no bucket dominates.  More
+#: ranges than workers is the point: the surplus is what idle workers steal.
+#: The plan never depends on the worker count, so results are reproducible.
+TARGET_RANGES_PER_PASS = 16
+
+#: The one long-lived worker pool, as ``(max_workers, executor)``.  Spawning
+#: processes costs tens of milliseconds — paid once per size, not per call.
+_POOL: Optional[TupleType[int, object]] = None
 
 
 def _shared_pool(max_workers: int):
+    global _POOL
     from concurrent.futures import ProcessPoolExecutor
 
-    pool = _POOLS.get(max_workers)
-    if pool is None:
-        pool = ProcessPoolExecutor(max_workers=max_workers)
-        _POOLS[max_workers] = pool
-    return pool
+    if _POOL is not None and _POOL[0] != max_workers:
+        # A resized worker count replaces the pool rather than leaking the
+        # old one alongside it.
+        shutdown_pools()
+    if _POOL is None:
+        _POOL = (max_workers, ProcessPoolExecutor(max_workers=max_workers))
+    return _POOL[1]
 
 
-def _discard_pool(max_workers: int) -> None:
-    pool = _POOLS.pop(max_workers, None)
-    if pool is not None:
+def _discard_pool(max_workers: Optional[int] = None) -> None:
+    """Drop the shared pool after a systemic submission failure."""
+    global _POOL
+    if _POOL is not None and (max_workers is None or _POOL[0] == max_workers):
+        pool = _POOL[1]
+        _POOL = None
         pool.shutdown(wait=False, cancel_futures=True)
 
 
-@atexit.register
-def _shutdown_pools() -> None:  # pragma: no cover - interpreter teardown
-    for max_workers in list(_POOLS):
-        _discard_pool(max_workers)
+def shutdown_pools(wait: bool = False) -> None:
+    """Shut down the shared worker pool (idempotent).
+
+    Long-running hosts — the server above all — call this on shutdown so
+    worker processes die with the service instead of lingering until
+    interpreter exit.  The next backend call simply spawns a fresh pool.
+    """
+    global _POOL
+    if _POOL is None:
+        return
+    pool = _POOL[1]
+    _POOL = None
+    pool.shutdown(wait=wait, cancel_futures=True)
+
+
+atexit.register(shutdown_pools)
+
+
+#: Parent side: tokens for pre-pickled database snapshots.
+_PAYLOAD_TOKENS = itertools.count(1)
+
+#: Worker side: the latest unpickled snapshot, keyed by its token.
+_WORKER_DATABASES: Dict[TupleType[int, int], Database] = {}
+
+#: A database snapshot in transit: ``(token, pickle bytes)``.
+DatabasePayload = TupleType[TupleType[int, int], bytes]
+
+
+def _database_payload(database: Database) -> DatabasePayload:
+    """Pickle ``database`` once; every task of the call ships these bytes."""
+    token = (os.getpid(), next(_PAYLOAD_TOKENS))
+    return token, pickle.dumps(database, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _payload_database(payload: DatabasePayload) -> Database:
+    """Worker side: unpickle a snapshot once, reuse it across stolen ranges."""
+    token, blob = payload
+    database = _WORKER_DATABASES.get(token)
+    if database is None:
+        # Keep at most one cached snapshot per worker: streaming runs push a
+        # fresh snapshot per pass and the old ones would only pile up.
+        _WORKER_DATABASES.clear()
+        database = pickle.loads(blob)
+        _WORKER_DATABASES[token] = database
+    return database
+
+
+def plan_bucket_ranges(
+    database: Database, target_ranges: int = TARGET_RANGES_PER_PASS
+) -> List[TupleType[str, List[List[str]]]]:
+    """Partition every pass's anchor tuples into size-weighted ranges.
+
+    Returns ``[(anchor_name, [range, ...]), ...]`` in database relation
+    order; each range is a contiguous run of anchor-tuple labels in scan
+    order.  A tuple's weight is ``1 +`` the number of live tuples join
+    consistent with it (the catalog's per-tuple consistency mask), a cheap
+    proxy for how much of the pass's work its bucket attracts.  Ranges are
+    packed greedily up to ``ceil(total / target_ranges)`` — so a hot bucket
+    heavier than the cap is isolated in a range of its own and cannot
+    serialize the whole pass behind it.
+
+    The plan is a pure function of the database: worker count and steal
+    order never influence it, which is what makes the merged output
+    byte-identical across pool sizes.
+    """
+    catalog = database.catalog()
+    live = catalog.live_mask
+    plan: List[TupleType[str, List[List[str]]]] = []
+    for relation in database.relations:
+        tuples = list(database.relation(relation.name))
+        weights = []
+        for t in tuples:
+            gid = catalog.id_of(t)
+            weight = 1
+            if gid is not None:
+                weight += bin(catalog.consistent_mask(gid) & live).count("1")
+            weights.append(weight)
+        cap = max(1, -(-sum(weights) // max(1, target_ranges)))
+        ranges: List[List[str]] = []
+        current: List[str] = []
+        current_weight = 0
+        for t, weight in zip(tuples, weights):
+            if current and current_weight + weight > cap:
+                ranges.append(current)
+                current, current_weight = [], 0
+            current.append(t.label)
+            current_weight += weight
+        if current:
+            ranges.append(current)
+        plan.append((relation.name, ranges))
+    return plan
+
+
+def _bucket_range_worker(
+    payload: DatabasePayload,
+    anchor_name: str,
+    labels: List[str],
+    use_index: bool,
+    block_size: Optional[int],
+    kernel_name: Optional[str] = None,
+) -> TupleType[List[ResultKeys], FDStatistics]:
+    """One bucket range of one ``IncrementalFD`` pass, inside a worker.
+
+    Runs the batched pass restricted to the range's anchor tuples (the
+    ``anchor_tuples`` bucket restriction) and ships the results back as
+    frozensets of ``(relation_name, label)`` keys — tiny, and unambiguous
+    because labels are unique per relation.  The parent's kernel name rides
+    along so workers run the same inner-loop implementation even when the
+    parent selected it programmatically.
+    """
+    if kernel_name is not None:
+        set_kernel(kernel_name)
+    database = _payload_database(payload)
+    label_set = frozenset(labels)
+    bucket = frozenset(
+        t for t in database.relation(anchor_name) if t.label in label_set
+    )
+    scanner = make_scanner(database, block_size)
+    statistics = FDStatistics()
+    results: List[ResultKeys] = []
+    for result in incremental_fd(
+        database,
+        anchor_name,
+        use_index=use_index,
+        scanner=scanner,
+        statistics=statistics,
+        backend=BatchedBackend(),
+        anchor_tuples=bucket,
+    ):
+        results.append(frozenset((t.relation_name, t.label) for t in result))
+    statistics.block_reads = getattr(scanner, "block_reads", 0)
+    return results, statistics
 
 
 def _singleton_passes_worker(
@@ -82,16 +246,11 @@ def _singleton_passes_worker(
     batched: bool,
     kernel_name: Optional[str] = None,
 ) -> List[TupleType[List[ResultKeys], FDStatistics]]:
-    """A chunk of ``IncrementalFD`` passes, run inside one worker process.
+    """A chunk of whole ``IncrementalFD`` passes (``granularity="pass"``).
 
     Module-level so it is picklable by ``ProcessPoolExecutor``.  Shipping a
     *chunk* of anchors per task means the database (with its O(s²)-bit
     catalog matrices) is serialized once per chunk, not once per relation.
-    Results are returned as frozensets of ``(relation_name, label)`` keys —
-    tiny to ship, and unambiguous because labels are unique per relation.
-    The parent's kernel name rides along so workers run the same inner-loop
-    implementation even when the parent selected it programmatically rather
-    than through the (inherited) ``REPRO_KERNEL`` environment.
     """
     if kernel_name is not None:
         set_kernel(kernel_name)
@@ -128,6 +287,8 @@ def _approx_passes_worker(
     Mirrors :func:`_singleton_passes_worker`: the join function rides along in
     the pickle (the stock similarity/aggregation classes are plain picklable
     objects) and the results come back as ``(relation_name, label)`` key sets.
+    Approx passes stay whole: a similarity merge may join candidates across
+    anchor tuples, so the bucket restriction is not sound for them.
     """
     from repro.core.approx import approx_incremental_fd
 
@@ -166,14 +327,19 @@ def _contiguous_chunks(items: List[str], count: int) -> List[List[str]]:
 
 
 class ShardedBackend(BatchedBackend):
-    """Fan the independent per-relation passes out to worker processes."""
+    """Fan bucket ranges (or whole passes) out to worker processes."""
 
     name = "sharded"
 
-    def __init__(self, max_workers: int = 2):
+    def __init__(self, max_workers: int = 2, granularity: str = "bucket"):
         if max_workers < 1:
             raise ValueError(f"max_workers must be positive, got {max_workers}")
+        if granularity not in ("bucket", "pass"):
+            raise ValueError(
+                f"granularity must be 'bucket' or 'pass', got {granularity!r}"
+            )
         self.max_workers = max_workers
+        self.granularity = granularity
         # One fallback warning per backend instance: a streaming run pushes
         # hundreds of passes through the same backend, and a host that could
         # not spawn processes for the first one will not spawn them for the
@@ -181,7 +347,10 @@ class ShardedBackend(BatchedBackend):
         self._warned_fallback = False
 
     def __repr__(self) -> str:
-        return f"ShardedBackend(max_workers={self.max_workers})"
+        return (
+            f"ShardedBackend(max_workers={self.max_workers}, "
+            f"granularity={self.granularity!r})"
+        )
 
     def run_singleton_passes(
         self,
@@ -190,6 +359,16 @@ class ShardedBackend(BatchedBackend):
         block_size: Optional[int] = None,
         statistics=None,
     ) -> Iterator[TupleSet]:
+        fallback = lambda: super(ShardedBackend, self).run_singleton_passes(  # noqa: E731
+            database,
+            use_index=use_index,
+            block_size=block_size,
+            statistics=statistics,
+        )
+        if self.granularity == "bucket":
+            return self._run_bucket_ranges_on_pool(
+                database, use_index, block_size, statistics, fallback
+            )
         return self._run_passes_on_pool(
             database,
             statistics,
@@ -197,12 +376,7 @@ class ShardedBackend(BatchedBackend):
                 _singleton_passes_worker, database, chunk, use_index, block_size,
                 True, active_kernel().name,
             ),
-            fallback=lambda: super(ShardedBackend, self).run_singleton_passes(
-                database,
-                use_index=use_index,
-                block_size=block_size,
-                statistics=statistics,
-            ),
+            fallback=fallback,
         )
 
     def run_approx_passes(
@@ -215,10 +389,12 @@ class ShardedBackend(BatchedBackend):
     ) -> Iterator[TupleSet]:
         """Fan the independent ``ApproxIncrementalFD`` passes out to the pool.
 
-        Same scaffolding and deterministic merge as
-        :meth:`run_singleton_passes`; an unpicklable ad-hoc join function
-        degrades to the in-process schedule exactly like a host that cannot
-        spawn processes.
+        Always pass-grained — the starred Line 14 merge (``A(S ∪ T') ≥ τ``)
+        can join candidates across anchor tuples, so the bucket restriction
+        that makes exact ranges independent is not sound here.  Same
+        scaffolding and deterministic merge as the pass-grained exact driver;
+        an unpicklable ad-hoc join function degrades to the in-process
+        schedule exactly like a host that cannot spawn processes.
         """
         return self._run_passes_on_pool(
             database,
@@ -236,10 +412,95 @@ class ShardedBackend(BatchedBackend):
             ),
         )
 
+    def _run_bucket_ranges_on_pool(
+        self, database: Database, use_index, block_size, statistics, fallback
+    ) -> Iterator[TupleSet]:
+        """The bucket-grained schedule: one pool task per anchor-bucket range.
+
+        All ranges of all passes are submitted up front; the executor's
+        shared queue hands the next pending range to whichever worker frees
+        up first (work stealing).  The parent consumes futures strictly in
+        plan order — relation order, then range order — so the emitted
+        sequence and the merged statistics never depend on completion order.
+        Range ``i``'s results stream out while later ranges are still
+        running; abandoning the generator (first-k retrieval) cancels every
+        range not yet started.
+        """
+        catalog = database.catalog()
+        label_map = {(t.relation_name, t.label): t for t in database.tuples()}
+        plan = plan_bucket_ranges(database)
+        tasks = [
+            (anchor_name, labels)
+            for anchor_name, ranges in plan
+            for labels in ranges
+        ]
+        if not tasks:
+            return  # no tuples anywhere; the full disjunction is empty
+        workers = min(self.max_workers, len(tasks))
+
+        futures = []
+        try:
+            try:
+                executor = _shared_pool(workers)
+                kernel_name = active_kernel().name
+                payload = _database_payload(database)
+                futures = [
+                    executor.submit(
+                        _bucket_range_worker, payload, anchor_name, labels,
+                        use_index, block_size, kernel_name,
+                    )
+                    for anchor_name, labels in tasks
+                ]
+                # Resolve the first range before yielding anything: systemic
+                # failures (no process spawn, unpicklable database) surface
+                # here, while the fallback can still take over cleanly.
+                first_output = futures[0].result()
+            except Exception as error:
+                for future in futures:
+                    future.cancel()
+                futures = []
+                _discard_pool(workers)
+                if not self._warned_fallback:
+                    self._warned_fallback = True
+                    warnings.warn(
+                        f"sharded backend could not use a process pool ({error!r}); "
+                        "falling back to in-process passes",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                yield from fallback()
+                return
+
+            earlier: set = set()
+            cursor = 0
+            for anchor_name, ranges in plan:
+                pass_statistics = (
+                    FDStatistics() if statistics is not None else None
+                )
+                for _ in ranges:
+                    keys_list, range_statistics = (
+                        first_output if cursor == 0 else futures[cursor].result()
+                    )
+                    cursor += 1
+                    for keys in keys_list:
+                        if any(name in earlier for name, _ in keys):
+                            continue
+                        yield TupleSet(
+                            (label_map[key] for key in keys), catalog=catalog
+                        )
+                    if pass_statistics is not None:
+                        pass_statistics.merge(range_statistics)
+                if statistics is not None and pass_statistics is not None:
+                    statistics.merge(pass_statistics)
+                earlier.add(anchor_name)
+        finally:
+            for future in futures:
+                future.cancel()
+
     def _run_passes_on_pool(
         self, database: Database, statistics, submit_chunk, fallback
     ) -> Iterator[TupleSet]:
-        """The shared fan-out scaffolding of both pass drivers.
+        """The pass-grained fan-out scaffolding (``granularity="pass"``/approx).
 
         Chunks the relations, submits each chunk through ``submit_chunk``,
         and merges deterministically: chunks (and passes within them) in

@@ -1,0 +1,548 @@
+"""An anchor-bucket-sharded server: shard processes, routing, backpressure.
+
+One :class:`~repro.service.server.QueryServer` runs everything on a single
+event loop over a single in-memory store — fine for a demo, a ceiling for
+"thousands of concurrent cursors".  This module carries the bucket
+partitioning of :mod:`repro.exec.sharded` up into the service layer:
+
+* **Shard processes.**  ``start_sharded_server`` spawns ``N`` worker
+  processes, each running the unmodified asyncio JSON-lines
+  :class:`~repro.service.server.QueryServer` (its own event loop, its own
+  :class:`~repro.service.cache.PrefixCache`, its own live
+  :class:`~repro.service.delta.StreamingFullDisjunction` maintainer) over its
+  own copy of the database.
+* **Routing.**  A front-end router accepts client connections and forwards
+  each ``open`` to the shard chosen by a **consistent hash of the query's
+  canonical cache key** (engine plus every option that keys the prefix
+  cache).  Identical queries from different clients therefore land on the
+  same shard and share one cached prefix, exactly as they shared it in the
+  single-process server — the cache's entry space is partitioned across
+  shards, never duplicated.  Session ids are rewritten to router-global
+  names (``g1``, ``g2``, …), so clients never see the shard topology.
+* **Mutations.**  ``ingest``/``retract``/``update`` are broadcast to every
+  shard in shard order; each shard's maintainer and cache apply the same
+  delta, so all replicas stay byte-identical and any shard can serve any
+  future query.
+* **Admission control and backpressure.**  Each shard has a bounded live
+  session count and a bounded request queue.  A request that would exceed
+  either limit is refused *immediately* with ``{"ok": false, "busy": true,
+  "retry_after_ms": ...}`` instead of growing an unbounded queue — clients
+  retry with the hint, and ``stats`` exposes per-shard session and
+  queue-depth gauges so operators can see saturation coming.
+
+The router speaks the same wire protocol as the single-process server, so
+every existing client — ``fetch_first_k``, the smoke harnesses, the CLI —
+works against either unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+import json
+import multiprocessing
+import pickle
+from typing import Dict, List, Optional, Tuple as TupleType
+
+from repro.relational.database import Database
+from repro.service.server import client_call, start_server
+
+#: Options of an ``open`` request that shape the served computation — the
+#: wire-level counterpart of the prefix cache's key options.  ``format``
+#: stays out: it shapes the rendering, not the cached result log.
+_ROUTING_KEYS = (
+    "engine",
+    "use_index",
+    "initialization",
+    "threshold",
+    "similarity",
+    "importance",
+    "default",
+    "k",
+)
+
+
+def open_routing_key(request: dict) -> str:
+    """The canonical routing key of an ``open`` request.
+
+    A deterministic JSON rendering of the options that key the prefix
+    cache: two requests for the same query always produce the same key and
+    therefore route to the same shard, where they share one cached prefix.
+    """
+    payload = {
+        key: request[key] for key in _ROUTING_KEYS if request.get(key) is not None
+    }
+    payload.setdefault("engine", "fd")
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class ConsistentHashRing:
+    """A classic vnode hash ring over shard indexes.
+
+    ``vnodes`` virtual points per shard smooth the key distribution; the
+    ring is a pure function of ``(shard_count, vnodes)``, so every router
+    instance over the same topology routes identically.
+    """
+
+    def __init__(self, shard_count: int, vnodes: int = 64):
+        if shard_count < 1:
+            raise ValueError(f"shard_count must be positive, got {shard_count}")
+        points: List[TupleType[int, int]] = []
+        for shard in range(shard_count):
+            for vnode in range(vnodes):
+                digest = hashlib.sha1(
+                    f"shard-{shard}-vnode-{vnode}".encode()
+                ).digest()
+                points.append((int.from_bytes(digest[:8], "big"), shard))
+        points.sort()
+        self._hashes = [point for point, _ in points]
+        self._shards = [shard for _, shard in points]
+        self.shard_count = shard_count
+
+    def shard_for(self, key: str) -> int:
+        digest = hashlib.sha1(key.encode()).digest()
+        position = int.from_bytes(digest[:8], "big")
+        index = bisect.bisect_right(self._hashes, position) % len(self._hashes)
+        return self._shards[index]
+
+
+def _shard_main(connection, payload: bytes, use_index: bool) -> None:
+    """Entry point of one shard process: serve its database copy forever.
+
+    Reports the ephemeral port back through ``connection`` once bound.
+    Module-level so the spawn start method can pickle it.
+    """
+    database = pickle.loads(payload)
+
+    async def serve() -> None:
+        server, _, port = await start_server(database, use_index=use_index)
+        connection.send(port)
+        connection.close()
+        async with server:
+            await server.serve_forever()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:  # pragma: no cover - interactive teardown
+        pass
+
+
+class ShardHandle:
+    """The router's view of one shard: process, upstream connection, gauges."""
+
+    def __init__(self, index: int, process, host: str, port: int):
+        self.index = index
+        self.process = process
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._lock = asyncio.Lock()
+        #: Requests admitted for this shard and not yet answered — the
+        #: queue-depth gauge that admission control bounds.
+        self.pending = 0
+        #: Router-global names of the live sessions routed to this shard.
+        self.sessions: set = set()
+        self.requests = 0
+
+    async def call(self, request: dict) -> dict:
+        """One request/response round trip on the shard's upstream socket.
+
+        The per-shard lock serializes round trips (the JSON-lines protocol
+        is strictly request/response per connection); callers already
+        incremented ``pending``, so the time spent waiting here *is* the
+        queue depth the gauges report.
+        """
+        async with self._lock:
+            if self._writer is None:
+                self._reader, self._writer = await asyncio.open_connection(
+                    self.host, self.port
+                )
+            self.requests += 1
+            return await client_call(self._reader, self._writer, request)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+            self._reader = self._writer = None
+
+    def terminate(self) -> None:
+        if self.process is not None and self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=5)
+
+
+class ShardedQueryServer:
+    """Routes the wire protocol across shard processes with admission control."""
+
+    #: Ops forwarded to the session's shard (after admission).
+    _SESSION_OPS = frozenset({"next", "peek", "close"})
+    #: Ops broadcast to every shard so the replicas stay identical.
+    _BROADCAST_OPS = frozenset({"ingest", "retract", "update"})
+
+    def __init__(
+        self,
+        shards: List[ShardHandle],
+        max_sessions_per_shard: int = 256,
+        max_queue_per_shard: int = 64,
+        retry_after_ms: int = 50,
+    ):
+        if max_sessions_per_shard < 1:
+            raise ValueError("max_sessions_per_shard must be positive")
+        if max_queue_per_shard < 1:
+            raise ValueError("max_queue_per_shard must be positive")
+        self.shards = shards
+        self.ring = ConsistentHashRing(len(shards))
+        self.max_sessions_per_shard = max_sessions_per_shard
+        self.max_queue_per_shard = max_queue_per_shard
+        self.retry_after_ms = retry_after_ms
+        #: Router-global session name → (shard handle, shard-local name).
+        self._session_map: Dict[str, TupleType[ShardHandle, str]] = {}
+        self._session_counter = 0
+        self.requests = 0
+        self.busy_rejections = 0
+
+    # ------------------------------------------------------------------ #
+    # admission control
+    # ------------------------------------------------------------------ #
+    def _busy(self, shard: ShardHandle, what: str) -> dict:
+        self.busy_rejections += 1
+        return {
+            "ok": False,
+            "busy": True,
+            "error": f"shard {shard.index} at {what} capacity; retry later",
+            "retry_after_ms": self.retry_after_ms,
+        }
+
+    async def _forward(self, shard: ShardHandle, request: dict) -> dict:
+        """Forward after the queue admission check; ``pending`` is the gauge."""
+        if shard.pending >= self.max_queue_per_shard:
+            return self._busy(shard, "queue")
+        shard.pending += 1
+        try:
+            return await shard.call(request)
+        finally:
+            shard.pending -= 1
+
+    # ------------------------------------------------------------------ #
+    # request handling
+    # ------------------------------------------------------------------ #
+    async def handle_request(
+        self, request: dict, connection_sessions: Optional[set] = None
+    ) -> dict:
+        self.requests += 1
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "pong": True, "shards": len(self.shards)}
+        if op == "open":
+            return await self._open(request, connection_sessions)
+        if op in self._SESSION_OPS:
+            return await self._session_op(op, request, connection_sessions)
+        if op in self._BROADCAST_OPS:
+            return await self._broadcast(request)
+        if op == "stats":
+            return await self._stats()
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    async def _open(
+        self, request: dict, connection_sessions: Optional[set]
+    ) -> dict:
+        shard = self.shards[self.ring.shard_for(open_routing_key(request))]
+        if len(shard.sessions) >= self.max_sessions_per_shard:
+            return self._busy(shard, "session")
+        response = await self._forward(shard, request)
+        if not response.get("ok"):
+            return response
+        local_name = response["session"]
+        self._session_counter += 1
+        name = f"g{self._session_counter}"
+        self._session_map[name] = (shard, local_name)
+        shard.sessions.add(name)
+        if connection_sessions is not None:
+            connection_sessions.add(name)
+        response["session"] = name
+        response["shard"] = shard.index
+        return response
+
+    async def _session_op(
+        self, op: str, request: dict, connection_sessions: Optional[set]
+    ) -> dict:
+        name = request.get("session")
+        routed = self._session_map.get(name)
+        if routed is None:
+            return {"ok": False, "error": f"no session {name!r}"}
+        shard, local_name = routed
+        response = await self._forward(
+            shard, {**request, "session": local_name}
+        )
+        if op == "close" and response.get("ok"):
+            self._session_map.pop(name, None)
+            shard.sessions.discard(name)
+            if connection_sessions is not None:
+                connection_sessions.discard(name)
+        return response
+
+    async def _broadcast(self, request: dict) -> dict:
+        """Apply a mutation to every shard, in shard order.
+
+        Every shard holds the same database replica, so the responses agree;
+        the first shard's response answers the client, annotated with the
+        replica count.  A failure on the first shard (a client error — bad
+        target, bad payload) is returned *without* touching the others, so
+        the replicas never diverge on validation errors.
+        """
+        first = await self._forward(self.shards[0], request)
+        if not first.get("ok"):
+            return first
+        for shard in self.shards[1:]:
+            response = await self._forward(shard, request)
+            if not response.get("ok"):  # pragma: no cover - replica divergence
+                return {
+                    "ok": False,
+                    "error": (
+                        f"shard {shard.index} diverged applying the mutation: "
+                        f"{response.get('error')}"
+                    ),
+                }
+        first["shards_applied"] = len(self.shards)
+        return first
+
+    async def _stats(self) -> dict:
+        per_shard = []
+        for shard in self.shards:
+            upstream = await self._forward(shard, {"op": "stats"})
+            per_shard.append(
+                {
+                    "shard": shard.index,
+                    "sessions": len(shard.sessions),
+                    "queue_depth": shard.pending,
+                    "requests": shard.requests,
+                    "cache": upstream.get("cache"),
+                    "kernel": upstream.get("kernel"),
+                }
+            )
+        return {
+            "ok": True,
+            "shards": len(self.shards),
+            "sessions": len(self._session_map),
+            "requests": self.requests,
+            "busy_rejections": self.busy_rejections,
+            "limits": {
+                "max_sessions_per_shard": self.max_sessions_per_shard,
+                "max_queue_per_shard": self.max_queue_per_shard,
+            },
+            "per_shard": per_shard,
+        }
+
+    # ------------------------------------------------------------------ #
+    # the TCP face (same JSON-lines loop as the single-process server)
+    # ------------------------------------------------------------------ #
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        connection_sessions: set = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except asyncio.CancelledError:
+                    break
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as error:
+                    response = {"ok": False, "error": f"bad JSON: {error}"}
+                else:
+                    try:
+                        response = await self.handle_request(
+                            request, connection_sessions
+                        )
+                    except Exception as error:  # serve errors, don't die
+                        response = {"ok": False, "error": str(error)}
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+        finally:
+            # A dropped connection releases its sessions on the shards too.
+            for name in connection_sessions:
+                routed = self._session_map.pop(name, None)
+                if routed is None:
+                    continue
+                shard, local_name = routed
+                shard.sessions.discard(name)
+                try:
+                    await shard.call({"op": "close", "session": local_name})
+                except (ConnectionError, OSError):  # pragma: no cover
+                    pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):  # pragma: no cover
+                pass
+
+    async def shutdown(self) -> None:
+        """Release upstream connections, shard processes, and worker pools."""
+        from repro.exec import shutdown_pools
+
+        for shard in self.shards:
+            await shard.close()
+        for shard in self.shards:
+            shard.terminate()
+        shutdown_pools()
+
+
+async def start_sharded_server(
+    database: Database,
+    shards: int = 2,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    use_index: bool = True,
+    max_sessions_per_shard: int = 256,
+    max_queue_per_shard: int = 64,
+    retry_after_ms: int = 50,
+) -> TupleType[asyncio.AbstractServer, ShardedQueryServer, int]:
+    """Spawn ``shards`` worker processes and a router; returns
+    ``(asyncio server, router state, bound port)``.
+
+    The database is pickled once (catalog included, so shards skip the
+    bitmatrix build) and shipped to every shard; each shard binds an
+    ephemeral local port and reports it back before the router accepts its
+    first client.  Call :meth:`ShardedQueryServer.shutdown` after closing
+    the returned server.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be positive, got {shards}")
+    database.catalog()  # build once in the parent; every shard inherits it
+    payload = pickle.dumps(database, protocol=pickle.HIGHEST_PROTOCOL)
+    context = multiprocessing.get_context("spawn")
+    loop = asyncio.get_running_loop()
+
+    handles: List[ShardHandle] = []
+    started = []
+    try:
+        for index in range(shards):
+            parent_end, child_end = context.Pipe(duplex=False)
+            process = context.Process(
+                target=_shard_main,
+                args=(child_end, payload, use_index),
+                daemon=True,
+            )
+            process.start()
+            child_end.close()
+            started.append((index, process, parent_end))
+        for index, process, parent_end in started:
+            shard_port = await loop.run_in_executor(None, parent_end.recv)
+            parent_end.close()
+            handles.append(ShardHandle(index, process, "127.0.0.1", shard_port))
+    except BaseException:
+        for _, process, _ in started:
+            if process.is_alive():
+                process.terminate()
+        raise
+
+    router = ShardedQueryServer(
+        handles,
+        max_sessions_per_shard=max_sessions_per_shard,
+        max_queue_per_shard=max_queue_per_shard,
+        retry_after_ms=retry_after_ms,
+    )
+    server = await asyncio.start_server(router.handle_connection, host, port)
+    bound_port = server.sockets[0].getsockname()[1]
+    return server, router, bound_port
+
+
+async def _sharded_smoke(
+    database: Database,
+    clients: int,
+    k: Optional[int],
+    shards: int,
+    use_index: bool,
+    **opts,
+) -> dict:
+    from repro.service.server import fetch_first_k
+
+    server, router, port = await start_sharded_server(
+        database, shards=shards, use_index=use_index
+    )
+    try:
+        per_client = await asyncio.gather(
+            *(
+                fetch_first_k("127.0.0.1", port, k, chunk=3, **opts)
+                for _ in range(clients)
+            )
+        )
+        stats = await router.handle_request({"op": "stats"})
+    finally:
+        server.close()
+        await server.wait_closed()
+        await router.shutdown()
+    return {"per_client": per_client, "stats": stats}
+
+
+def run_sharded_smoke(
+    database: Database,
+    clients: int = 4,
+    k: Optional[int] = None,
+    shards: int = 2,
+    use_index: bool = True,
+    engine: str = "fd",
+) -> dict:
+    """Start a sharded server, run concurrent clients, assert serial parity.
+
+    The multi-process counterpart of
+    :func:`repro.service.server.run_smoke`, behind
+    ``repro serve --shards N --smoke-clients M`` and the CI multi-worker
+    serving job: every client must receive exactly the serial engine's
+    result stream, through the router, regardless of which shard served it.
+    Raises ``AssertionError`` on mismatch; returns the summary on success.
+    """
+    opts: dict = {"engine": engine}
+    if engine == "ranked":
+        from repro.core.priority import priority_incremental_fd
+        from repro.core.ranking import MaxRanking
+        from repro.service.server import smoke_importance_map
+
+        importance = smoke_importance_map(database)
+        opts["importance"] = importance
+        serial: List[object] = []
+        for tuple_set, score in priority_incremental_fd(
+            database, MaxRanking(importance), use_index=use_index
+        ):
+            if k is not None and len(serial) >= k:
+                break
+            serial.append(
+                {"labels": sorted(t.label for t in tuple_set), "score": score}
+            )
+    elif engine == "fd":
+        from repro.core.full_disjunction import full_disjunction_sets
+
+        serial = []
+        for tuple_set in full_disjunction_sets(database, use_index=use_index):
+            if k is not None and len(serial) >= k:
+                break
+            serial.append(sorted(t.label for t in tuple_set))
+    else:
+        raise ValueError(
+            f"run_sharded_smoke supports engines 'fd' and 'ranked', not {engine!r}"
+        )
+
+    outcome = asyncio.run(
+        _sharded_smoke(database, clients, k, shards, use_index, **opts)
+    )
+    for index, received in enumerate(outcome["per_client"]):
+        assert received == serial, (
+            f"client {index} diverged from the serial run through the router: "
+            f"{len(received)} vs {len(serial)} results"
+        )
+    stats = outcome["stats"]
+    assert stats["shards"] == shards
+    outcome["results_per_client"] = len(serial)
+    outcome["clients"] = clients
+    outcome["shards"] = shards
+    outcome["engine"] = engine
+    return outcome

@@ -11,6 +11,7 @@ from repro.workloads.tourist import (
 from repro.workloads.generators import (
     chain_database,
     cycle_database,
+    skewed_chain_database,
     star_database,
     random_database,
 )
@@ -32,6 +33,7 @@ __all__ = [
     "TABLE3_TRACE",
     "chain_database",
     "cycle_database",
+    "skewed_chain_database",
     "star_database",
     "random_database",
     "dirty_sources_database",

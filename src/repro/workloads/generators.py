@@ -92,6 +92,53 @@ def star_database(
     return database
 
 
+def skewed_chain_database(
+    relations: int = 4,
+    tuples_per_relation: int = 12,
+    hot_relation: int = 2,
+    hot_factor: int = 8,
+    domain_size: int = 4,
+    null_rate: float = 0.1,
+    seed: int = 0,
+) -> Database:
+    """A chain schema with one *hot* relation carrying ``hot_factor``× the tuples.
+
+    The adversarial fixture for pass-grained parallelism: with whole passes as
+    the unit of distribution the hot relation's pass dominates the makespan
+    no matter how many workers run, while bucket-grained scheduling splits the
+    hot pass into ranges that the whole pool can steal.  ``hot_relation`` is
+    the 1-based chain position of the hot relation (``R2`` by default, so the
+    skew sits mid-chain and joins in both directions).
+
+    Used by the scale-out benchmark (E14) and the determinism-under-stealing
+    tests; deterministic in ``seed`` like every generator here.
+    """
+    if relations < 2:
+        raise ValueError("a chain needs at least two relations")
+    if not 1 <= hot_relation <= relations:
+        raise ValueError(
+            f"hot_relation must be in 1..{relations}, got {hot_relation}"
+        )
+    if hot_factor < 1:
+        raise ValueError(f"hot_factor must be positive, got {hot_factor}")
+    rng = random.Random(seed)
+    database = Database()
+    for index in range(1, relations + 1):
+        relation = Relation(
+            f"R{index}",
+            [f"A{index - 1}", f"A{index}", f"P{index}"],
+            label_prefix=f"r{index}_",
+        )
+        rows = tuples_per_relation * (hot_factor if index == hot_relation else 1)
+        for row in range(rows):
+            left = _maybe_null(rng, f"v{rng.randrange(domain_size)}", null_rate)
+            right = _maybe_null(rng, f"v{rng.randrange(domain_size)}", null_rate)
+            payload = f"p{index}_{row}"
+            relation.add([left, right, payload])
+        database.add_relation(relation)
+    return database
+
+
 def cycle_database(
     relations: int = 4,
     tuples_per_relation: int = 10,

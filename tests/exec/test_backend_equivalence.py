@@ -214,12 +214,24 @@ def test_batched_probes_fewer_buckets_for_the_same_scans():
 class TestShardedBackend:
     """Process fan-out: slower to spin up, so only the key checks run it."""
 
-    def test_full_disjunction_is_order_identical_to_serial(self):
+    def test_bucket_full_disjunction_matches_serial_sets(self):
+        """Bucket granularity reorders within a pass but never the answer set."""
         database = chain_database(
             relations=3, tuples_per_relation=5, domain_size=3, null_rate=0.2, seed=7
         )
         serial = full_disjunction(database, use_index=True, backend="serial")
         sharded = full_disjunction(database, use_index=True, backend="sharded:2")
+        assert set(_labelled(serial)) == set(_labelled(sharded))
+        assert len(serial) == len(sharded)
+
+    def test_pass_granularity_is_order_identical_to_serial(self):
+        database = chain_database(
+            relations=3, tuples_per_relation=5, domain_size=3, null_rate=0.2, seed=7
+        )
+        serial = full_disjunction(database, use_index=True, backend="serial")
+        sharded = full_disjunction(
+            database, use_index=True, backend="sharded-pass:2"
+        )
         assert _labelled(serial) == _labelled(sharded)
 
     def test_statistics_merge_deterministically(self):
@@ -230,9 +242,18 @@ class TestShardedBackend:
         assert first.as_dict() == second.as_dict()
         serial = FDStatistics()
         full_disjunction(database, use_index=True, statistics=serial, backend="serial")
-        # The algorithmic counters are schedule-independent.
+        # The produced-result count is schedule-independent: each bucket
+        # range yields exactly its anchored FD_i members, once each.
         assert serial.results == first.results
-        assert serial.candidates_generated == first.candidates_generated
+        # Pass granularity replays the serial schedule exactly, so all its
+        # algorithmic counters match serial.
+        pass_grained = FDStatistics()
+        full_disjunction(
+            database, use_index=True, statistics=pass_grained,
+            backend="sharded-pass:2",
+        )
+        assert serial.results == pass_grained.results
+        assert serial.candidates_generated == pass_grained.candidates_generated
 
     def test_approx_passes_match_serial(self):
         """ROADMAP item: approx pass scheduling goes through the backend too."""
@@ -249,8 +270,14 @@ class TestShardedBackend:
     def test_first_k_abandons_remaining_passes(self):
         database = star_database(spokes=3, tuples_per_relation=4, hub_domain=2, seed=2)
         serial = full_disjunction(database, backend="serial")
-        prefix = first_k(database, 3, backend="sharded:2")
+        prefix = first_k(database, 3, backend="sharded-pass:2")
         assert _labelled(prefix) == _labelled(serial)[:3]
+        # Bucket granularity streams a (differently ordered) prefix of the
+        # same answer set.
+        bucket_prefix = first_k(database, 3, backend="sharded:2")
+        assert len(bucket_prefix) == 3
+        full = {frozenset(labels) for labels in _labelled(serial)}
+        assert all(frozenset(labels) in full for labels in _labelled(bucket_prefix))
 
     def test_results_are_interned_in_the_parent_catalog(self):
         database = chain_database(

@@ -1,0 +1,261 @@
+"""Bucket-grained sharding: plans, determinism under stealing, pool lifecycle.
+
+The bucket-grained schedule's contract is reproducibility: the emitted result
+stream and the merged ``FDStatistics`` must be byte-identical across worker
+counts *and* across arbitrary completion orders, because the range plan is a
+pure
+function of the database and the parent merges strictly in plan order.  The
+suites here attack both axes — real pools at 1/2/4 workers, and an in-process
+executor that completes tasks in adversarially shuffled orders — plus the
+shared-pool lifecycle (resize must not leak the old pool; ``shutdown_pools``
+is explicit and idempotent).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.full_disjunction import full_disjunction_sets
+from repro.core.incremental import FDStatistics
+from repro.exec import ShardedBackend, plan_bucket_ranges, shutdown_pools
+from repro.exec import sharded as sharded_module
+from repro.workloads.generators import random_database, skewed_chain_database
+from repro.workloads.tourist import tourist_database
+
+from tests.conftest import labels_of
+
+
+def _keyed(results):
+    return [frozenset((t.relation_name, t.label) for t in ts) for ts in results]
+
+
+class _LazyFuture:
+    """A future resolved by draining its pool; ``result`` triggers the drain."""
+
+    def __init__(self, pool):
+        self._pool = pool
+        self._resolved = False
+        self._value = None
+        self._error = None
+
+    def _resolve(self, value=None, error=None):
+        self._resolved = True
+        self._value = value
+        self._error = error
+
+    def result(self):
+        if not self._resolved:
+            self._pool._drain()
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def cancel(self):
+        return not self._resolved
+
+
+class _ShuffledPool:
+    """An in-process executor that completes tasks in a shuffled order.
+
+    The first ``result()`` call runs *every* submitted task, in an order
+    drawn from ``rng`` — an adversarial stand-in for work stealing, where
+    any worker may finish any range first.  Running in-process also routes
+    all tasks through one ``_WORKER_DATABASES`` cache, exercising the
+    worker-side snapshot reuse path.
+    """
+
+    def __init__(self, rng):
+        self._rng = rng
+        self._pending = []
+
+    def submit(self, fn, *args, **kwargs):
+        future = _LazyFuture(self)
+        self._pending.append((future, fn, args, kwargs))
+        return future
+
+    def _drain(self):
+        tasks, self._pending = self._pending, []
+        self._rng.shuffle(tasks)
+        for future, fn, args, kwargs in tasks:
+            try:
+                future._resolve(value=fn(*args, **kwargs))
+            except Exception as error:  # pragma: no cover - diagnostic path
+                future._resolve(error=error)
+
+
+def _workloads():
+    yield "tourist", tourist_database()
+    yield "skewed", skewed_chain_database(
+        relations=3, tuples_per_relation=4, hot_relation=2, hot_factor=4, seed=1
+    )
+    for seed in (0, 1):
+        yield f"random-{seed}", random_database(
+            relations=3,
+            attributes=5,
+            arity=3,
+            tuples_per_relation=4,
+            domain_size=2,
+            null_rate=0.25,
+            seed=seed,
+        )
+
+
+WORKLOADS = list(_workloads())
+WORKLOAD_IDS = [name for name, _ in WORKLOADS]
+
+
+class TestPlanBucketRanges:
+    def test_ranges_cover_every_anchor_tuple_once_in_scan_order(self):
+        database = skewed_chain_database(
+            relations=3, tuples_per_relation=5, hot_factor=6, seed=2
+        )
+        for anchor_name, ranges in plan_bucket_ranges(database):
+            flattened = [label for labels in ranges for label in labels]
+            assert flattened == [
+                t.label for t in database.relation(anchor_name)
+            ]
+
+    def test_plan_is_a_pure_function_of_the_database(self):
+        database = skewed_chain_database(relations=3, seed=4)
+        assert plan_bucket_ranges(database) == plan_bucket_ranges(database)
+
+    def test_hot_buckets_are_isolated(self):
+        """A bucket heavier than the cap must not drag neighbours with it."""
+        database = skewed_chain_database(
+            relations=3, tuples_per_relation=6, hot_relation=2, hot_factor=8,
+            domain_size=2, null_rate=0.0, seed=3,
+        )
+        plan = dict(plan_bucket_ranges(database))
+        # The hot pass splits into strictly more ranges than any cold pass.
+        assert len(plan["R2"]) > max(len(plan["R1"]), len(plan["R3"]))
+
+    def test_empty_relations_yield_empty_plans(self):
+        from repro.relational.database import Database
+        from repro.relational.relation import Relation
+
+        database = Database()
+        database.add_relation(Relation("A", ["X", "Y"]))
+        database.add_relation(Relation("B", ["Y", "Z"]))
+        assert plan_bucket_ranges(database) == [("A", []), ("B", [])]
+
+
+class TestDeterminismUnderStealing:
+    @pytest.mark.parametrize("name,database", WORKLOADS, ids=WORKLOAD_IDS)
+    def test_streams_and_statistics_identical_across_worker_counts(
+        self, name, database
+    ):
+        serial = {
+            frozenset((t.relation_name, t.label) for t in ts)
+            for ts in full_disjunction_sets(database, use_index=True)
+        }
+        streams, stats = {}, {}
+        for workers in (1, 2, 4):
+            statistics = FDStatistics()
+            backend = ShardedBackend(max_workers=workers)
+            results = list(
+                backend.run_singleton_passes(
+                    database, use_index=True, statistics=statistics
+                )
+            )
+            streams[workers] = _keyed(results)
+            stats[workers] = statistics.as_dict()
+        assert streams[1] == streams[2] == streams[4]
+        assert stats[1] == stats[2] == stats[4]
+        assert set(streams[2]) == serial
+
+    @pytest.mark.parametrize("shuffle_seed", [0, 1, 2, 3, 4])
+    def test_adversarial_completion_orders_change_nothing(
+        self, monkeypatch, shuffle_seed
+    ):
+        """Shuffled completion == in-order completion, stream and stats."""
+        database = skewed_chain_database(
+            relations=3, tuples_per_relation=4, hot_factor=4, seed=7
+        )
+
+        def run(rng):
+            pool = _ShuffledPool(rng)
+            monkeypatch.setattr(
+                sharded_module, "_shared_pool", lambda workers: pool
+            )
+            statistics = FDStatistics()
+            backend = ShardedBackend(max_workers=4)
+            results = list(
+                backend.run_singleton_passes(
+                    database, use_index=True, statistics=statistics
+                )
+            )
+            assert not backend._warned_fallback
+            return _keyed(results), statistics.as_dict()
+
+        class _InOrder:
+            def shuffle(self, items):
+                pass
+
+        baseline_stream, baseline_stats = run(_InOrder())
+        shuffled_stream, shuffled_stats = run(random.Random(shuffle_seed))
+        assert shuffled_stream == baseline_stream
+        assert shuffled_stats == baseline_stats
+        serial = {
+            frozenset((t.relation_name, t.label) for t in ts)
+            for ts in full_disjunction_sets(database, use_index=True)
+        }
+        assert set(baseline_stream) == serial
+
+    def test_bucket_fallback_still_serves_the_full_answer(self, monkeypatch):
+        """The in-process fallback covers the bucket-grained path too."""
+        import warnings
+
+        def explode(workers):
+            raise OSError("process spawn is disabled on this host")
+
+        monkeypatch.setattr(sharded_module, "_shared_pool", explode)
+        database = tourist_database()
+        backend = ShardedBackend(max_workers=2)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            results = list(backend.run_singleton_passes(database, use_index=True))
+        serial = list(full_disjunction_sets(database, use_index=True))
+        assert labels_of(results) == labels_of(serial)
+        assert any("process pool" in str(w.message) for w in caught)
+
+
+class TestPoolLifecycle:
+    def setup_method(self):
+        shutdown_pools()
+
+    def teardown_method(self):
+        shutdown_pools()
+
+    def test_resized_worker_count_replaces_the_old_pool(self):
+        database = tourist_database()
+        small = ShardedBackend(max_workers=2)
+        list(small.run_singleton_passes(database))
+        assert sharded_module._POOL is not None
+        first_size, first_executor = sharded_module._POOL
+
+        large = ShardedBackend(max_workers=3)
+        list(large.run_singleton_passes(database))
+        assert sharded_module._POOL is not None
+        second_size, second_executor = sharded_module._POOL
+        assert second_executor is not first_executor
+        # The old pool was shut down, not leaked: it refuses new work.
+        with pytest.raises(RuntimeError):
+            first_executor.submit(sorted, [1])
+
+    def test_shutdown_pools_releases_and_is_idempotent(self):
+        database = tourist_database()
+        backend = ShardedBackend(max_workers=2)
+        list(backend.run_singleton_passes(database))
+        assert sharded_module._POOL is not None
+        executor = sharded_module._POOL[1]
+        shutdown_pools()
+        assert sharded_module._POOL is None
+        with pytest.raises(RuntimeError):
+            executor.submit(sorted, [1])
+        shutdown_pools()  # idempotent
+        # The next run simply spawns a fresh pool.
+        results = list(backend.run_singleton_passes(database))
+        assert results
+        assert sharded_module._POOL is not None

@@ -8,6 +8,7 @@ from repro.workloads.generators import (
     chain_database,
     cycle_database,
     random_database,
+    skewed_chain_database,
     star_database,
 )
 
@@ -71,6 +72,57 @@ class TestStarDatabase:
     def test_rejects_too_few_spokes(self):
         with pytest.raises(ValueError):
             star_database(spokes=1)
+
+
+class TestSkewedChainDatabase:
+    def test_hot_relation_carries_the_factor(self):
+        database = skewed_chain_database(
+            relations=4, tuples_per_relation=6, hot_relation=2, hot_factor=8, seed=0
+        )
+        assert len(database.relation("R2")) == 48
+        for name in ("R1", "R3", "R4"):
+            assert len(database.relation(name)) == 6
+
+    def test_chain_connectivity_is_preserved(self):
+        database = skewed_chain_database(relations=4, seed=0)
+        assert database.are_connected("R1", "R2")
+        assert database.are_connected("R2", "R3")
+        assert not database.are_connected("R1", "R3")
+        assert database.is_connected()
+
+    def test_determinism(self):
+        first = skewed_chain_database(tuples_per_relation=5, seed=3)
+        second = skewed_chain_database(tuples_per_relation=5, seed=3)
+        assert [t.values for t in first.tuples()] == [
+            t.values for t in second.tuples()
+        ]
+
+    def test_hot_factor_one_is_a_plain_chain_shape(self):
+        database = skewed_chain_database(
+            relations=3, tuples_per_relation=4, hot_factor=1, seed=0
+        )
+        assert all(len(relation) == 4 for relation in database)
+
+    def test_plan_isolates_the_hot_pass_into_many_ranges(self):
+        """The fixture's whole point: the hot pass splits, the cold ones don't."""
+        from repro.exec import plan_bucket_ranges
+
+        database = skewed_chain_database(
+            relations=3, tuples_per_relation=6, hot_relation=2, hot_factor=8, seed=1
+        )
+        ranges_per_pass = {
+            anchor: len(ranges) for anchor, ranges in plan_bucket_ranges(database)
+        }
+        assert ranges_per_pass["R2"] > ranges_per_pass["R1"]
+        assert ranges_per_pass["R2"] > ranges_per_pass["R3"]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            skewed_chain_database(relations=1)
+        with pytest.raises(ValueError):
+            skewed_chain_database(hot_relation=9, relations=3)
+        with pytest.raises(ValueError):
+            skewed_chain_database(hot_factor=0)
 
 
 class TestCycleDatabase:
