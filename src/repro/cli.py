@@ -20,6 +20,8 @@ Examples
     python -m repro stream sources/*.csv --mode delta --mutations 3
     python -m repro serve sources/*.csv --port 7411
     python -m repro serve --workload star --smoke-clients 4
+    python -m repro serve --workload star --port 7411 --metrics-port 9100
+    python -m repro trace star --out trace.json --backend batched
 """
 
 from __future__ import annotations
@@ -287,6 +289,13 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         )
     if arguments.shards < 1:
         raise SystemExit("error: --shards must be positive")
+    if arguments.smoke_clients is not None and arguments.metrics_port is not None:
+        # The smoke self-test runs to completion and exits; a metrics
+        # sidecar would bind, serve nothing, and vanish — refuse the combo.
+        raise SystemExit(
+            "error: --metrics-port runs alongside a real server, "
+            "not the --smoke-clients self-test"
+        )
     if arguments.smoke_clients is None:
         # Options that only shape the smoke self-test would be silently
         # ignored by a real server; refuse them instead.
@@ -342,6 +351,20 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         )
         return 0
 
+    async def _start_sidecar(metrics, health):
+        if arguments.metrics_port is None:
+            return None
+        from repro.obs import start_sidecar
+
+        sidecar = await start_sidecar(
+            metrics, health, host=arguments.host, port=arguments.metrics_port
+        )
+        print(
+            f"metrics sidecar on {arguments.host}:{sidecar.port} "
+            "(GET /metrics, GET /health)"
+        )
+        return sidecar
+
     async def _serve() -> None:
         if arguments.shards > 1:
             from repro.service.sharding import start_sharded_server
@@ -355,20 +378,28 @@ def _command_serve(arguments: argparse.Namespace) -> int:
                 f"across {arguments.shards} shard processes "
                 "(JSON lines; ops: open/next/peek/close/ingest/stats)"
             )
+            sidecar = await _start_sidecar(router.render_metrics, router.health)
             try:
                 async with server:
                     await server.serve_forever()
             finally:
+                if sidecar is not None:
+                    await sidecar.close()
                 await router.shutdown()
             return
-        server, _, port = await start_server(
+        server, state, port = await start_server(
             database, host=arguments.host, port=arguments.port,
             use_index=arguments.use_index,
         )
         print(f"serving {len(database)} relations on {arguments.host}:{port} "
               "(JSON lines; ops: open/next/peek/close/ingest/stats)")
-        async with server:
-            await server.serve_forever()
+        sidecar = await _start_sidecar(state.render_metrics, state.health)
+        try:
+            async with server:
+                await server.serve_forever()
+        finally:
+            if sidecar is not None:
+                await sidecar.close()
 
     try:
         asyncio.run(_serve())
@@ -382,11 +413,57 @@ def _command_serve(arguments: argparse.Namespace) -> int:
 
 
 def _command_trace(arguments: argparse.Namespace) -> int:
-    database = _load_database(arguments.csv, arguments.null_token)
+    # ``repro trace star --out trace.json`` profiles a generated workload:
+    # accept a workload name in the positional slot as well as via --workload.
+    if (
+        not arguments.workload
+        and len(arguments.csv) == 1
+        and arguments.csv[0] in SERVE_WORKLOADS
+    ):
+        import os
+
+        if not os.path.exists(arguments.csv[0]):
+            arguments.workload = arguments.csv[0]
+            arguments.csv = []
+    if arguments.csv and arguments.workload:
+        raise SystemExit("error: give CSV files or --workload, not both")
+    database = _serve_database(arguments)
+    if arguments.out:
+        return _trace_profile(arguments, database)
     anchor = arguments.anchor or database.relation_names[0]
     trace = trace_incremental_fd(database, anchor, use_index=arguments.use_index)
     print(format_trace(trace))
     print(f"({trace.iterations} iterations, anchor relation {anchor!r})")
+    return 0
+
+
+def _trace_profile(arguments: argparse.Namespace, database: Database) -> int:
+    """Run the full engine under a phase tracer and dump a Chrome trace."""
+    from repro.obs import PhaseTracer, summarize_events, use_tracer
+
+    tracer = PhaseTracer()
+    with use_tracer(tracer):
+        fd = FullDisjunction(
+            database, use_index=arguments.use_index, backend=_backend_of(arguments)
+        )
+        answers = fd.compute()
+    path = tracer.dump(arguments.out)
+    events = tracer.events()
+    print(f"trace written to {path} ({len(events)} events; "
+          f"open in Perfetto or chrome://tracing)")
+    print(f"({len(answers)} answers over {len(database)} relations, "
+          f"backend {arguments.backend!r})")
+    summary = summarize_events(events)
+    if summary:
+        width = max(len(name) for name in summary)
+        print(f"{'span':<{width}}  {'count':>6}  {'total_ms':>10}  {'max_ms':>10}")
+        for name in sorted(summary, key=lambda n: -summary[n]["total_us"]):
+            entry = summary[name]
+            print(
+                f"{name:<{width}}  {entry['count']:>6}  "
+                f"{entry['total_us'] / 1000.0:>10.3f}  "
+                f"{entry['max_us'] / 1000.0:>10.3f}"
+            )
     return 0
 
 
@@ -500,6 +577,11 @@ def build_parser() -> argparse.ArgumentParser:
         "admission control (default: 1 = the single-process server)",
     )
     serve_parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="also serve GET /metrics (Prometheus text) and GET /health "
+        "(JSON) over HTTP on this port (0 = ephemeral)",
+    )
+    serve_parser.add_argument(
         "--smoke-clients", type=int, default=None, metavar="N",
         help="self-test: run N concurrent clients against an in-process "
         "server, assert result parity with a serial run, and exit",
@@ -517,11 +599,43 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.set_defaults(handler=_command_serve)
 
     trace_parser = subparsers.add_parser(
-        "trace", help="print the Incomplete/Complete trace of one IncrementalFD pass"
+        "trace",
+        help="print the Incomplete/Complete trace of one IncrementalFD pass, "
+        "or (--out) profile a full run and dump a Chrome trace",
     )
-    _add_common_arguments(trace_parser)
+    trace_parser.add_argument(
+        "csv", nargs="*",
+        help="CSV files, one relation per file — or a workload name "
+        f"({', '.join(SERVE_WORKLOADS)})",
+    )
+    trace_parser.add_argument(
+        "--workload", choices=SERVE_WORKLOADS, default=None,
+        help="trace a generated workload instead of CSV files",
+    )
+    trace_parser.add_argument("--seed", type=int, default=0,
+                              help="seed for generated workloads (default: 0)")
+    trace_parser.add_argument(
+        "--null-token", default=csv_io.DEFAULT_NULL_TOKEN,
+        help="cell value treated as null (default: ⊥; empty cells are always null)",
+    )
+    trace_parser.add_argument("--use-index", action="store_true",
+                              help="enable the Section 7 hash index")
+    trace_parser.add_argument(
+        "--backend", choices=BACKENDS, default="serial",
+        help="execution backend for --out profiling runs",
+    )
+    trace_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the sharded backend (default: 2)",
+    )
     trace_parser.add_argument("--anchor", default=None,
                               help="anchor relation R_i (default: the first relation)")
+    trace_parser.add_argument(
+        "--out", default=None, metavar="TRACE.json",
+        help="run the full engine under the phase tracer and write "
+        "Chrome-trace-event JSON here (open in Perfetto) instead of "
+        "printing the one-pass Incomplete/Complete trace",
+    )
     trace_parser.set_defaults(handler=_command_trace)
 
     return parser

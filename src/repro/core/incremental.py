@@ -342,14 +342,17 @@ def incremental_fd(
     # against the catalog so every set the run derives from them carries the
     # bitset representation.  Under a bucket restriction the seeds are the
     # bucket's singletons only, in scan order.
-    if initial is None:
-        initial = (
-            TupleSet.singleton(t, catalog=catalog)
-            for t in database.relation(anchor_name)
-            if bucket is None or t in bucket
-        )
-    for tuple_set in initial:
-        incomplete.add(tuple_set.attach_catalog(catalog))
+    from repro.obs.tracing import trace_span
+
+    with trace_span("engine.initialize", "engine", anchor=anchor_name):
+        if initial is None:
+            initial = (
+                TupleSet.singleton(t, catalog=catalog)
+                for t in database.relation(anchor_name)
+                if bucket is None or t in bucket
+            )
+        for tuple_set in initial:
+            incomplete.add(tuple_set.attach_catalog(catalog))
     if on_initialized is not None:
         on_initialized(incomplete, complete)
 

@@ -42,6 +42,7 @@ from repro.core.pools import (
     PriorityIncompletePool as _ReferencePriorityIncompletePool,
 )
 from repro.core.tupleset import TupleSet
+from repro.obs.tracing import trace_span
 
 __all__ = [
     "PoolStatistics",
@@ -148,38 +149,43 @@ class CompleteStore:
         batching cannot observe a different store state), and ``sets_scanned``
         counts the same subset tests; only ``bucket_probes`` drops.
         """
-        if self._use_index and anchor is not None:
-            answers = [False] * len(probes)
-            groups = self._buckets.get(anchor)
-            if not groups:
+        # Span at bucket granularity only: the per-probe serial path is the
+        # per-step hot loop and stays untraced.
+        with trace_span("store.batch_probe", "store", probes=len(probes)):
+            if self._use_index and anchor is not None:
+                answers = [False] * len(probes)
+                groups = self._buckets.get(anchor)
+                if not groups:
+                    return answers
+                kernel = active_kernel()
+                unanswered = len(probes)
+                for relations, group in groups.items():
+                    self.statistics.bucket_probes += 1
+                    # A stored set can only contain a probe whose relation set
+                    # its own contains; the kernel sees only the open probes.
+                    open_indices = [
+                        index
+                        for index, probe in enumerate(probes)
+                        if not answers[index] and probe.relations <= relations
+                    ]
+                    if open_indices:
+                        group_answers, scanned = kernel.batch_contains_superset(
+                            group,
+                            [probes[index] for index in open_indices],
+                            cache=self._kernel_cache,
+                            cache_key=(anchor, relations),
+                        )
+                        self.statistics.sets_scanned += scanned
+                        for index, hit in zip(open_indices, group_answers):
+                            if hit:
+                                answers[index] = True
+                                unanswered -= 1
+                    if not unanswered:
+                        break  # every probe found a superset; mirror the serial early return
                 return answers
-            kernel = active_kernel()
-            unanswered = len(probes)
-            for relations, group in groups.items():
-                self.statistics.bucket_probes += 1
-                # A stored set can only contain a probe whose relation set
-                # its own contains; the kernel sees only the open probes.
-                open_indices = [
-                    index
-                    for index, probe in enumerate(probes)
-                    if not answers[index] and probe.relations <= relations
-                ]
-                if open_indices:
-                    group_answers, scanned = kernel.batch_contains_superset(
-                        group,
-                        [probes[index] for index in open_indices],
-                        cache=self._kernel_cache,
-                        cache_key=(anchor, relations),
-                    )
-                    self.statistics.sets_scanned += scanned
-                    for index, hit in zip(open_indices, group_answers):
-                        if hit:
-                            answers[index] = True
-                            unanswered -= 1
-                if not unanswered:
-                    break  # every probe found a superset; mirror the serial early return
-            return answers
-        return [self.contains_superset(probe, anchor=anchor) for probe in probes]
+            return [
+                self.contains_superset(probe, anchor=anchor) for probe in probes
+            ]
 
     def as_list(self) -> List[TupleSet]:
         """The stored sets in insertion (printing) order."""
@@ -203,6 +209,7 @@ class CompleteStore:
         dead = set(dead_tuples)
         if not dead or not self._sets:
             return []
+        span = trace_span("store.retract", "store", dead=len(dead))
         victims = set()
         if self._use_index:
             for t in dead:
@@ -219,6 +226,7 @@ class CompleteStore:
             flags = active_kernel().batch_contains_dead(members, dead)
             victims = {s for s, hit in zip(members, flags) if hit}
         if not victims:
+            span.close()
             return []
         # Retractions reshape the groups, so the packed group matrices are
         # rebuilt from scratch on the next probe.
@@ -248,6 +256,8 @@ class CompleteStore:
                         del groups[relations]
                 if not groups:
                     del self._buckets[t]
+        span.annotate(retracted=len(retracted))
+        span.close()
         return retracted
 
 

@@ -18,6 +18,7 @@ from repro.core.incremental import FDStatistics, get_next_result, incremental_fd
 from repro.core.scanner import make_scanner
 from repro.core.tupleset import TupleSet
 from repro.exec.base import ExecutionBackend
+from repro.obs.tracing import trace_span
 
 
 class SerialBackend(ExecutionBackend):
@@ -81,19 +82,24 @@ class SerialBackend(ExecutionBackend):
             earlier = {r.name for r in database.relations[:index]}
             scanner = make_scanner(database, block_size)
             pass_statistics = FDStatistics() if statistics is not None else None
-            for result in incremental_fd(
-                database,
-                relation.name,
-                use_index=use_index,
-                scanner=scanner,
-                statistics=pass_statistics,
-                backend=self,
-            ):
-                # Duplicate suppression: a result containing a tuple of an
-                # earlier relation was already produced by an earlier pass.
-                if any(result.contains_tuple_from(name) for name in earlier):
-                    continue
-                yield result
+            # The span covers the pass's wall clock as the consumer sees it
+            # (pauses between pulls included) — on a trace, that is where
+            # the serving time actually went.
+            with trace_span("engine.pass", "engine", anchor=relation.name):
+                for result in incremental_fd(
+                    database,
+                    relation.name,
+                    use_index=use_index,
+                    scanner=scanner,
+                    statistics=pass_statistics,
+                    backend=self,
+                ):
+                    # Duplicate suppression: a result containing a tuple of
+                    # an earlier relation was already produced by an earlier
+                    # pass.
+                    if any(result.contains_tuple_from(name) for name in earlier):
+                        continue
+                    yield result
             if statistics is not None and pass_statistics is not None:
                 pass_statistics.block_reads = getattr(scanner, "block_reads", 0)
                 statistics.merge(pass_statistics)

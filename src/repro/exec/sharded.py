@@ -204,7 +204,8 @@ def _bucket_range_worker(
     use_index: bool,
     block_size: Optional[int],
     kernel_name: Optional[str] = None,
-) -> TupleType[List[ResultKeys], FDStatistics]:
+    trace: bool = False,
+) -> TupleType[List[ResultKeys], FDStatistics, Optional[dict]]:
     """One bucket range of one ``IncrementalFD`` pass, inside a worker.
 
     Runs the batched pass restricted to the range's anchor tuples (the
@@ -213,6 +214,12 @@ def _bucket_range_worker(
     because labels are unique per relation.  The parent's kernel name rides
     along so workers run the same inner-loop implementation even when the
     parent selected it programmatically.
+
+    With ``trace=True`` the range runs under a fresh worker-local
+    :class:`~repro.obs.tracing.PhaseTracer` and its span log rides home as
+    the third slot — ``{"pid": worker pid, "events": [...]}`` — for the
+    parent to absorb during the plan-order merge.  Untraced calls carry
+    ``None`` there, keeping the future result shape uniform.
     """
     if kernel_name is not None:
         set_kernel(kernel_name)
@@ -224,18 +231,36 @@ def _bucket_range_worker(
     scanner = make_scanner(database, block_size)
     statistics = FDStatistics()
     results: List[ResultKeys] = []
-    for result in incremental_fd(
-        database,
-        anchor_name,
-        use_index=use_index,
-        scanner=scanner,
-        statistics=statistics,
-        backend=BatchedBackend(),
-        anchor_tuples=bucket,
-    ):
-        results.append(frozenset((t.relation_name, t.label) for t in result))
+
+    def run() -> None:
+        for result in incremental_fd(
+            database,
+            anchor_name,
+            use_index=use_index,
+            scanner=scanner,
+            statistics=statistics,
+            backend=BatchedBackend(),
+            anchor_tuples=bucket,
+        ):
+            results.append(
+                frozenset((t.relation_name, t.label) for t in result)
+            )
+
+    trace_payload: Optional[dict] = None
+    if trace:
+        from repro.obs.tracing import PhaseTracer, use_tracer
+
+        tracer = PhaseTracer()
+        with use_tracer(tracer):
+            with tracer.span(
+                "shard.range", "shard", anchor=anchor_name, labels=len(labels)
+            ):
+                run()
+        trace_payload = {"pid": os.getpid(), "events": tracer.events()}
+    else:
+        run()
     statistics.block_reads = getattr(scanner, "block_reads", 0)
-    return results, statistics
+    return results, statistics, trace_payload
 
 
 def _singleton_passes_worker(
@@ -444,10 +469,16 @@ class ShardedBackend(BatchedBackend):
                 executor = _shared_pool(workers)
                 kernel_name = active_kernel().name
                 payload = _database_payload(database)
+                # Workers trace when the parent is tracing: each range runs
+                # under a worker-local tracer and ships its span log home.
+                from repro.obs.tracing import get_tracer
+
+                parent_tracer = get_tracer()
                 futures = [
                     executor.submit(
                         _bucket_range_worker, payload, anchor_name, labels,
                         use_index, block_size, kernel_name,
+                        parent_tracer is not None,
                     )
                     for anchor_name, labels in tasks
                 ]
@@ -478,9 +509,18 @@ class ShardedBackend(BatchedBackend):
                     FDStatistics() if statistics is not None else None
                 )
                 for _ in ranges:
-                    keys_list, range_statistics = (
+                    keys_list, range_statistics, range_trace = (
                         first_output if cursor == 0 else futures[cursor].result()
                     )
+                    if parent_tracer is not None and range_trace is not None:
+                        # Worker spans join the parent's trace during the same
+                        # plan-order merge the results take, attributed by
+                        # range id and true worker pid.
+                        parent_tracer.absorb(
+                            range_trace["events"],
+                            pid=range_trace["pid"],
+                            range_id=cursor,
+                        )
                     cursor += 1
                     for keys in keys_list:
                         if any(name in earlier for name, _ in keys):

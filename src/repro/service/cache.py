@@ -51,6 +51,8 @@ from collections import OrderedDict
 from typing import Iterator, Optional, Tuple as TupleType
 
 from repro.core.incremental import FDStatistics
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.tracing import trace_span
 from repro.relational.database import Database
 from repro.service.session import QuerySession, ResultLog, make_result_source
 
@@ -152,7 +154,9 @@ class PrefixCache:
     incompatible generation), ``evictions`` (capacity pressure).
     """
 
-    def __init__(self, capacity: int = 32):
+    def __init__(
+        self, capacity: int = 32, registry: Optional[MetricsRegistry] = None
+    ):
         if capacity < 1:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
@@ -162,6 +166,31 @@ class PrefixCache:
         self.invalidations = 0
         self.revalidations = 0
         self.evictions = 0
+        # Live series mirror the int counters so a scrape sees cache
+        # behaviour without a ``stats`` round trip; children are resolved
+        # once here so the serving path pays one ``inc()`` per event.
+        registry = registry if registry is not None else get_registry()
+        self._m_hits = registry.counter(
+            "repro_cache_hits_total", "Prefix-cache lookups served from a live log."
+        )
+        self._m_misses = registry.counter(
+            "repro_cache_misses_total", "Prefix-cache lookups that started a fresh run."
+        )
+        self._m_invalidations = registry.counter(
+            "repro_cache_invalidations_total",
+            "Cached logs dropped because the database moved generations.",
+        )
+        self._m_revalidations = registry.counter(
+            "repro_cache_revalidations_total",
+            "Cached prefixes revalidated across a deletion-only epoch.",
+        )
+        self._m_evictions = registry.counter(
+            "repro_cache_evictions_total",
+            "Cached logs evicted by LRU capacity pressure.",
+        )
+        self._m_entries = registry.gauge(
+            "repro_cache_entries", "Live entries currently held by the prefix cache."
+        )
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -181,6 +210,7 @@ class PrefixCache:
         unhashable option set (a ranking callable, say) so separate clients
         can share it deliberately.
         """
+        span = trace_span("cache.open", "cache", engine=engine)
         key = _query_key(database, engine, options, cache_tag)
         entry = self._entries.get(key)
         if entry is not None and entry.log.closed:
@@ -199,6 +229,9 @@ class PrefixCache:
                 )
             self._entries.move_to_end(key)
             self.hits += 1
+            self._m_hits.inc()
+            span.annotate(outcome="hit")
+            span.close()
             return QuerySession(entry.log, owns_log=False, name=name)
         self._drop_stale(database)
         statistics = options.pop("statistics", None) or FDStatistics()
@@ -208,12 +241,17 @@ class PrefixCache:
         log = ResultLog(source, statistics=statistics)
         self._entries[key] = _Entry(log, database.catalog().tuple_count)
         self.misses += 1
+        self._m_misses.inc()
         while len(self._entries) > self.capacity:
             _, evicted = self._entries.popitem(last=False)
             evicted.log.close(
                 "the shared result log was evicted from the prefix cache"
             )
             self.evictions += 1
+            self._m_evictions.inc()
+        self._m_entries.set(len(self._entries))
+        span.annotate(outcome="miss")
+        span.close()
         return QuerySession(log, owns_log=False, name=name)
 
     # ------------------------------------------------------------------ #
@@ -267,6 +305,7 @@ class PrefixCache:
             entry.log.seal(_SEAL_REASON)
             self._entries[key] = entry
             self.revalidations += 1
+            self._m_revalidations.inc()
             return entry
         return None
 
@@ -312,24 +351,29 @@ class PrefixCache:
         current = ("generation", database.generation)
         marker = ("db", database)
         revalidated = invalidated = 0
-        for old_key in list(self._entries):
-            if old_key[0] != marker or old_key[1] == current:
-                continue
-            entry = self._entries.pop(old_key)
-            new_key = (old_key[0], current) + old_key[2:]
-            if new_key not in self._entries and self._eligible(
-                entry, old_key[1][1], current[1], catalog
-            ):
-                entry.log.seal(_SEAL_REASON)
-                self._entries[new_key] = entry
-                self.revalidations += 1
-                revalidated += 1
-            else:
-                entry.log.close(
-                    "the database moved to a new generation; reopen the query"
-                )
-                self.invalidations += 1
-                invalidated += 1
+        with trace_span("cache.revalidate", "cache") as span:
+            for old_key in list(self._entries):
+                if old_key[0] != marker or old_key[1] == current:
+                    continue
+                entry = self._entries.pop(old_key)
+                new_key = (old_key[0], current) + old_key[2:]
+                if new_key not in self._entries and self._eligible(
+                    entry, old_key[1][1], current[1], catalog
+                ):
+                    entry.log.seal(_SEAL_REASON)
+                    self._entries[new_key] = entry
+                    self.revalidations += 1
+                    self._m_revalidations.inc()
+                    revalidated += 1
+                else:
+                    entry.log.close(
+                        "the database moved to a new generation; reopen the query"
+                    )
+                    self.invalidations += 1
+                    self._m_invalidations.inc()
+                    invalidated += 1
+            self._m_entries.set(len(self._entries))
+            span.annotate(revalidated=revalidated, invalidated=invalidated)
         return {"revalidated": revalidated, "invalidated": invalidated}
 
     def invalidate(self, database: Database) -> int:
@@ -363,6 +407,8 @@ class PrefixCache:
                 "the database moved to a new generation; reopen the query"
             )
             self.invalidations += 1
+            self._m_invalidations.inc()
+        self._m_entries.set(len(self._entries))
         return len(stale)
 
     def clear(self) -> None:
@@ -370,6 +416,7 @@ class PrefixCache:
         for entry in self._entries.values():
             entry.log.close("the prefix cache was cleared")
         self._entries.clear()
+        self._m_entries.set(0)
 
     def stats(self) -> dict:
         return {

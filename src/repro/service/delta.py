@@ -76,6 +76,7 @@ from repro.core.ranking import canonical_rank_key
 from repro.core.scanner import TupleScanner
 from repro.core.store import CompleteStore, ListIncompletePool, record_store_statistics
 from repro.core.tupleset import TupleSet
+from repro.obs.tracing import trace_span
 from repro.relational.database import Database
 from repro.relational.errors import SchemaError
 from repro.service.session import QuerySession, ResultLog, Retraction
@@ -254,7 +255,8 @@ class StreamingFullDisjunction:
         on this.  Sessions may lazily pull first-k results beforehand; primes
         are idempotent.
         """
-        self._log.exhaust_source()
+        with trace_span("delta.prime", "delta"):
+            self._log.exhaust_source()
         self._primed = True
         if self._state is not None:
             # Flush the base run's store counters; record_statistics is
@@ -347,18 +349,19 @@ class StreamingFullDisjunction:
                     f"schema has {expected} attributes"
                 )
         counters = self._counters()
-        fresh: list = []
-        for arrival in arrivals:
-            fresh.append(
-                self.database.add_tuple(
-                    arrival.relation_name,
-                    arrival.values,
-                    importance=arrival.importance,
-                    probability=arrival.probability,
+        with trace_span("delta.ingest", "delta", arrivals=len(arrivals)):
+            fresh: list = []
+            for arrival in arrivals:
+                fresh.append(
+                    self.database.add_tuple(
+                        arrival.relation_name,
+                        arrival.values,
+                        importance=arrival.importance,
+                        probability=arrival.probability,
+                    )
                 )
-            )
-        self.arrivals_applied += len(arrivals)
-        emitted = self._emit_arrival_delta(fresh)
+            self.arrivals_applied += len(arrivals)
+            emitted = self._emit_arrival_delta(fresh)
         return self._record(
             counters, arrivals=len(arrivals), results_emitted=emitted
         )
@@ -392,15 +395,16 @@ class StreamingFullDisjunction:
                 )
             targets.add(key)
         counters = self._counters()
-        dead = [
-            self.database.remove_tuple(removal.relation_name, removal.label)
-            for removal in removals
-        ]
-        self.mutations_applied += len(removals)
-        retracted, new_items = self._retract_and_rederive(dead)
-        if self._state is not None:
-            new_items.sort(key=canonical_rank_key)
-        self._append_results(new_items)
+        with trace_span("delta.retract", "delta", removals=len(removals)):
+            dead = [
+                self.database.remove_tuple(removal.relation_name, removal.label)
+                for removal in removals
+            ]
+            self.mutations_applied += len(removals)
+            retracted, new_items = self._retract_and_rederive(dead)
+            if self._state is not None:
+                new_items.sort(key=canonical_rank_key)
+            self._append_results(new_items)
         return self._record(
             counters,
             removals=len(removals),
@@ -445,35 +449,37 @@ class StreamingFullDisjunction:
                 continue  # a no-op: nothing to retract, nothing to emit
             effective.append((update, resolved[0]))
         counters = self._counters()
-        dead: list = []
-        fresh: list = []
-        for update, old in effective:
-            fresh.append(
-                self.database.update_tuple(
-                    update.relation_name,
-                    update.label,
-                    tuple(update.values),
-                    importance=update.importance,
-                    probability=update.probability,
+        with trace_span("delta.update", "delta", updates=len(effective)):
+            dead: list = []
+            fresh: list = []
+            for update, old in effective:
+                fresh.append(
+                    self.database.update_tuple(
+                        update.relation_name,
+                        update.label,
+                        tuple(update.values),
+                        importance=update.importance,
+                        probability=update.probability,
+                    )
                 )
-            )
-            dead.append(old)
-        self.mutations_applied += len(effective)
-        retracted, rederived = self._retract_and_rederive(dead)
-        if self._state is not None:
-            # One canonical rank order across everything the batch created:
-            # the re-derived results and the drained arrival delta together,
-            # exactly as a full ranked recompute would order them.
-            self._state.ingest(fresh)
-            drained = self._state.drain_new()
-            self._state.record_statistics()
-            combined = rederived + drained
-            combined.sort(key=canonical_rank_key)
-            self._append_results(combined)
-            emitted = len(combined)
-        else:
-            self._append_results(rederived)
-            emitted = len(rederived) + self._emit_arrival_delta(fresh)
+                dead.append(old)
+            self.mutations_applied += len(effective)
+            retracted, rederived = self._retract_and_rederive(dead)
+            if self._state is not None:
+                # One canonical rank order across everything the batch
+                # created: the re-derived results and the drained arrival
+                # delta together, exactly as a full ranked recompute would
+                # order them.
+                self._state.ingest(fresh)
+                drained = self._state.drain_new()
+                self._state.record_statistics()
+                combined = rederived + drained
+                combined.sort(key=canonical_rank_key)
+                self._append_results(combined)
+                emitted = len(combined)
+            else:
+                self._append_results(rederived)
+                emitted = len(rederived) + self._emit_arrival_delta(fresh)
         return self._record(
             counters,
             # Count the updates that took effect, consistently with

@@ -57,6 +57,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 from typing import Dict, List, Optional, Tuple as TupleType
 
 from repro.core.approx_join import (
@@ -73,6 +74,8 @@ from repro.relational.errors import (
     RelationError,
     SchemaError,
 )
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.tracing import trace_span
 from repro.relational.nulls import is_null
 from repro.relational.operators import combined_schema, pad_tuple_set
 from repro.service.cache import PrefixCache
@@ -123,10 +126,14 @@ class QueryServer:
         database: Database,
         use_index: bool = True,
         cache: Optional[PrefixCache] = None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.database = database
         self.use_index = use_index
-        self.cache = cache if cache is not None else PrefixCache()
+        self.registry = registry if registry is not None else get_registry()
+        self.cache = (
+            cache if cache is not None else PrefixCache(registry=self.registry)
+        )
         self.backend = AsyncBackend()
         self.maintainer = StreamingFullDisjunction(database, use_index=use_index)
         self._sessions: Dict[str, QuerySession] = {}
@@ -134,8 +141,39 @@ class QueryServer:
         self._ranked_sessions: set = set()
         #: Names of sessions whose results cross as padded row objects.
         self._padded_sessions: set = set()
+        #: Which engine each live session was opened with (latency labels).
+        self._session_engines: Dict[str, str] = {}
         self._session_counter = 0
         self.requests = 0
+        self.started_at = time.monotonic()
+        # Metric children are resolved once here: the request path pays one
+        # ``labels()`` dict probe plus one ``observe()``/``inc()`` per event
+        # (and plain no-ops when the registry is disabled).
+        self._m_requests = self.registry.counter(
+            "repro_requests_total", "Requests handled, by wire op.", ("op",)
+        )
+        self._m_errors = self.registry.counter(
+            "repro_request_errors_total",
+            "Requests answered with ok=false, by wire op.",
+            ("op",),
+        )
+        self._m_latency = self.registry.histogram(
+            "repro_request_latency_seconds",
+            "Wall-clock latency of one request, by wire op.",
+            ("op",),
+        )
+        self._m_engine_latency = self.registry.histogram(
+            "repro_engine_latency_seconds",
+            "Latency of session opens and next-batch pulls, by engine.",
+            ("engine", "phase"),
+        )
+        self._m_ingest_lag = self.registry.gauge(
+            "repro_ingest_lag_seconds",
+            "Monotonic time from ingest receipt to maintainer apply, last batch.",
+        )
+        self._m_sessions = self.registry.gauge(
+            "repro_live_sessions", "Query sessions currently open."
+        )
 
     # ------------------------------------------------------------------ #
     # request handling
@@ -143,17 +181,49 @@ class QueryServer:
     async def handle_request(
         self, request: dict, connection_sessions: Optional[set] = None
     ) -> dict:
+        """Dispatch one wire request, timed: every op lands in the per-op
+        latency histogram and (as a complete span) on the active tracer."""
         self.requests += 1
-        op = request.get("op")
+        op = str(request.get("op"))
+        start = time.perf_counter()
+        span = trace_span(f"op.{op}", "server")
+        ok = False
+        try:
+            response = await self._dispatch(op, request, connection_sessions)
+            ok = bool(response.get("ok"))
+            return response
+        finally:
+            self._m_requests.labels(op=op).inc()
+            if not ok:
+                self._m_errors.labels(op=op).inc()
+            self._m_latency.labels(op=op).observe(time.perf_counter() - start)
+            span.close()
+
+    async def _dispatch(
+        self, op: str, request: dict, connection_sessions: Optional[set]
+    ) -> dict:
         if op == "ping":
             return {"ok": True, "pong": True}
         if op == "open":
+            engine = str(request.get("engine", "fd"))
+            started = time.perf_counter()
             response = self._open(request)
+            self._m_engine_latency.labels(engine=engine, phase="open").observe(
+                time.perf_counter() - started
+            )
             if connection_sessions is not None and response.get("ok"):
                 connection_sessions.add(response["session"])
             return response
         if op == "next":
-            return await self._next(request)
+            engine = self._session_engines.get(
+                request.get("session"), "unknown"
+            )
+            started = time.perf_counter()
+            response = await self._next(request)
+            self._m_engine_latency.labels(engine=engine, phase="next").observe(
+                time.perf_counter() - started
+            )
+            return response
         if op == "peek":
             return self._peek(request)
         if op == "close":
@@ -167,19 +237,31 @@ class QueryServer:
         if op == "update":
             return self._update(request)
         if op == "stats":
-            from repro.core.kernels import active_kernel
-
-            return {
-                "ok": True,
-                "cache": self.cache.stats(),
-                "sessions": len(self._sessions),
-                "requests": self.requests,
-                "steps": dict(self.backend.steps),
-                "kernel": active_kernel().name,
-                "arrivals_applied": self.maintainer.arrivals_applied,
-                "mutations_applied": self.maintainer.mutations_applied,
-            }
+            response = {"ok": True, **server_stats(self)}
+            if request.get("detail") == "metrics":
+                response["metrics"] = self.registry.snapshot()
+            return response
         return {"ok": False, "error": f"unknown op {op!r}"}
+
+    # ------------------------------------------------------------------ #
+    # observability surfaces
+    # ------------------------------------------------------------------ #
+    def render_metrics(self) -> str:
+        """The registry as a Prometheus text page (the sidecar's /metrics)."""
+        return self.registry.render()
+
+    def health(self) -> dict:
+        """The liveness summary the sidecar serves as /health."""
+        from repro.core.kernels import active_kernel
+
+        return {
+            "status": "ok",
+            "sessions": len(self._sessions),
+            "requests": self.requests,
+            "epoch": self.database.epoch,
+            "kernel": active_kernel().name,
+            "uptime_seconds": time.monotonic() - self.started_at,
+        }
 
     #: Request keys every ``open`` understands, plus the per-engine extras.
     #: ``use_index`` is per-query, so the ``stream`` engine — which serves
@@ -264,6 +346,8 @@ class QueryServer:
         else:
             return {"ok": False, "error": f"unknown engine {engine!r}"}
         self._sessions[name] = session
+        self._session_engines[name] = engine
+        self._m_sessions.set(len(self._sessions))
         if ranked:
             self._ranked_sessions.add(name)
         if render_format == "padded":
@@ -377,14 +461,20 @@ class QueryServer:
         del self._sessions[request["session"]]
         self._ranked_sessions.discard(request["session"])
         self._padded_sessions.discard(request["session"])
+        self._session_engines.pop(request["session"], None)
+        self._m_sessions.set(len(self._sessions))
         return {"ok": True}
 
     def _ingest(self, request: dict) -> dict:
+        received = time.monotonic()
         tuples = request.get("tuples", [])
         arrivals = [
             Arrival(entry[0], tuple(entry[1]), *entry[2:]) for entry in tuples
         ]
         record = self.maintainer.ingest(arrivals)
+        # Ingest lag: receipt of the batch to the maintainer having applied
+        # it — the freshness bound a reader of the live stream observes.
+        self._m_ingest_lag.set(time.monotonic() - received)
         # Eagerly kill cached fd/approx logs of the old generation: an open
         # session straddling the ingest must fail fast ("reopen the query")
         # on its next deep pull, not stream from a generator that now
@@ -496,8 +586,10 @@ class QueryServer:
                 session = self._sessions.pop(name, None)
                 self._ranked_sessions.discard(name)
                 self._padded_sessions.discard(name)
+                self._session_engines.pop(name, None)
                 if session is not None:
                     session.close()
+            self._m_sessions.set(len(self._sessions))
             writer.close()
             # Swallow cancellation too: when the server is closed while this
             # handler still awaits, ending the coroutine normally (we are
@@ -507,6 +599,28 @@ class QueryServer:
                 await writer.wait_closed()
             except (ConnectionError, OSError, asyncio.CancelledError):  # pragma: no cover
                 pass
+
+
+def server_stats(state: QueryServer) -> dict:
+    """The one shared shape of a server's self-description.
+
+    Both consumers — the ``stats`` wire op and ``run_server``'s smoke
+    summary — build on this, so a field added here shows up in both and
+    the two can't drift.
+    """
+    from repro.core.kernels import active_kernel
+
+    return {
+        "cache": state.cache.stats(),
+        "sessions": len(state._sessions),
+        "requests": state.requests,
+        "steps": dict(state.backend.steps),
+        "kernel": active_kernel().name,
+        "arrivals_applied": state.maintainer.arrivals_applied,
+        "mutations_applied": state.maintainer.mutations_applied,
+        "epoch": state.database.epoch,
+        "uptime_seconds": time.monotonic() - state.started_at,
+    }
 
 
 async def start_server(
@@ -606,14 +720,7 @@ async def _smoke(
     finally:
         server.close()
         await server.wait_closed()
-    from repro.core.kernels import active_kernel
-
-    return {
-        "per_client": per_client,
-        "cache": state.cache.stats(),
-        "requests": state.requests,
-        "kernel": active_kernel().name,
-    }
+    return {"per_client": per_client, **server_stats(state)}
 
 
 def run_smoke(

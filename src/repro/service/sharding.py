@@ -43,8 +43,16 @@ import hashlib
 import json
 import multiprocessing
 import pickle
+import time
 from typing import Dict, List, Optional, Tuple as TupleType
 
+from repro.obs.metrics import (
+    MetricsRegistry,
+    get_registry,
+    labeled_snapshot,
+    merge_snapshots,
+    render_snapshot,
+)
 from repro.relational.database import Database
 from repro.service.server import client_call, start_server
 
@@ -191,6 +199,7 @@ class ShardedQueryServer:
         max_sessions_per_shard: int = 256,
         max_queue_per_shard: int = 64,
         retry_after_ms: int = 50,
+        registry: Optional[MetricsRegistry] = None,
     ):
         if max_sessions_per_shard < 1:
             raise ValueError("max_sessions_per_shard must be positive")
@@ -206,12 +215,38 @@ class ShardedQueryServer:
         self._session_counter = 0
         self.requests = 0
         self.busy_rejections = 0
+        self.started_at = time.monotonic()
+        # The router's own live series; shard registries are *aggregated*
+        # on demand (``stats {"detail": "metrics"}`` / the sidecar) with a
+        # ``shard`` label stamped per replica.
+        self.registry = registry if registry is not None else get_registry()
+        self._m_requests = self.registry.counter(
+            "repro_router_requests_total", "Requests handled by the router."
+        )
+        self._m_busy = self.registry.counter(
+            "repro_router_busy_rejections_total",
+            "Requests refused busy by admission control.",
+        )
+        self._m_queue = self.registry.gauge(
+            "repro_router_queue_depth",
+            "Admitted requests in flight toward one shard.",
+            ("shard",),
+        )
+        self._m_shard_sessions = self.registry.gauge(
+            "repro_router_shard_sessions",
+            "Live sessions routed to one shard.",
+            ("shard",),
+        )
+        self._m_sessions = self.registry.gauge(
+            "repro_router_sessions", "Live sessions across the deployment."
+        )
 
     # ------------------------------------------------------------------ #
     # admission control
     # ------------------------------------------------------------------ #
     def _busy(self, shard: ShardHandle, what: str) -> dict:
         self.busy_rejections += 1
+        self._m_busy.inc()
         return {
             "ok": False,
             "busy": True,
@@ -224,10 +259,13 @@ class ShardedQueryServer:
         if shard.pending >= self.max_queue_per_shard:
             return self._busy(shard, "queue")
         shard.pending += 1
+        gauge = self._m_queue.labels(shard=shard.index)
+        gauge.set(shard.pending)
         try:
             return await shard.call(request)
         finally:
             shard.pending -= 1
+            gauge.set(shard.pending)
 
     # ------------------------------------------------------------------ #
     # request handling
@@ -236,6 +274,7 @@ class ShardedQueryServer:
         self, request: dict, connection_sessions: Optional[set] = None
     ) -> dict:
         self.requests += 1
+        self._m_requests.inc()
         op = request.get("op")
         if op == "ping":
             return {"ok": True, "pong": True, "shards": len(self.shards)}
@@ -246,7 +285,7 @@ class ShardedQueryServer:
         if op in self._BROADCAST_OPS:
             return await self._broadcast(request)
         if op == "stats":
-            return await self._stats()
+            return await self._stats(detail=request.get("detail"))
         return {"ok": False, "error": f"unknown op {op!r}"}
 
     async def _open(
@@ -263,6 +302,7 @@ class ShardedQueryServer:
         name = f"g{self._session_counter}"
         self._session_map[name] = (shard, local_name)
         shard.sessions.add(name)
+        self._track_sessions(shard)
         if connection_sessions is not None:
             connection_sessions.add(name)
         response["session"] = name
@@ -283,9 +323,14 @@ class ShardedQueryServer:
         if op == "close" and response.get("ok"):
             self._session_map.pop(name, None)
             shard.sessions.discard(name)
+            self._track_sessions(shard)
             if connection_sessions is not None:
                 connection_sessions.discard(name)
         return response
+
+    def _track_sessions(self, shard: ShardHandle) -> None:
+        self._m_shard_sessions.labels(shard=shard.index).set(len(shard.sessions))
+        self._m_sessions.set(len(self._session_map))
 
     async def _broadcast(self, request: dict) -> dict:
         """Apply a mutation to every shard, in shard order.
@@ -312,31 +357,83 @@ class ShardedQueryServer:
         first["shards_applied"] = len(self.shards)
         return first
 
-    async def _stats(self) -> dict:
+    async def _stats(self, detail: Optional[str] = None) -> dict:
+        upstream_request = {"op": "stats"}
+        if detail == "metrics":
+            upstream_request["detail"] = "metrics"
         per_shard = []
+        shard_snapshots = []
+        shard_requests = 0
         for shard in self.shards:
-            upstream = await self._forward(shard, {"op": "stats"})
+            upstream = await self._forward(shard, upstream_request)
+            shard_requests += int(upstream.get("requests") or 0)
             per_shard.append(
                 {
                     "shard": shard.index,
                     "sessions": len(shard.sessions),
                     "queue_depth": shard.pending,
                     "requests": shard.requests,
+                    "server_requests": upstream.get("requests"),
                     "cache": upstream.get("cache"),
                     "kernel": upstream.get("kernel"),
                 }
             )
-        return {
+            if detail == "metrics" and upstream.get("metrics") is not None:
+                shard_snapshots.append(
+                    labeled_snapshot(upstream["metrics"], shard=shard.index)
+                )
+        response = {
             "ok": True,
             "shards": len(self.shards),
             "sessions": len(self._session_map),
+            # The whole deployment in one call: how long this router has
+            # been up, every session it ever admitted, and the requests the
+            # shard servers processed on its behalf.
+            "uptime_seconds": time.monotonic() - self.started_at,
+            "sessions_total": self._session_counter,
             "requests": self.requests,
+            "requests_aggregate": shard_requests,
             "busy_rejections": self.busy_rejections,
             "limits": {
                 "max_sessions_per_shard": self.max_sessions_per_shard,
                 "max_queue_per_shard": self.max_queue_per_shard,
             },
             "per_shard": per_shard,
+        }
+        if detail == "metrics":
+            response["metrics"] = merge_snapshots(
+                [labeled_snapshot(self.registry.snapshot(), shard="router")]
+                + shard_snapshots
+            )
+        return response
+
+    # ------------------------------------------------------------------ #
+    # observability surfaces
+    # ------------------------------------------------------------------ #
+    async def render_metrics(self) -> str:
+        """One Prometheus page for the deployment: router + every shard.
+
+        Shard registries cross the wire as snapshots (the ``stats`` metrics
+        detail) and are stamped with a ``shard`` label before merging, so
+        same-named series stay attributed per replica.
+        """
+        stats = await self._stats(detail="metrics")
+        return render_snapshot(stats["metrics"])
+
+    async def health(self) -> dict:
+        """Deployment liveness: the router plus per-shard process aliveness."""
+        shard_health = []
+        alive = 0
+        for shard in self.shards:
+            is_alive = shard.process is None or shard.process.is_alive()
+            alive += bool(is_alive)
+            shard_health.append({"shard": shard.index, "alive": bool(is_alive)})
+        return {
+            "status": "ok" if alive == len(self.shards) else "degraded",
+            "shards": shard_health,
+            "sessions": len(self._session_map),
+            "requests": self.requests,
+            "uptime_seconds": time.monotonic() - self.started_at,
         }
 
     # ------------------------------------------------------------------ #
@@ -375,6 +472,7 @@ class ShardedQueryServer:
                     continue
                 shard, local_name = routed
                 shard.sessions.discard(name)
+                self._track_sessions(shard)
                 try:
                     await shard.call({"op": "close", "session": local_name})
                 except (ConnectionError, OSError):  # pragma: no cover

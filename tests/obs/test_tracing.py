@@ -1,0 +1,130 @@
+"""The phase tracer: spans, the global hook, absorption, Chrome dumps."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.obs import (
+    NULL_SPAN,
+    PhaseTracer,
+    get_tracer,
+    summarize_events,
+    trace_instant,
+    trace_span,
+    use_tracer,
+)
+
+
+class TestSpans:
+    def test_span_records_on_close_with_args(self):
+        tracer = PhaseTracer(pid=7)
+        with tracer.span("engine.pass", "engine", anchor="R1") as span:
+            span.annotate(results=3)
+        (event,) = tracer.events()
+        assert event["name"] == "engine.pass"
+        assert event["cat"] == "engine"
+        assert event["ph"] == "X"
+        assert event["pid"] == 7
+        assert event["dur"] >= 0
+        assert event["args"] == {"anchor": "R1", "results": 3}
+
+    def test_double_close_records_once(self):
+        tracer = PhaseTracer()
+        span = tracer.span("once")
+        span.close()
+        span.close()
+        assert len(tracer) == 1
+
+    def test_instant_marker(self):
+        tracer = PhaseTracer()
+        tracer.instant("ingest", arrivals=2)
+        (event,) = tracer.events()
+        assert event["ph"] == "i"
+        assert event["args"] == {"arrivals": 2}
+
+    def test_spans_are_thread_safe(self):
+        tracer = PhaseTracer()
+
+        def work():
+            for _ in range(50):
+                tracer.span("t").close()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(tracer) == 200
+
+
+class TestGlobalHook:
+    def test_trace_span_without_tracer_is_the_null_span(self):
+        assert get_tracer() is None
+        span = trace_span("anything", probes=9)
+        assert span is NULL_SPAN
+        span.annotate(x=1)
+        span.close()
+        trace_instant("nothing")  # must not raise
+
+    def test_use_tracer_installs_and_restores(self):
+        tracer = PhaseTracer()
+        with use_tracer(tracer):
+            assert get_tracer() is tracer
+            with trace_span("inner", "cat", k=1):
+                pass
+            trace_instant("mark")
+        assert get_tracer() is None
+        names = [event["name"] for event in tracer.events()]
+        assert names == ["inner", "mark"]
+
+    def test_use_tracer_nests(self):
+        outer, inner = PhaseTracer(), PhaseTracer()
+        with use_tracer(outer):
+            with use_tracer(inner):
+                trace_span("deep").close()
+            trace_span("shallow").close()
+        assert [e["name"] for e in inner.events()] == ["deep"]
+        assert [e["name"] for e in outer.events()] == ["shallow"]
+
+
+class TestAbsorption:
+    def test_absorb_restamps_pid_and_merges_args(self):
+        worker = PhaseTracer(pid=111)
+        worker.span("shard.range", "shard", labels=4).close()
+        parent = PhaseTracer(pid=1)
+        parent.absorb(worker.events(), pid=2222, range_id=5)
+        (event,) = parent.events()
+        assert event["pid"] == 2222
+        assert event["args"] == {"labels": 4, "range_id": 5}
+
+    def test_absorb_leaves_the_source_events_alone(self):
+        worker = PhaseTracer(pid=3)
+        worker.span("w").close()
+        before = worker.events()
+        PhaseTracer().absorb(before, pid=9, extra="x")
+        assert worker.events() == before
+
+
+class TestDump:
+    def test_chrome_trace_shape_and_dump(self, tmp_path):
+        tracer = PhaseTracer()
+        tracer.span("phase", "cat").close()
+        path = tracer.dump(str(tmp_path / "trace.json"))
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert set(document) == {"traceEvents", "displayTimeUnit"}
+        (event,) = document["traceEvents"]
+        assert {"name", "cat", "ph", "ts", "dur", "pid", "tid"} <= set(event)
+
+    def test_summarize_events(self):
+        tracer = PhaseTracer()
+        for _ in range(3):
+            tracer.span("a").close()
+        tracer.span("b").close()
+        tracer.instant("ignored")
+        summary = summarize_events(tracer.events())
+        assert summary["a"]["count"] == 3
+        assert summary["b"]["count"] == 1
+        assert "ignored" not in summary
+        assert summary["a"]["max_us"] <= summary["a"]["total_us"]
