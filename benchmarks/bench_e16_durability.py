@@ -1,0 +1,254 @@
+"""E16 — durability: recovery time, fsync-batched ingest overhead, follower lag.
+
+Three claims about the PR 9 storage layer, measured on the E6-shaped star
+workload:
+
+* **Recovery beats cold recompute.**  Restarting from snapshot + WAL tail
+  (including the persisted cached first-k prefix, served with *zero*
+  recompute) is compared against rebuilding the same state from scratch —
+  reapplying every mutation through the delta maintainer and recomputing
+  the stream.  Both arms must produce byte-identical streams.
+* **The WAL is cheap.**  Group-committed fsync (one ``fsync`` per
+  ``DEFAULT_FSYNC_EVERY`` appends) keeps durable ingest within **10%** of
+  the identical no-WAL serving run — the delta maintenance dominates, the
+  log rides along.
+* **Followers keep up.**  A follower tailing the primary's WAL while the
+  primary ingests applies every record; the table reports the observed
+  replication lag distribution.
+
+Set ``REPRO_BENCH_SMOKE=1`` to shrink the sweep (used by the CI smoke job).
+"""
+
+import asyncio
+import os
+import tempfile
+import time
+
+from repro.obs import MetricsRegistry
+from repro.service.cache import database_generation
+from repro.service.follower import open_follower_server
+from repro.service.server import QueryServer, open_durable_server
+from repro.workloads.generators import star_database
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+#: Timed runs per arm; the best of each arm is compared (load spikes hit
+#: single runs, not minima).
+REPEATS = 3 if SMOKE else 5
+
+#: Ingest batches applied per run.
+BATCHES = 12 if SMOKE else 40
+
+#: The headline bound: durable ingest best over no-WAL best, minus one.
+MAX_OVERHEAD = 0.10
+
+
+def _database():
+    return star_database(spokes=3, tuples_per_relation=5, hub_domain=2, seed=4)
+
+
+def _ingest_request(index: int) -> dict:
+    relation = f"S{index % 3 + 1}"
+    return {
+        "op": "ingest",
+        "tuples": [[relation, [f"h{index % 2 + 1}", f"e16_{index}"]]],
+    }
+
+
+async def _apply_batches(state: QueryServer, count: int) -> None:
+    for index in range(count):
+        response = await state.handle_request(_ingest_request(index))
+        assert response.get("ok"), response
+
+
+async def _fd_stream(state: QueryServer):
+    opened = await state.handle_request({"op": "open", "engine": "fd"})
+    assert opened.get("ok"), opened
+    pulled = await state.handle_request(
+        {"op": "next", "session": opened["session"], "k": 1_000_000}
+    )
+    await state.handle_request({"op": "close", "session": opened["session"]})
+    return opened, pulled["results"]
+
+
+# ---------------------------------------------------------------------- #
+# arm 1: recovery vs cold recompute
+# ---------------------------------------------------------------------- #
+def _prepare_crashed_dir(data_dir: str) -> list:
+    """A data directory left behind by a 'crashed' primary; returns its stream."""
+    state = open_durable_server(
+        _database(), data_dir, snapshot_every=16, registry=MetricsRegistry()
+    )
+    asyncio.run(_apply_batches(state, BATCHES))
+    _, stream = asyncio.run(_fd_stream(state))  # materialize the cached prefix
+    snapped = asyncio.run(state.handle_request({"op": "snapshot"}))
+    assert snapped["ok"], snapped
+    state.store.close()  # crash: WAL sealed by the OS, no graceful shutdown
+    return stream
+
+
+def _timed_recovery(data_dir: str):
+    started = time.perf_counter()
+    state = open_durable_server(None, data_dir, registry=MetricsRegistry())
+    opened, stream = asyncio.run(_fd_stream(state))
+    elapsed = time.perf_counter() - started
+    state.store.close()
+    return elapsed, opened, stream, state
+
+
+def _timed_cold_recompute():
+    started = time.perf_counter()
+    state = QueryServer(_database(), registry=MetricsRegistry())
+    asyncio.run(_apply_batches(state, BATCHES))
+    opened, stream = asyncio.run(_fd_stream(state))
+    return time.perf_counter() - started, opened, stream, state
+
+
+# ---------------------------------------------------------------------- #
+# arm 2: fsync-batched WAL overhead on the ingest path
+# ---------------------------------------------------------------------- #
+def _timed_ingest(durable: bool, data_dir=None):
+    if durable:
+        state = open_durable_server(
+            _database(), data_dir, snapshot_every=None, registry=MetricsRegistry()
+        )
+    else:
+        state = QueryServer(_database(), registry=MetricsRegistry())
+    started = time.perf_counter()
+    asyncio.run(_apply_batches(state, BATCHES))
+    elapsed = time.perf_counter() - started
+    if durable:
+        state.store.close()
+    return elapsed, state
+
+
+def _best_ingest_runs(workdir: str):
+    """Interleave the two arms so drift hits both equally; keep the minima."""
+    _timed_ingest(False)  # warm the catalog build and code paths
+    best = {True: None, False: None}
+    states = {}
+    for round_index in range(REPEATS):
+        for durable in (True, False):
+            data_dir = (
+                os.path.join(workdir, f"ingest-{round_index}") if durable else None
+            )
+            elapsed, state = _timed_ingest(durable, data_dir)
+            if best[durable] is None or elapsed < best[durable]:
+                best[durable] = elapsed
+            states[durable] = state
+    return best, states
+
+
+# ---------------------------------------------------------------------- #
+# arm 3: follower lag while the primary ingests
+# ---------------------------------------------------------------------- #
+def _follower_lag(workdir: str):
+    data_dir = os.path.join(workdir, "follower")
+    primary = open_durable_server(
+        _database(), data_dir, snapshot_every=None, fsync_every=1,
+        registry=MetricsRegistry(),
+    )
+    follower, tailer = open_follower_server(data_dir, registry=MetricsRegistry())
+
+    lags = []
+
+    async def run() -> None:
+        for index in range(BATCHES):
+            response = await primary.handle_request(_ingest_request(index))
+            assert response.get("ok"), response
+            applied = tailer.poll_once()
+            assert applied >= 1
+            lags.append(tailer.lag_seconds)
+
+    asyncio.run(run())
+    assert tailer.records_applied == BATCHES
+    assert list(database_generation(follower.database)) == list(
+        database_generation(primary.database)
+    )
+    primary.store.close()
+    return lags
+
+
+def test_e16_durability(benchmark, report_table):
+    with tempfile.TemporaryDirectory(prefix="bench-e16-") as workdir:
+        # --- recovery vs cold recompute ------------------------------- #
+        crash_dir = os.path.join(workdir, "crashed")
+        expected_stream = _prepare_crashed_dir(crash_dir)
+        recovery_s, opened, recovered_stream, recovered = _timed_recovery(crash_dir)
+        cold_s, _, cold_stream, _ = _timed_cold_recompute()
+        assert recovered_stream == expected_stream == cold_stream
+        assert opened["cached"] is True, "recovered prefix must serve from cache"
+        assert recovered.store.recovery_info["recovered"] is True
+        report_table(
+            f"E16: restart to first-k served, {BATCHES} mutations "
+            "(snapshot+WAL replay vs cold recompute)",
+            ["arm", "time (ms)", "stream", "cached open"],
+            [
+                [
+                    "recovery (snapshot+WAL)",
+                    f"{recovery_s * 1000:.2f}",
+                    f"{len(recovered_stream)} results",
+                    "yes (zero recompute)",
+                ],
+                [
+                    "cold recompute",
+                    f"{cold_s * 1000:.2f}",
+                    f"{len(cold_stream)} results",
+                    "no",
+                ],
+                ["speedup", f"{cold_s / recovery_s:.2f}x", "", ""],
+            ],
+        )
+
+        # --- fsync-batched ingest overhead ---------------------------- #
+        best, states = _best_ingest_runs(workdir)
+        assert (
+            states[True].maintainer.arrivals_applied
+            == states[False].maintainer.arrivals_applied
+        )
+        overhead = best[True] / best[False] - 1.0
+        assert overhead <= MAX_OVERHEAD, (
+            f"WAL ingest overhead {overhead:.1%} exceeds {MAX_OVERHEAD:.0%} "
+            f"(durable {best[True]:.4f}s vs no-WAL {best[False]:.4f}s)"
+        )
+        wal_stats = states[True].store.stats()["wal"]
+        report_table(
+            f"E16b: ingest path, WAL (fsync every {wal_stats['fsync_every']}) "
+            f"vs no WAL (best of {REPEATS}, {BATCHES} batches)",
+            ["arm", "time (ms)", "WAL records", "fsyncs", "overhead"],
+            [
+                [
+                    "no WAL",
+                    f"{best[False] * 1000:.2f}",
+                    0,
+                    0,
+                    "",
+                ],
+                [
+                    "WAL, group commit",
+                    f"{best[True] * 1000:.2f}",
+                    wal_stats["records_appended"],
+                    wal_stats["fsyncs"],
+                    f"{overhead:+.1%}",
+                ],
+            ],
+        )
+
+        # --- follower lag under ingest -------------------------------- #
+        lags = _follower_lag(workdir)
+        lags_ms = sorted(lag * 1000 for lag in lags)
+        report_table(
+            f"E16c: follower replication lag while the primary ingests "
+            f"{BATCHES} batches (fsync every append)",
+            ["records applied", "mean lag (ms)", "p50 (ms)", "max (ms)"],
+            [
+                [
+                    len(lags),
+                    f"{sum(lags_ms) / len(lags_ms):.2f}",
+                    f"{lags_ms[len(lags_ms) // 2]:.2f}",
+                    f"{lags_ms[-1]:.2f}",
+                ]
+            ],
+        )
+
+        benchmark(lambda: _timed_recovery(crash_dir))

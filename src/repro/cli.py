@@ -279,6 +279,7 @@ def _serve_database(arguments: argparse.Namespace) -> Database:
 
 def _command_serve(arguments: argparse.Namespace) -> int:
     import asyncio
+    import signal
 
     from repro.exec import shutdown_pools
     from repro.service.server import run_smoke, start_server
@@ -289,6 +290,21 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         )
     if arguments.shards < 1:
         raise SystemExit("error: --shards must be positive")
+    if arguments.follow is not None:
+        if arguments.data_dir is not None:
+            raise SystemExit(
+                "error: --follow tails a primary's --data-dir; a follower "
+                "does not own one of its own"
+            )
+        if arguments.shards > 1:
+            raise SystemExit("error: --follow serves a single read-only process")
+        if arguments.ranked:
+            raise SystemExit("error: --ranked smoke does not apply to --follow")
+    if arguments.data_dir is None and arguments.follow is None:
+        if arguments.snapshot_every is not None:
+            raise SystemExit("error: --snapshot-every requires --data-dir")
+        if arguments.fsync_every is not None:
+            raise SystemExit("error: --fsync-every requires --data-dir")
     if arguments.smoke_clients is not None and arguments.metrics_port is not None:
         # The smoke self-test runs to completion and exits; a metrics
         # sidecar would bind, serve nothing, and vanish — refuse the combo.
@@ -309,6 +325,83 @@ def _command_serve(arguments: argparse.Namespace) -> int:
                 f"error: {', '.join(ignored)} only applies with "
                 "--smoke-clients"
             )
+    async def _start_sidecar(metrics, health):
+        if arguments.metrics_port is None:
+            return None
+        from repro.obs import start_sidecar
+
+        sidecar = await start_sidecar(
+            metrics, health, host=arguments.host, port=arguments.metrics_port
+        )
+        print(
+            f"metrics sidecar on {arguments.host}:{sidecar.port} "
+            "(GET /metrics, GET /health)"
+        )
+        return sidecar
+
+    if arguments.follow is not None and arguments.smoke_clients is not None:
+        # Follower parity self-test: bootstrap (or recover) a durable
+        # primary on the followed directory, then serve concurrent
+        # read-only clients from a follower of it and assert parity.
+        from repro.service.follower import run_follower_smoke
+        from repro.service.server import open_durable_server
+
+        database = _serve_database(arguments)
+        primary = open_durable_server(
+            database, arguments.follow, use_index=arguments.use_index
+        )
+        try:
+            outcome = run_follower_smoke(
+                primary,
+                arguments.follow,
+                clients=arguments.smoke_clients,
+                k=arguments.k,
+            )
+        finally:
+            primary.shutdown()
+            shutdown_pools()
+        print(
+            f"follower smoke OK: {arguments.smoke_clients} concurrent "
+            f"read-only clients matched the primary's answers; "
+            f"{outcome['records_applied']} WAL records replicated "
+            f"(lag {outcome['lag_seconds'] * 1000.0:.1f} ms)"
+        )
+        return 0
+
+    if arguments.follow is not None:
+        from repro.service.follower import serve_follower
+
+        async def _serve_follower() -> None:
+            server, state, tailer, task, port = await serve_follower(
+                arguments.follow, host=arguments.host, port=arguments.port
+            )
+            print(
+                f"following {arguments.follow} on {arguments.host}:{port} "
+                "(read-only; ops: open/next/peek/close/stats)"
+            )
+            sidecar = await _start_sidecar(state.render_metrics, state.health)
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                loop.add_signal_handler(signum, stop.set)
+            try:
+                async with server:
+                    await stop.wait()
+            finally:
+                tailer.stop()
+                await task
+                if sidecar is not None:
+                    await sidecar.close()
+
+        try:
+            asyncio.run(_serve_follower())
+            print("stopped")
+        except KeyboardInterrupt:
+            print("stopped")
+        finally:
+            shutdown_pools()
+        return 0
+
     database = _serve_database(arguments)
     if arguments.smoke_clients is not None:
         flavour = "ranked answers (scores included)" if arguments.ranked else "answers"
@@ -351,19 +444,17 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         )
         return 0
 
-    async def _start_sidecar(metrics, health):
-        if arguments.metrics_port is None:
-            return None
-        from repro.obs import start_sidecar
-
-        sidecar = await start_sidecar(
-            metrics, health, host=arguments.host, port=arguments.metrics_port
-        )
-        print(
-            f"metrics sidecar on {arguments.host}:{sidecar.port} "
-            "(GET /metrics, GET /health)"
-        )
-        return sidecar
+    async def _stop_signal() -> "asyncio.Event":
+        # SIGTERM/SIGINT land here as a graceful stop: the serve loops
+        # below fall out of ``stop.wait()``, seal WALs and logs through
+        # ``QueryServer.shutdown()``, and release the worker pools — a
+        # durable server leaves a clean final snapshot instead of a torn
+        # tail to recover.
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        return stop
 
     async def _serve() -> None:
         if arguments.shards > 1:
@@ -372,37 +463,79 @@ def _command_serve(arguments: argparse.Namespace) -> int:
             server, router, port = await start_sharded_server(
                 database, shards=arguments.shards, host=arguments.host,
                 port=arguments.port, use_index=arguments.use_index,
+                data_dir=arguments.data_dir,
+            )
+            durable = (
+                f", durable in {arguments.data_dir}/shard-N"
+                if arguments.data_dir
+                else ""
             )
             print(
                 f"serving {len(database)} relations on {arguments.host}:{port} "
-                f"across {arguments.shards} shard processes "
+                f"across {arguments.shards} shard processes{durable} "
                 "(JSON lines; ops: open/next/peek/close/ingest/stats)"
             )
             sidecar = await _start_sidecar(router.render_metrics, router.health)
+            stop = await _stop_signal()
             try:
                 async with server:
-                    await server.serve_forever()
+                    await stop.wait()
             finally:
                 if sidecar is not None:
                     await sidecar.close()
                 await router.shutdown()
             return
+        state = None
+        if arguments.data_dir is not None:
+            from repro.service.server import open_durable_server
+            from repro.storage import DEFAULT_FSYNC_EVERY, DEFAULT_SNAPSHOT_EVERY
+
+            state = open_durable_server(
+                database,
+                arguments.data_dir,
+                use_index=arguments.use_index,
+                snapshot_every=(
+                    arguments.snapshot_every
+                    if arguments.snapshot_every is not None
+                    else DEFAULT_SNAPSHOT_EVERY
+                ),
+                fsync_every=(
+                    arguments.fsync_every
+                    if arguments.fsync_every is not None
+                    else DEFAULT_FSYNC_EVERY
+                ),
+            )
         server, state, port = await start_server(
             database, host=arguments.host, port=arguments.port,
-            use_index=arguments.use_index,
+            use_index=arguments.use_index, state=state,
         )
-        print(f"serving {len(database)} relations on {arguments.host}:{port} "
-              "(JSON lines; ops: open/next/peek/close/ingest/stats)")
+        durable = ""
+        if state.store is not None:
+            recovery = state.store.recovery_info
+            durable = (
+                f", recovered from {arguments.data_dir} "
+                f"(replayed {recovery.get('replayed_records', 0)} WAL records)"
+                if recovery.get("recovered")
+                else f", durable in {arguments.data_dir}"
+            )
+        print(
+            f"serving {len(state.database)} relations on "
+            f"{arguments.host}:{port}{durable} "
+            "(JSON lines; ops: open/next/peek/close/ingest/stats)"
+        )
         sidecar = await _start_sidecar(state.render_metrics, state.health)
+        stop = await _stop_signal()
         try:
             async with server:
-                await server.serve_forever()
+                await stop.wait()
         finally:
             if sidecar is not None:
                 await sidecar.close()
+            state.shutdown()
 
     try:
         asyncio.run(_serve())
+        print("stopped")
     except KeyboardInterrupt:
         print("stopped")
     finally:
@@ -580,6 +713,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-port", type=int, default=None, metavar="PORT",
         help="also serve GET /metrics (Prometheus text) and GET /health "
         "(JSON) over HTTP on this port (0 = ephemeral)",
+    )
+    serve_parser.add_argument(
+        "--data-dir", default=None, metavar="DIR",
+        help="serve durably: write-ahead-log every mutation into DIR, "
+        "snapshot periodically, and recover DIR's state on restart "
+        "(the CSV/--workload database only seeds a fresh directory)",
+    )
+    serve_parser.add_argument(
+        "--snapshot-every", type=int, default=None, metavar="N",
+        help="with --data-dir: snapshot after every N WAL records "
+        "(default: 64)",
+    )
+    serve_parser.add_argument(
+        "--fsync-every", type=int, default=None, metavar="N",
+        help="with --data-dir: fsync the WAL once per N appends "
+        "(group commit; default: 8)",
+    )
+    serve_parser.add_argument(
+        "--follow", default=None, metavar="DIR",
+        help="serve as a read-only follower replica: restore the primary's "
+        "latest snapshot from DIR and tail its WAL, applying its ops live; "
+        "with --smoke-clients, run the follower parity self-test instead",
     )
     serve_parser.add_argument(
         "--smoke-clients", type=int, default=None, metavar="N",

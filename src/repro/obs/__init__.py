@@ -10,6 +10,15 @@
   (engine init, passes, bucket ranges, store probes, cache revalidation,
   delta apply) dumped as Chrome-trace-event JSON for Perfetto.
 - :mod:`repro.obs.http` — the asyncio ``/metrics`` + ``/health`` sidecar.
+
+The durable storage layer (PR 9) exports its series through the same
+registry: the WAL's ``repro_wal_records_total`` / ``repro_wal_bytes_total``
+/ ``repro_wal_fsyncs_total`` (group commits), the snapshot writer's
+``repro_snapshots_total`` / ``repro_snapshot_seconds`` /
+``repro_snapshot_wal_offset``, and the follower tailer's
+``repro_replication_lag_seconds`` / ``repro_replication_records_total`` /
+``repro_replication_offset_bytes`` — so one ``/metrics`` scrape covers
+serving, durability, and replication health together.
 """
 
 from repro.obs.http import MetricsSidecar, start_sidecar

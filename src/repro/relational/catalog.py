@@ -316,6 +316,20 @@ class Catalog:
         """The tuple with global id ``gid``."""
         return self._tuples[gid]
 
+    def entries(self):
+        """Yield ``(gid, tuple, dead)`` in id-issuance order.
+
+        This is the storage layer's view of the catalog: every id ever
+        issued — tombstoned ones included — in the order they were issued.
+        A snapshot serialized from this order restores with identical gids,
+        which is what lets persisted result logs name their members by gid
+        (the packed mirror is derived state and is rebuilt lazily instead
+        of being serialized; see ``__getstate__``).
+        """
+        dead = self._dead_mask
+        for gid, t in enumerate(self._tuples):
+            yield gid, t, bool((dead >> gid) & 1)
+
     def describe(self, t: Tuple) -> Optional[TupleType[int, int, int]]:
         """Return ``(gid, relation_bit, adjacent_relations)`` for ``t``.
 

@@ -13,6 +13,7 @@ from collections import deque
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set
 
 from repro.relational.errors import DatabaseError
+from repro.relational.nulls import NULL, is_null
 from repro.relational.relation import Relation
 from repro.relational.tuples import Tuple
 
@@ -221,6 +222,110 @@ class Database:
         self._catalog_cache = None
         self._catalog_key = None
         return self.catalog()
+
+    # ------------------------------------------------------------------ #
+    # durable state (storage-layer snapshot/restore hooks)
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> dict:
+        """Serialize the database (catalog included) as a JSON-ready dict.
+
+        Tuples are listed in gid-issuance order with their dead flags, so
+        :meth:`restore_state` reproduces the catalog's dense id space
+        exactly — including tombstones — and anything that named tuples by
+        gid (persisted result logs) stays valid.  Null cells are encoded as
+        JSON ``null``.  The packed mirror is derived state and is rebuilt
+        lazily on the restored side rather than serialized.
+        """
+        catalog = self.catalog()
+        return {
+            "relations": [
+                {
+                    "name": relation.name,
+                    "attributes": list(relation.schema.attributes),
+                    "label_prefix": relation._label_prefix,
+                }
+                for relation in self._relations
+            ],
+            "tuples": [
+                [
+                    t.relation_name,
+                    t.label,
+                    [None if is_null(v) else v for v in t.values],
+                    t.importance,
+                    t.probability,
+                    dead,
+                ]
+                for _, t, dead in catalog.entries()
+            ],
+            "epoch": self.epoch,
+            "catalog_rebuilds": self.catalog_rebuilds,
+            "generation": list(self.generation),
+        }
+
+    @classmethod
+    def restore_state(cls, state: dict) -> "Database":
+        """Rebuild a database from :meth:`snapshot_state` output.
+
+        Tuples are re-added in gid order through the append-only catalog
+        path, so every tuple lands on the gid it held when the snapshot was
+        taken.  Label reuse (an update tombstones the old incarnation and
+        appends a fresh tuple under the same label) is replayed the same
+        way: when a later entry reuses a still-live label, the earlier
+        incarnation is tombstoned first.  The stored ``epoch`` and
+        ``catalog_rebuilds`` then overwrite the counters the replay itself
+        moved, and the resulting generation token must equal the stored one
+        — a mismatch means the snapshot does not describe this code's
+        semantics and recovery must fail rather than serve wrong streams.
+        """
+        database = cls()
+        for spec in state["relations"]:
+            database.add_relation(
+                Relation(
+                    spec["name"],
+                    spec["attributes"],
+                    label_prefix=spec["label_prefix"],
+                )
+            )
+        # Build the (empty) catalog now so every add below extends it in
+        # place and gid assignment tracks insertion order exactly.
+        catalog = database.catalog()
+        live_labels: Dict[str, set] = {spec["name"]: set() for spec in state["relations"]}
+        entries = state["tuples"]
+        for relation_name, label, values, importance, probability, _ in entries:
+            if label in live_labels[relation_name]:
+                database.remove_tuple(relation_name, label)
+            database.add_tuple(
+                relation_name,
+                tuple(NULL if v is None else v for v in values),
+                label=label,
+                importance=importance,
+                probability=probability,
+            )
+            live_labels[relation_name].add(label)
+        # Tombstone sweep: entries dead in the snapshot whose gid is still
+        # live (their label was never reused by a later entry).
+        dead_mask = 0
+        for gid, entry in enumerate(entries):
+            relation_name, label, _, _, _, dead = entry
+            if not dead:
+                continue
+            dead_mask |= 1 << gid
+            if not (catalog.dead_mask >> gid) & 1:
+                database.remove_tuple(relation_name, label)
+        database.epoch = state["epoch"]
+        database.catalog_rebuilds = state["catalog_rebuilds"]
+        expected = tuple(state["generation"])
+        if tuple(database.generation) != expected:
+            raise DatabaseError(
+                f"restored generation {database.generation} does not match "
+                f"the snapshot's {expected}"
+            )
+        if catalog.dead_mask != dead_mask or catalog.tuple_count != len(entries):
+            raise DatabaseError(
+                "restored catalog id space diverged from the snapshot "
+                f"({catalog.tuple_count} ids, dead mask {catalog.dead_mask:#x})"
+            )
+        return database
 
     # ------------------------------------------------------------------ #
     # accessors

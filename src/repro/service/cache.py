@@ -48,7 +48,7 @@ lazily on lookup (counted in ``invalidations``), exactly as before.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterator, Optional, Tuple as TupleType
+from typing import Iterable, Iterator, Optional, Tuple as TupleType
 
 from repro.core.incremental import FDStatistics
 from repro.obs.metrics import MetricsRegistry, get_registry
@@ -138,6 +138,11 @@ class _Entry:
 
 _SEAL_REASON = (
     "the prefix was revalidated across a deletion epoch; results beyond the "
+    "materialized prefix need a fresh run — reopen the query"
+)
+
+_RECOVERED_REASON = (
+    "the prefix was recovered from a snapshot; results beyond the "
     "materialized prefix need a fresh run — reopen the query"
 )
 
@@ -253,6 +258,68 @@ class PrefixCache:
         span.annotate(outcome="miss")
         span.close()
         return QuerySession(log, owns_log=False, name=name)
+
+    # ------------------------------------------------------------------ #
+    # durable state (storage-layer snapshot/restore hooks)
+    # ------------------------------------------------------------------ #
+    def entry_log(
+        self,
+        database: Database,
+        engine: str = "fd",
+        cache_tag: Optional[str] = None,
+        **options,
+    ) -> Optional[ResultLog]:
+        """Peek at the live log cached for exactly this query, if any.
+
+        A read-only probe: no hit/miss counters move, the LRU order is
+        untouched.  The storage layer uses this to decide which materialized
+        prefixes a snapshot can persist.
+        """
+        entry = self._entries.get(_query_key(database, engine, options, cache_tag))
+        if entry is None or entry.log.closed:
+            return None
+        return entry.log
+
+    def install(
+        self,
+        database: Database,
+        engine: str = "fd",
+        items: Iterable[object] = (),
+        complete: bool = False,
+        cache_tag: Optional[str] = None,
+        **options,
+    ) -> bool:
+        """Install a recovered materialized prefix under the current generation.
+
+        The storage layer's restore hook: ``items`` are the results a
+        snapshot persisted for this query.  A ``complete`` prefix serves as
+        a finished stream (cursors see exhaustion, no engine ever runs); an
+        incomplete one is installed *sealed* — exactly the revalidated
+        state — so the next :meth:`open` attaches a fresh deduplicating
+        tail and clients inside the prefix recompute nothing.  Returns
+        ``False`` when a live entry already holds the key.
+        """
+        key = _query_key(database, engine, options, cache_tag)
+        existing = self._entries.get(key)
+        if existing is not None:
+            if not existing.log.closed:
+                return False
+            del self._entries[key]
+        log = ResultLog.from_results(
+            list(items),
+            complete=complete,
+            seal_reason=None if complete else _RECOVERED_REASON,
+        )
+        self._entries[key] = _Entry(log, database.catalog().tuple_count)
+        while len(self._entries) > self.capacity:
+            _, evicted = self._entries.popitem(last=False)
+            evicted.log.close(
+                "the shared result log was evicted from the prefix cache"
+            )
+            self.evictions += 1
+            self._m_evictions.inc()
+        self._m_entries.set(len(self._entries))
+        return True
 
     # ------------------------------------------------------------------ #
     # epoch revalidation

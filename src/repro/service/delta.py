@@ -302,6 +302,92 @@ class StreamingFullDisjunction:
             self._state.record_statistics()
 
     # ------------------------------------------------------------------ #
+    # durable state (storage-layer snapshot/restore hooks)
+    # ------------------------------------------------------------------ #
+    def durable_log(self) -> Optional[dict]:
+        """Serialize the maintainer's emitted stream for a snapshot.
+
+        Results are named by sorted catalog gid lists — gids are stable
+        across :meth:`Database.restore_state
+        <repro.relational.database.Database.restore_state>` by construction,
+        and tombstoned members stay addressable via ``tuple_at``.  The
+        accumulated ``Complete`` store is serialized *separately* from the
+        log, in insertion order: the store can legitimately hold re-derived
+        subsets that were never emitted (the "covered" branch of a delta
+        pass), and subsumption after recovery must see exactly what an
+        uninterrupted run would.
+
+        Returns ``None`` for a fresh maintainer (nothing pulled, nothing
+        ingested): the restored side then simply bootstraps its own base
+        run, which is cheaper than forcing a full prime here.  A partially
+        pulled base generator cannot be serialized mid-flight, so any other
+        state is primed first.
+        """
+        if self._state is not None:
+            raise ValueError(
+                "ranked maintainer state (live priority queues) is not "
+                "persistable; snapshot the unranked maintainer only"
+            )
+        if not self._primed and not self._log.results:
+            return None
+        self.prime()
+        catalog = self.database.catalog()
+
+        def gids(tuple_set) -> List[int]:
+            return sorted(catalog.id_of(t) for t in tuple_set)
+
+        log_entries = []
+        for item in self._log.results:
+            if isinstance(item, Retraction):
+                log_entries.append({"retract": True, "gids": gids(item.tuple_set)})
+            else:
+                log_entries.append({"gids": gids(item)})
+        return {
+            "log": log_entries,
+            "store": [gids(tuple_set) for tuple_set in self._store],
+            "arrivals_applied": self.arrivals_applied,
+            "mutations_applied": self.mutations_applied,
+        }
+
+    def restore_durable_log(self, payload: Optional[dict]) -> None:
+        """Rebuild the emitted stream and store from :meth:`durable_log`.
+
+        Must run on a maintainer that has not produced anything yet; the
+        database underneath must already be the restored snapshot database
+        (gids resolve against its catalog).  ``None`` restores the fresh
+        state — the base run stays lazy.  After restore the maintainer is
+        primed: new sessions replay the recovered stream byte for byte and
+        ingest continues from exactly where the snapshot left off.
+        """
+        if self._state is not None:
+            raise ValueError("ranked maintainer state is not restorable")
+        if self._primed or self._log.results:
+            raise ValueError(
+                "cannot restore into a maintainer that has already emitted"
+            )
+        if payload is None:
+            return
+        catalog = self.database.catalog()
+
+        def tuple_set(gids: Sequence[int]) -> TupleSet:
+            return TupleSet(
+                [catalog.tuple_at(gid) for gid in gids], catalog=catalog
+            )
+
+        items: List[object] = []
+        for entry in payload["log"]:
+            members = tuple_set(entry["gids"])
+            items.append(Retraction(members) if entry.get("retract") else members)
+        replaced = self._log
+        self._log = ResultLog.from_results(items, live=True)
+        replaced.close("replaced by restored durable state")
+        for gids in payload["store"]:
+            self._store.add(tuple_set(gids))
+        self.arrivals_applied = payload.get("arrivals_applied", 0)
+        self.mutations_applied = payload.get("mutations_applied", 0)
+        self._primed = True
+
+    # ------------------------------------------------------------------ #
     # ingest / retract / update
     # ------------------------------------------------------------------ #
     def _record(self, counters, **counts) -> dict:

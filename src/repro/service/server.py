@@ -57,7 +57,9 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import time
+from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple as TupleType
 
 from repro.core.approx_join import (
@@ -66,6 +68,7 @@ from repro.core.approx_join import (
     MinJoin,
 )
 from repro.core.ranking import MaxRanking, validate_importance_spec
+from repro.core.tupleset import TupleSet
 from repro.exec import AsyncBackend
 from repro.relational.database import Database
 from repro.relational.errors import (
@@ -78,10 +81,54 @@ from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.tracing import trace_span
 from repro.relational.nulls import is_null
 from repro.relational.operators import combined_schema, pad_tuple_set
-from repro.service.cache import PrefixCache
+from repro.service.cache import PrefixCache, database_generation
 from repro.service.delta import StreamingFullDisjunction
 from repro.service.session import QuerySession, Retraction
-from repro.workloads.streaming import Arrival, Removal, Update
+from repro.storage.codec import (
+    CodecError,
+    arrival_from_wire,
+    decode_ops,
+    removal_from_wire,
+    update_from_wire,
+)
+from repro.storage.snapshot import load_latest_snapshot
+from repro.storage.store import (
+    DEFAULT_SNAPSHOT_EVERY,
+    DurableStore,
+    RecoveryError,
+)
+from repro.storage.wal import DEFAULT_FSYNC_EVERY, WAL_NAME, recover_wal
+
+
+#: Options of an ``open`` request that shape the served computation — the
+#: wire-level counterpart of the prefix cache's key options.  ``format``
+#: stays out: it shapes the rendering, not the cached result log.  The
+#: sharded router routes opens by this key; the durable store uses it to
+#: index the wire requests whose cached prefixes a snapshot persists.
+_ROUTING_KEYS = (
+    "engine",
+    "use_index",
+    "initialization",
+    "threshold",
+    "similarity",
+    "importance",
+    "default",
+    "k",
+)
+
+
+def open_routing_key(request: dict) -> str:
+    """The canonical routing key of an ``open`` request.
+
+    A deterministic JSON rendering of the options that key the prefix
+    cache: two requests for the same query always produce the same key and
+    therefore route to the same shard, where they share one cached prefix.
+    """
+    payload = {
+        key: request[key] for key in _ROUTING_KEYS if request.get(key) is not None
+    }
+    payload.setdefault("engine", "fd")
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
 def render_result(item) -> List[str]:
@@ -121,12 +168,17 @@ def render_padded_result(item, schema, ranked: bool = False) -> dict:
 class QueryServer:
     """Session bookkeeping + request dispatch for one served database."""
 
+    #: Bound on remembered persistable ``open`` requests (snapshot inputs).
+    _MAX_PERSISTABLE_OPENS = 64
+
     def __init__(
         self,
         database: Database,
         use_index: bool = True,
         cache: Optional[PrefixCache] = None,
         registry: Optional[MetricsRegistry] = None,
+        store: Optional[DurableStore] = None,
+        read_only: bool = False,
     ):
         self.database = database
         self.use_index = use_index
@@ -134,8 +186,19 @@ class QueryServer:
         self.cache = (
             cache if cache is not None else PrefixCache(registry=self.registry)
         )
+        #: The durable store (WAL + snapshots) this server records into;
+        #: ``None`` serves purely in memory, exactly as before PR 9.
+        self.store = store
+        #: Read-only replicas (follower mode) refuse mutating wire ops; the
+        #: replication tailer applies the primary's WAL records directly
+        #: through the maintainer instead.
+        self.read_only = read_only
         self.backend = AsyncBackend()
         self.maintainer = StreamingFullDisjunction(database, use_index=use_index)
+        #: Wire requests of cache-backed opens, keyed by routing key — the
+        #: requests whose cached prefixes a snapshot can persist and a
+        #: recovered server can re-install.  JSON-typed by construction.
+        self._persistable_opens: "OrderedDict[str, dict]" = OrderedDict()
         self._sessions: Dict[str, QuerySession] = {}
         #: Names of sessions whose results carry scores on the wire.
         self._ranked_sessions: set = set()
@@ -236,6 +299,8 @@ class QueryServer:
             return self._retract(request)
         if op == "update":
             return self._update(request)
+        if op == "snapshot":
+            return self._snapshot_op(request)
         if op == "stats":
             response = {"ok": True, **server_stats(self)}
             if request.get("detail") == "metrics":
@@ -306,43 +371,16 @@ class QueryServer:
             session = self.maintainer.session(name=name)
             cached = True  # the live log is always shared
         elif engine in ("fd", "approx", "ranked"):
-            options = {"use_index": request.get("use_index", self.use_index)}
-            cache_engine = engine
-            if engine == "fd":
-                if request.get("initialization"):
-                    options["initialization"] = request["initialization"]
-            elif engine == "approx":
-                similarity = (
-                    EditDistanceSimilarity()
-                    if request.get("similarity", "edit") == "edit"
-                    else ExactMatchSimilarity()
-                )
-                options["join_function"] = MinJoin(similarity)
-                options["threshold"] = float(request.get("threshold", 0.8))
-                options["cache_tag"] = (
-                    f"minjoin-{request.get('similarity', 'edit')}"
-                )
-            else:
-                try:
-                    options["ranking"] = self._wire_ranking(request)
-                    if request.get("k") is not None:
-                        try:
-                            options["k"] = int(request["k"])
-                        except (TypeError, ValueError):
-                            raise RankingError(
-                                "the 'k' option must be an integer"
-                            ) from None
-                except RankingError as error:
-                    # A bad importance spec is the *client's* error — refuse
-                    # the open instead of serving a wrong ranking order.
-                    return {"ok": False, "error": str(error)}
-                cache_engine = "priority"
-                ranked = True
+            plan, error = self._query_plan(request)
+            if plan is None:
+                return error
+            ranked = plan["ranked"]
             hits_before = self.cache.hits
             session = self.cache.open(
-                self.database, cache_engine, name=name, **options
+                self.database, plan["cache_engine"], name=name, **plan["options"]
             )
             cached = self.cache.hits > hits_before
+            self._remember_open(request)
         else:
             return {"ok": False, "error": f"unknown engine {engine!r}"}
         self._sessions[name] = session
@@ -358,6 +396,76 @@ class QueryServer:
         if render_format == "padded":
             response["format"] = "padded"
         return response
+
+    def _query_plan(self, request: dict):
+        """Resolve a cache-backed ``open`` request into its cache call.
+
+        Returns ``(plan, None)`` on success — ``plan`` holds the cache
+        engine name, the option dict handed to
+        :meth:`PrefixCache.open <repro.service.cache.PrefixCache.open>`
+        (``cache_tag`` included), and the ``ranked`` flag — or
+        ``(None, error_response)`` for a client error.  Shared by the live
+        open path and the storage layer, which re-resolves persisted wire
+        requests when snapshotting and re-installing cached prefixes, so
+        the two can never key the cache differently.
+        """
+        engine = request.get("engine", "fd")
+        options = {"use_index": request.get("use_index", self.use_index)}
+        cache_engine = engine
+        ranked = False
+        if engine == "fd":
+            if request.get("initialization"):
+                options["initialization"] = request["initialization"]
+        elif engine == "approx":
+            similarity = (
+                EditDistanceSimilarity()
+                if request.get("similarity", "edit") == "edit"
+                else ExactMatchSimilarity()
+            )
+            options["join_function"] = MinJoin(similarity)
+            options["threshold"] = float(request.get("threshold", 0.8))
+            options["cache_tag"] = f"minjoin-{request.get('similarity', 'edit')}"
+        else:
+            try:
+                options["ranking"] = self._wire_ranking(request)
+                if request.get("k") is not None:
+                    try:
+                        options["k"] = int(request["k"])
+                    except (TypeError, ValueError):
+                        raise RankingError(
+                            "the 'k' option must be an integer"
+                        ) from None
+            except RankingError as error:
+                # A bad importance spec is the *client's* error — refuse
+                # the open instead of serving a wrong ranking order.
+                return None, {"ok": False, "error": str(error)}
+            cache_engine = "priority"
+            ranked = True
+        return (
+            {"cache_engine": cache_engine, "options": options, "ranked": ranked},
+            None,
+        )
+
+    def _remember_open(self, request: dict) -> None:
+        """Record a successful cache-backed open for later snapshots.
+
+        Keyed by routing key so repeats collapse; capped so adversarial
+        clients cannot grow the snapshot without bound.  Requests that do
+        not render to JSON (in-process callers passing exotic objects) are
+        simply not persisted.
+        """
+        payload = {
+            key: value for key, value in request.items() if key != "op"
+        }
+        try:
+            key = open_routing_key(request)
+            json.dumps(payload, sort_keys=True)
+        except (TypeError, ValueError):
+            return
+        self._persistable_opens[key] = payload
+        self._persistable_opens.move_to_end(key)
+        while len(self._persistable_opens) > self._MAX_PERSISTABLE_OPENS:
+            self._persistable_opens.popitem(last=False)
 
     def _wire_ranking(self, request: dict) -> MaxRanking:
         """The ``importance`` spec of a ranked ``open``, validated.
@@ -465,12 +573,38 @@ class QueryServer:
         self._m_sessions.set(len(self._sessions))
         return {"ok": True}
 
+    def _read_only_refusal(self, op: str) -> dict:
+        return {
+            "ok": False,
+            "error": f"{op} refused: this replica is read-only (follower mode)",
+            "read_only": True,
+        }
+
+    def _record_durable(self, kind: str, ops) -> None:
+        """Log an *applied* batch, then maybe snapshot.
+
+        Ordering is the durability contract: the maintainer validates
+        before mutating, so only batches that really changed the database
+        reach the WAL — the log is always a prefix of the applied history,
+        and a crash between apply and append loses only a never-acked
+        batch.  The snapshot check runs after the cache maintenance the
+        caller already performed, so a cadence-triggered snapshot captures
+        the post-mutation cache state.
+        """
+        if self.store is None or self.store.closed:
+            return
+        self.store.record(kind, ops, database_generation(self.database))
+        self.store.maybe_snapshot(self)
+
     def _ingest(self, request: dict) -> dict:
+        if self.read_only:
+            return self._read_only_refusal("ingest")
         received = time.monotonic()
         tuples = request.get("tuples", [])
-        arrivals = [
-            Arrival(entry[0], tuple(entry[1]), *entry[2:]) for entry in tuples
-        ]
+        try:
+            arrivals = [arrival_from_wire(entry) for entry in tuples]
+        except CodecError as error:
+            return {"ok": False, "error": str(error)}
         record = self.maintainer.ingest(arrivals)
         # Ingest lag: receipt of the batch to the maintainer having applied
         # it — the freshness bound a reader of the live stream observes.
@@ -481,6 +615,7 @@ class QueryServer:
         # observes the mutated database.  Stream sessions live on — the
         # delta results were just appended to their log.
         invalidated = self.cache.invalidate(self.database)
+        self._record_durable("ingest", arrivals)
         return {
             "ok": True,
             "applied": record["arrivals"],
@@ -490,14 +625,13 @@ class QueryServer:
         }
 
     def _retract(self, request: dict) -> dict:
+        if self.read_only:
+            return self._read_only_refusal("retract")
         entries = request.get("tuples", [])
         try:
-            removals = [Removal(entry[0], entry[1]) for entry in entries]
-        except (IndexError, TypeError):
-            return {
-                "ok": False,
-                "error": "retract entries must be [relation, label] pairs",
-            }
+            removals = [removal_from_wire(entry) for entry in entries]
+        except CodecError as error:
+            return {"ok": False, "error": str(error)}
         try:
             record = self.maintainer.remove(removals)
         except (DatabaseError, RelationError, ValueError) as error:
@@ -508,6 +642,7 @@ class QueryServer:
         # materialized prefix holds no deleted tuple are re-keyed under the
         # new generation and keep serving; only touched entries die.
         outcome = self.cache.revalidate(self.database)
+        self._record_durable("retract", removals)
         return {
             "ok": True,
             "applied": record["removals"],
@@ -518,19 +653,13 @@ class QueryServer:
         }
 
     def _update(self, request: dict) -> dict:
+        if self.read_only:
+            return self._read_only_refusal("update")
         entries = request.get("tuples", [])
         try:
-            updates = [
-                Update(entry[0], entry[1], tuple(entry[2]), *entry[3:])
-                for entry in entries
-            ]
-        except (IndexError, TypeError):
-            return {
-                "ok": False,
-                "error": (
-                    "update entries must be [relation, label, values] triples"
-                ),
-            }
+            updates = [update_from_wire(entry) for entry in entries]
+        except CodecError as error:
+            return {"ok": False, "error": str(error)}
         try:
             record = self.maintainer.update(updates)
         except (DatabaseError, RelationError, SchemaError, ValueError) as error:
@@ -538,6 +667,7 @@ class QueryServer:
         # Updates append fresh tuples, so no cached prefix can revalidate;
         # revalidate() degrades to the eager invalidation ingest uses.
         outcome = self.cache.revalidate(self.database)
+        self._record_durable("update", updates)
         return {
             "ok": True,
             "applied": record["updates"],
@@ -546,6 +676,112 @@ class QueryServer:
             "revalidated_queries": outcome["revalidated"],
             "invalidated_queries": outcome["invalidated"],
         }
+
+    def _snapshot_op(self, request: dict) -> dict:
+        """The ``snapshot`` admin op: force a snapshot right now."""
+        if self.read_only:
+            return self._read_only_refusal("snapshot")
+        if self.store is None:
+            return {
+                "ok": False,
+                "error": (
+                    "durability is not enabled on this server "
+                    "(start it with --data-dir)"
+                ),
+            }
+        return {"ok": True, **self.store.snapshot_now(self)}
+
+    # ------------------------------------------------------------------ #
+    # durable state (storage-layer snapshot/restore hooks)
+    # ------------------------------------------------------------------ #
+    def durable_state(self) -> dict:
+        """Everything a snapshot captures about this server.
+
+        The database (gid-stable), the maintainer's emitted stream and
+        accumulated store, and every persistable cached prefix together
+        with the wire request that opened it — enough for
+        :func:`restore_server` to rebuild a server whose streams are
+        byte-identical to this one's.
+        """
+        return {
+            "use_index": self.use_index,
+            "database": self.database.snapshot_state(),
+            "maintainer": self.maintainer.durable_log(),
+            "cached": self._cached_prefixes(),
+        }
+
+    def _cached_prefixes(self) -> List[dict]:
+        """The persistable cached prefixes: request + gid-named results."""
+        catalog = self.database.catalog()
+        prefixes: List[dict] = []
+        for request in self._persistable_opens.values():
+            plan, _ = self._query_plan(request)
+            if plan is None:  # pragma: no cover - a request that opened once
+                continue  # cannot stop planning, but stay defensive
+            log = self.cache.entry_log(
+                self.database, plan["cache_engine"], **plan["options"]
+            )
+            if log is None:
+                continue
+            items: List[dict] = []
+            serializable = True
+            for item in log.results:
+                ranked = isinstance(item, tuple)
+                tuple_set = item[0] if ranked else item
+                gids = [catalog.id_of(t) for t in tuple_set]
+                if any(gid is None for gid in gids):
+                    serializable = False  # pragma: no cover - uncatalogued
+                    break
+                record = {"gids": sorted(gids)}
+                if ranked:
+                    record["score"] = item[1]
+                items.append(record)
+            if not serializable:
+                continue  # pragma: no cover
+            prefixes.append(
+                {"request": request, "items": items, "complete": log.complete}
+            )
+        return prefixes
+
+    def _install_cached_prefix(self, cached: dict) -> None:
+        """Re-install one persisted prefix into the cache (recovery path)."""
+        request = cached.get("request", {})
+        plan, _ = self._query_plan(request)
+        if plan is None:
+            return
+        catalog = self.database.catalog()
+        items: List[object] = []
+        for record in cached.get("items", []):
+            tuple_set = TupleSet(
+                [catalog.tuple_at(gid) for gid in record["gids"]], catalog=catalog
+            )
+            items.append(
+                (tuple_set, record["score"]) if "score" in record else tuple_set
+            )
+        installed = self.cache.install(
+            self.database,
+            plan["cache_engine"],
+            items=items,
+            complete=bool(cached.get("complete")),
+            **plan["options"],
+        )
+        if installed:
+            self._remember_open(dict(request, op="open"))
+
+    def shutdown(self) -> None:
+        """Graceful teardown: final snapshot, WAL flushed, live log sealed.
+
+        Safe to call twice (signal handler plus ``finally`` block).  The
+        snapshot runs before the maintainer closes so the persisted live
+        log is the serving one; open stream sessions then observe a
+        completed stream rather than a dropped connection.
+        """
+        if self.store is not None and not self.store.closed:
+            if not self.read_only:
+                self.store.snapshot_now(self)
+            self.store.close()
+        if not self.maintainer.log.closed:
+            self.maintainer.close()
 
     # ------------------------------------------------------------------ #
     # the TCP face
@@ -610,7 +846,7 @@ def server_stats(state: QueryServer) -> dict:
     """
     from repro.core.kernels import active_kernel
 
-    return {
+    stats = {
         "cache": state.cache.stats(),
         "sessions": len(state._sessions),
         "requests": state.requests,
@@ -619,8 +855,152 @@ def server_stats(state: QueryServer) -> dict:
         "arrivals_applied": state.maintainer.arrivals_applied,
         "mutations_applied": state.maintainer.mutations_applied,
         "epoch": state.database.epoch,
+        "read_only": state.read_only,
         "uptime_seconds": time.monotonic() - state.started_at,
     }
+    if state.store is not None:
+        stats["durability"] = state.store.stats()
+    return stats
+
+
+# ---------------------------------------------------------------------- #
+# crash recovery: snapshot + WAL tail → an equivalent server
+# ---------------------------------------------------------------------- #
+def apply_wal_record(state: QueryServer, payload: dict) -> None:
+    """Apply one decoded WAL record to ``state`` as the live path would.
+
+    Shared by owner-side replay (:func:`open_durable_server`) and the
+    follower tailer: the batch goes through the same maintainer entry
+    points and the same cache maintenance as a wire mutation, then the
+    database's generation token is asserted against the one the primary
+    recorded *after* applying — divergence fails fast as a
+    :class:`~repro.storage.store.RecoveryError` instead of silently
+    serving wrong streams.
+    """
+    kind = payload.get("kind")
+    ops = decode_ops(payload.get("ops", []))
+    if kind == "ingest":
+        state.maintainer.ingest(ops)
+        state.cache.invalidate(state.database)
+    elif kind == "retract":
+        state.maintainer.remove(ops)
+        state.cache.revalidate(state.database)
+    elif kind == "update":
+        state.maintainer.update(ops)
+        state.cache.revalidate(state.database)
+    else:
+        raise RecoveryError(f"unknown WAL record kind {kind!r}")
+    expected = payload.get("generation")
+    actual = list(database_generation(state.database))
+    if expected is not None and list(expected) != actual:
+        raise RecoveryError(
+            f"replay diverged: WAL record expects generation {expected}, "
+            f"replayed database is at {actual}"
+        )
+
+
+def restore_server(
+    snapshot: dict,
+    registry: Optional[MetricsRegistry] = None,
+    read_only: bool = False,
+) -> QueryServer:
+    """Rebuild a :class:`QueryServer` from a snapshot document.
+
+    The inverse of :meth:`QueryServer.durable_state`: database (gid-stable),
+    maintainer stream/store, and every persisted cached prefix — installed
+    *before* any WAL-tail replay, so the cache keys carry the snapshot's
+    generation and replay maintains them exactly as live mutations would.
+    """
+    database = Database.restore_state(snapshot["database"])
+    state = QueryServer(
+        database,
+        use_index=bool(snapshot.get("use_index", True)),
+        registry=registry,
+        read_only=read_only,
+    )
+    state.maintainer.restore_durable_log(snapshot.get("maintainer"))
+    for cached in snapshot.get("cached", []):
+        state._install_cached_prefix(cached)
+    return state
+
+
+def open_durable_server(
+    database: Optional[Database],
+    data_dir: str,
+    use_index: bool = True,
+    registry: Optional[MetricsRegistry] = None,
+    snapshot_every: Optional[int] = DEFAULT_SNAPSHOT_EVERY,
+    fsync_every: int = DEFAULT_FSYNC_EVERY,
+) -> QueryServer:
+    """Open a durable server on ``data_dir``, recovering if state exists.
+
+    Fresh directory: serve ``database`` and write a bootstrap snapshot so
+    a crash before the first cadence snapshot still recovers.  Existing
+    snapshot: ignore ``database`` (the directory is authoritative), load
+    the latest valid snapshot, recover the WAL (truncating any torn tail),
+    and replay every record past the snapshot's ``wal_offset`` through
+    :func:`apply_wal_record`.  The recovered server is then attached to a
+    fresh appender on the same WAL and serves exactly as if it had never
+    crashed.
+    """
+    loaded = load_latest_snapshot(data_dir)
+    wal_path = os.path.join(data_dir, WAL_NAME)
+    if loaded is None:
+        records, good_end, _ = recover_wal(wal_path)
+        if records or good_end:
+            raise RecoveryError(
+                f"{data_dir} has a WAL but no readable snapshot; refusing to "
+                "guess at the pre-WAL state"
+            )
+        if database is None:
+            raise RecoveryError(
+                f"{data_dir} holds no recoverable state and no database "
+                "was supplied to bootstrap one"
+            )
+        store = DurableStore(
+            data_dir,
+            fsync_every=fsync_every,
+            snapshot_every=snapshot_every,
+            registry=registry,
+        )
+        state = QueryServer(
+            database, use_index=use_index, registry=registry, store=store
+        )
+        # Bootstrap snapshot: the base state every later WAL record builds
+        # on.  Without it, a crash before the first cadence snapshot would
+        # leave a WAL whose starting point exists nowhere on disk.
+        store.snapshot_now(state)
+        store.recovery_info = {"recovered": False}
+        return state
+
+    snapshot, snapshot_path = loaded
+    records, good_end, truncated = recover_wal(wal_path)
+    wal_offset = int(snapshot.get("wal_offset", 0))
+    if good_end < wal_offset:
+        raise RecoveryError(
+            f"WAL ends at {good_end} but snapshot "
+            f"{os.path.basename(snapshot_path)} is consistent with offset "
+            f"{wal_offset}; the log was truncated beneath its snapshot"
+        )
+    state = restore_server(snapshot, registry=registry)
+    tail = [(payload, end) for payload, end in records if end > wal_offset]
+    for payload, _ in tail:
+        apply_wal_record(state, payload)
+    store = DurableStore(
+        data_dir,
+        fsync_every=fsync_every,
+        snapshot_every=snapshot_every,
+        registry=registry,
+    )
+    store.ops_since_snapshot = len(tail)
+    store.recovery_info = {
+        "recovered": True,
+        "snapshot": os.path.basename(snapshot_path),
+        "replayed_records": len(tail),
+        "truncated_bytes": truncated,
+    }
+    state.store = store
+    return state
 
 
 async def start_server(
@@ -628,13 +1008,17 @@ async def start_server(
     host: str = "127.0.0.1",
     port: int = 0,
     use_index: bool = True,
+    state: Optional[QueryServer] = None,
 ) -> TupleType[asyncio.AbstractServer, QueryServer, int]:
     """Start serving; returns ``(asyncio server, state, bound port)``.
 
     ``port=0`` binds an ephemeral port — the smoke harness and tests use
-    this to avoid collisions.
+    this to avoid collisions.  Pass ``state`` to serve a prepared server —
+    a recovered one from :func:`open_durable_server`, or a read-only
+    follower — instead of a fresh in-memory ``QueryServer``.
     """
-    state = QueryServer(database, use_index=use_index)
+    if state is None:
+        state = QueryServer(database, use_index=use_index)
     server = await asyncio.start_server(state.handle_connection, host, port)
     bound_port = server.sockets[0].getsockname()[1]
     return server, state, bound_port

@@ -27,7 +27,7 @@ Two classes split the concern:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
 
 from repro.core.incremental import FDStatistics
 from repro.relational.database import Database
@@ -199,6 +199,39 @@ class ResultLog:
         self._invalidated_because: Optional[str] = None
         #: Results pulled from the source (cache hits serve the rest).
         self.pulled = 0
+
+    @classmethod
+    def from_results(
+        cls,
+        items: Iterable[object],
+        complete: bool = False,
+        seal_reason: Optional[str] = None,
+        live: bool = False,
+    ) -> "ResultLog":
+        """Reconstruct a log from persisted results (storage-layer restore).
+
+        Three shapes cover every recovered log:
+
+        * ``complete=True`` — the stream had been drained; cursors see a
+          finished prefix and never touch an engine (the cache's
+          "complete, serves from memory" state: complete but *not* closed).
+        * ``seal_reason=...`` — a materialized prefix whose tail must be
+          recomputed on the next open, exactly the state
+          :meth:`seal`/:meth:`reopen_with` produce.
+        * ``live=True`` — a push-mode producer (the delta maintainer) will
+          keep appending; the log completes only on :meth:`finish`.
+
+        None of these states is reachable through the constructor alone,
+        which is why restore goes through this classmethod.
+        """
+        log = cls()
+        log.results.extend(items)
+        log._live = live
+        if complete:
+            log._complete = True
+        elif seal_reason is not None and not live:
+            log._invalidated_because = seal_reason
+        return log
 
     @property
     def complete(self) -> bool:

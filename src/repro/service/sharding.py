@@ -42,7 +42,9 @@ import bisect
 import hashlib
 import json
 import multiprocessing
+import os
 import pickle
+import signal
 import time
 from typing import Dict, List, Optional, Tuple as TupleType
 
@@ -54,35 +56,15 @@ from repro.obs.metrics import (
     render_snapshot,
 )
 from repro.relational.database import Database
-from repro.service.server import client_call, start_server
 
-#: Options of an ``open`` request that shape the served computation — the
-#: wire-level counterpart of the prefix cache's key options.  ``format``
-#: stays out: it shapes the rendering, not the cached result log.
-_ROUTING_KEYS = (
-    "engine",
-    "use_index",
-    "initialization",
-    "threshold",
-    "similarity",
-    "importance",
-    "default",
-    "k",
+# The routing key moved next to the server (the durable store indexes
+# persisted opens by it too); re-exported here for existing importers.
+from repro.service.server import (  # noqa: F401 - re-export
+    _ROUTING_KEYS,
+    client_call,
+    open_routing_key,
+    start_server,
 )
-
-
-def open_routing_key(request: dict) -> str:
-    """The canonical routing key of an ``open`` request.
-
-    A deterministic JSON rendering of the options that key the prefix
-    cache: two requests for the same query always produce the same key and
-    therefore route to the same shard, where they share one cached prefix.
-    """
-    payload = {
-        key: request[key] for key in _ROUTING_KEYS if request.get(key) is not None
-    }
-    payload.setdefault("engine", "fd")
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
 class ConsistentHashRing:
@@ -115,25 +97,51 @@ class ConsistentHashRing:
         return self._shards[index]
 
 
-def _shard_main(connection, payload: bytes, use_index: bool) -> None:
+def _shard_main(
+    connection, payload: bytes, use_index: bool, data_dir: Optional[str] = None
+) -> None:
     """Entry point of one shard process: serve its database copy forever.
 
     Reports the ephemeral port back through ``connection`` once bound.
-    Module-level so the spawn start method can pickle it.
+    Module-level so the spawn start method can pickle it.  With a
+    ``data_dir``, the shard serves durably: it recovers that directory if
+    it holds state (mutations are broadcast in shard order, so every
+    shard's WAL carries the same op sequence and each recovers its own
+    replica), seals it on termination, and bootstraps it otherwise.
     """
     database = pickle.loads(payload)
+    state = None
+    if data_dir is not None:
+        from repro.service.server import open_durable_server
+
+        state = open_durable_server(database, data_dir, use_index=use_index)
 
     async def serve() -> None:
-        server, _, port = await start_server(database, use_index=use_index)
+        server, _, port = await start_server(
+            database, use_index=use_index, state=state
+        )
         connection.send(port)
         connection.close()
+        # The router tears shards down with SIGTERM: turn it into a
+        # graceful stop so a durable shard seals its WAL and writes a
+        # final snapshot instead of leaving a torn tail to recover.
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
         async with server:
-            await server.serve_forever()
+            await stop.wait()
 
     try:
         asyncio.run(serve())
     except KeyboardInterrupt:  # pragma: no cover - interactive teardown
         pass
+    finally:
+        if state is not None:
+            state.shutdown()
 
 
 class ShardHandle:
@@ -503,6 +511,7 @@ async def start_sharded_server(
     max_sessions_per_shard: int = 256,
     max_queue_per_shard: int = 64,
     retry_after_ms: int = 50,
+    data_dir: Optional[str] = None,
 ) -> TupleType[asyncio.AbstractServer, ShardedQueryServer, int]:
     """Spawn ``shards`` worker processes and a router; returns
     ``(asyncio server, router state, bound port)``.
@@ -512,6 +521,11 @@ async def start_sharded_server(
     ephemeral local port and reports it back before the router accepts its
     first client.  Call :meth:`ShardedQueryServer.shutdown` after closing
     the returned server.
+
+    With a ``data_dir``, every shard serves durably in its own namespace
+    (``<data_dir>/shard-N`` — WALs are single-writer, so replicas never
+    share one): each recovers or bootstraps its own directory on start and
+    seals it on SIGTERM.
     """
     if shards < 1:
         raise ValueError(f"shards must be positive, got {shards}")
@@ -525,9 +539,14 @@ async def start_sharded_server(
     try:
         for index in range(shards):
             parent_end, child_end = context.Pipe(duplex=False)
+            shard_dir = (
+                os.path.join(data_dir, f"shard-{index}")
+                if data_dir is not None
+                else None
+            )
             process = context.Process(
                 target=_shard_main,
-                args=(child_end, payload, use_index),
+                args=(child_end, payload, use_index, shard_dir),
                 daemon=True,
             )
             process.start()

@@ -1,0 +1,76 @@
+"""Durable storage: stream-op codec, write-ahead log, snapshots.
+
+The storage layer gives the serving stack crash recovery and follower
+replication on top of the stream-op vocabulary the system already speaks:
+
+* :mod:`repro.storage.codec` — the one canonical serialization of
+  ``Arrival``/``Removal``/``Update`` shared by the WAL, the wire protocol,
+  and the replay helpers.
+* :mod:`repro.storage.wal` — append-only, checksummed, fsync-batched
+  record log with owner-side (truncating) and follower-side (tailing)
+  readers.
+* :mod:`repro.storage.snapshot` — checksummed snapshot documents with
+  atomic replacement and retention.
+* :mod:`repro.storage.store` — :class:`~repro.storage.store.DurableStore`,
+  the per-data-directory owner tying the two together.
+
+Server-side recovery (rebuilding a ``QueryServer`` from a data directory)
+lives in :mod:`repro.service.server`; follower tailing in
+:mod:`repro.service.follower` — storage never imports the service layer.
+"""
+
+from repro.storage.codec import (
+    CodecError,
+    decode_op,
+    decode_ops,
+    decode_values,
+    encode_op,
+    encode_ops,
+    encode_values,
+    normalize_stream_op,
+)
+from repro.storage.snapshot import (
+    KEEP_SNAPSHOTS,
+    SNAPSHOT_FORMAT,
+    SnapshotError,
+    list_snapshots,
+    load_latest_snapshot,
+    load_snapshot,
+    write_snapshot,
+)
+from repro.storage.store import DEFAULT_SNAPSHOT_EVERY, DurableStore, RecoveryError
+from repro.storage.wal import (
+    DEFAULT_FSYNC_EVERY,
+    WAL_NAME,
+    WalError,
+    WriteAheadLog,
+    read_available,
+    recover_wal,
+)
+
+__all__ = [
+    "CodecError",
+    "decode_op",
+    "decode_ops",
+    "decode_values",
+    "encode_op",
+    "encode_ops",
+    "encode_values",
+    "normalize_stream_op",
+    "KEEP_SNAPSHOTS",
+    "SNAPSHOT_FORMAT",
+    "SnapshotError",
+    "list_snapshots",
+    "load_latest_snapshot",
+    "load_snapshot",
+    "write_snapshot",
+    "DEFAULT_SNAPSHOT_EVERY",
+    "DurableStore",
+    "RecoveryError",
+    "DEFAULT_FSYNC_EVERY",
+    "WAL_NAME",
+    "WalError",
+    "WriteAheadLog",
+    "read_available",
+    "recover_wal",
+]

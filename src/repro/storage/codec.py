@@ -1,0 +1,245 @@
+"""One canonical serialization of stream operations.
+
+Until this module existed, three call sites each re-encoded stream ops ad
+hoc: :func:`repro.workloads.streaming.apply_stream_op` coerced plain tuples
+with ``Arrival(*op)``, the server's ``ingest``/``retract``/``update`` wire
+handlers unpacked positional JSON entries inline, and the ``repro stream``
+replay helpers normalized again on their own.  The write-ahead log made a
+fourth encoding untenable, so every layer now goes through this codec:
+
+* **record form** — the JSON dict written to the WAL and into snapshots
+  (``{"kind": "arrival", "relation": ..., "values": [...]}``); defaults
+  (importance 0.0, probability 1.0) are omitted so records are minimal and
+  byte-stable.
+* **wire form** — the positional JSON entries of the serving protocol
+  (``[relation, values, imp?, prob?]`` for ingest, ``[relation, label]``
+  for retract, ``[relation, label, values, imp?, prob?]`` for update),
+  kept exactly as PR 3/PR 5 shipped them so existing clients never notice.
+
+Null cells are canonicalized: the paper's ``⊥`` may arrive as JSON ``null``
+(wire), Python ``None`` (convenience), or the :data:`~repro.relational.NULL`
+singleton (in-process).  Encoding always emits JSON ``null``; decoding always
+yields ``NULL``, so a round-tripped op is null-normalized regardless of how
+the caller spelled its nulls.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+from repro.relational.nulls import NULL, is_null
+from repro.workloads.streaming import Arrival, Removal, Update
+
+StreamOp = Union[Arrival, Removal, Update]
+
+#: Values a canonical record may carry besides nulls.  JSON-representable
+#: scalars only — anything richer has no stable on-disk form.
+_SCALARS = (str, int, float, bool)
+
+
+class CodecError(ValueError):
+    """A stream-op payload that cannot be encoded or decoded."""
+
+
+# ---------------------------------------------------------------------- #
+# values
+# ---------------------------------------------------------------------- #
+def encode_values(values: Sequence[object]) -> List[object]:
+    """Attribute values → JSON list; nulls (``NULL`` or ``None``) → ``null``."""
+    encoded: List[object] = []
+    for value in values:
+        if is_null(value):
+            encoded.append(None)
+        elif isinstance(value, _SCALARS):
+            encoded.append(value)
+        else:
+            raise CodecError(
+                f"value {value!r} is not JSON-serializable; stream-op values "
+                "must be scalars or nulls"
+            )
+    return encoded
+
+
+def decode_values(values: Sequence[object]) -> tuple:
+    """JSON list → attribute tuple; ``null``/``None`` → the ``NULL`` singleton."""
+    if not isinstance(values, (list, tuple)):
+        raise CodecError(f"values must be a list, got {values!r}")
+    return tuple(NULL if is_null(value) else value for value in values)
+
+
+def _check_relation(relation: object) -> str:
+    if not isinstance(relation, str) or not relation:
+        raise CodecError(f"relation name must be a non-empty string, got {relation!r}")
+    return relation
+
+
+def _check_label(label: object) -> str:
+    if not isinstance(label, str) or not label:
+        raise CodecError(f"tuple label must be a non-empty string, got {label!r}")
+    return label
+
+
+def _check_number(value: object, what: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise CodecError(f"{what} must be a number, got {value!r}")
+    return float(value)
+
+
+# ---------------------------------------------------------------------- #
+# normalization (the shape ``apply_stream_op`` and the replay helpers use)
+# ---------------------------------------------------------------------- #
+def normalize_stream_op(op: object) -> StreamOp:
+    """Coerce a stream op to its typed form.
+
+    ``Arrival``/``Removal``/``Update`` pass through untouched; a plain
+    ``(relation_name, values[, importance[, probability]])`` tuple becomes an
+    ``Arrival``, preserving the historical convenience form.
+    """
+    if isinstance(op, (Arrival, Removal, Update)):
+        return op
+    try:
+        return Arrival(*op)
+    except TypeError as exc:
+        raise CodecError(f"cannot interpret {op!r} as a stream op: {exc}") from None
+
+
+# ---------------------------------------------------------------------- #
+# record form (WAL + snapshots)
+# ---------------------------------------------------------------------- #
+def encode_op(op: object) -> dict:
+    """Typed (or plain-tuple) op → canonical JSON record dict."""
+    op = normalize_stream_op(op)
+    if isinstance(op, Arrival):
+        record: dict = {
+            "kind": "arrival",
+            "relation": _check_relation(op.relation_name),
+            "values": encode_values(op.values),
+        }
+        if op.importance:
+            record["importance"] = _check_number(op.importance, "importance")
+        if op.probability != 1.0:
+            record["probability"] = _check_number(op.probability, "probability")
+        return record
+    if isinstance(op, Removal):
+        return {
+            "kind": "removal",
+            "relation": _check_relation(op.relation_name),
+            "label": _check_label(op.label),
+        }
+    record = {
+        "kind": "update",
+        "relation": _check_relation(op.relation_name),
+        "label": _check_label(op.label),
+        "values": encode_values(op.values),
+    }
+    if op.importance is not None:
+        record["importance"] = _check_number(op.importance, "importance")
+    if op.probability is not None:
+        record["probability"] = _check_number(op.probability, "probability")
+    return record
+
+
+def decode_op(record: dict) -> StreamOp:
+    """Canonical JSON record dict → typed op (values null-normalized)."""
+    if not isinstance(record, dict):
+        raise CodecError(f"op records must be dicts, got {record!r}")
+    kind = record.get("kind")
+    if kind == "arrival":
+        return Arrival(
+            _check_relation(record.get("relation")),
+            decode_values(record.get("values")),
+            _check_number(record.get("importance", 0.0), "importance"),
+            _check_number(record.get("probability", 1.0), "probability"),
+        )
+    if kind == "removal":
+        return Removal(
+            _check_relation(record.get("relation")),
+            _check_label(record.get("label")),
+        )
+    if kind == "update":
+        importance = record.get("importance")
+        probability = record.get("probability")
+        return Update(
+            _check_relation(record.get("relation")),
+            _check_label(record.get("label")),
+            decode_values(record.get("values")),
+            None if importance is None else _check_number(importance, "importance"),
+            None if probability is None else _check_number(probability, "probability"),
+        )
+    raise CodecError(f"unknown stream-op kind {kind!r}")
+
+
+def encode_ops(ops: Iterable[object]) -> List[dict]:
+    """Encode a batch of ops to record form."""
+    return [encode_op(op) for op in ops]
+
+
+def decode_ops(records: Iterable[dict]) -> List[StreamOp]:
+    """Decode a batch of record dicts to typed ops."""
+    return [decode_op(record) for record in records]
+
+
+# ---------------------------------------------------------------------- #
+# wire form (the serving protocol's positional entries)
+# ---------------------------------------------------------------------- #
+def arrival_from_wire(entry: object) -> Arrival:
+    """``[relation, values, importance?, probability?]`` → ``Arrival``."""
+    shape = "ingest entries must be [relation, values, importance?, probability?]"
+    if not isinstance(entry, (list, tuple)) or not 2 <= len(entry) <= 4:
+        raise CodecError(shape)
+    relation, values = entry[0], entry[1]
+    if not isinstance(values, (list, tuple)):
+        raise CodecError(shape)
+    extras = [
+        _check_number(extra, "importance/probability") for extra in entry[2:]
+    ]
+    return Arrival(_check_relation(relation), decode_values(values), *extras)
+
+
+def removal_from_wire(entry: object) -> Removal:
+    """``[relation, label]`` → ``Removal``."""
+    if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+        raise CodecError("retract entries must be [relation, label] pairs")
+    return Removal(_check_relation(entry[0]), _check_label(entry[1]))
+
+
+def update_from_wire(entry: object) -> Update:
+    """``[relation, label, values, importance?, probability?]`` → ``Update``."""
+    shape = "update entries must be [relation, label, values] triples"
+    if not isinstance(entry, (list, tuple)) or not 3 <= len(entry) <= 5:
+        raise CodecError(shape)
+    relation, label, values = entry[0], entry[1], entry[2]
+    if not isinstance(values, (list, tuple)):
+        raise CodecError(shape)
+    extras = [
+        _check_number(extra, "importance/probability") for extra in entry[3:]
+    ]
+    return Update(
+        _check_relation(relation), _check_label(label), decode_values(values), *extras
+    )
+
+
+def op_to_wire(op: object) -> list:
+    """Typed op → the positional wire entry the serving protocol expects."""
+    op = normalize_stream_op(op)
+    if isinstance(op, Arrival):
+        entry: list = [op.relation_name, encode_values(op.values)]
+        if op.importance or op.probability != 1.0:
+            entry.append(float(op.importance))
+        if op.probability != 1.0:
+            entry.append(float(op.probability))
+        return entry
+    if isinstance(op, Removal):
+        return [op.relation_name, op.label]
+    entry = [op.relation_name, op.label, encode_values(op.values)]
+    if op.probability is not None and op.importance is None:
+        # Positional wire entries cannot skip the importance slot; "keep the
+        # stored importance but change probability" has no wire spelling.
+        raise CodecError(
+            "wire update entries cannot carry probability without importance"
+        )
+    if op.importance is not None:
+        entry.append(float(op.importance))
+    if op.probability is not None:
+        entry.append(float(op.probability))
+    return entry

@@ -1,0 +1,123 @@
+"""Checksummed snapshot files with atomic replacement and retention.
+
+A snapshot is one JSON document capturing everything a server needs to
+resume without replaying the whole WAL:
+
+* the database state (relations, every catalogued tuple in gid-issuance
+  order with its dead flag, epoch, rebuild counter, generation token),
+* the delta maintainer's emitted log and accumulated ``Complete`` store
+  (as stable gid lists — gids survive restore by construction),
+* the prefix cache's materialized first-k prefixes plus the wire requests
+  that opened them,
+* ``wal_offset`` — the WAL position the snapshot is consistent with;
+  recovery replays only records past it.
+
+Writes are crash-safe: the document is written to a temp file, fsynced,
+then ``os.replace``d into ``snapshot-<seq>.json`` — a crash mid-write
+leaves the previous snapshot untouched.  The last :data:`KEEP_SNAPSHOTS`
+files are retained so a snapshot corrupted at rest (bad checksum) falls
+back to its predecessor plus a longer WAL replay rather than failing
+recovery outright.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import List, Optional, Tuple
+
+SNAPSHOT_FORMAT = 1
+SNAPSHOT_PREFIX = "snapshot-"
+SNAPSHOT_SUFFIX = ".json"
+
+#: How many snapshot generations to retain.
+KEEP_SNAPSHOTS = 2
+
+
+class SnapshotError(Exception):
+    """A snapshot that cannot be written or decoded."""
+
+
+def _canonical(payload: dict) -> bytes:
+    return json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+
+def snapshot_path(directory: str, seq: int) -> str:
+    return os.path.join(directory, f"{SNAPSHOT_PREFIX}{seq:08d}{SNAPSHOT_SUFFIX}")
+
+
+def list_snapshots(directory: str) -> List[Tuple[int, str]]:
+    """``(seq, path)`` pairs, newest first."""
+    found: List[Tuple[int, str]] = []
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return found
+    for name in names:
+        if not (name.startswith(SNAPSHOT_PREFIX) and name.endswith(SNAPSHOT_SUFFIX)):
+            continue
+        stem = name[len(SNAPSHOT_PREFIX) : -len(SNAPSHOT_SUFFIX)]
+        try:
+            seq = int(stem)
+        except ValueError:
+            continue
+        found.append((seq, os.path.join(directory, name)))
+    found.sort(reverse=True)
+    return found
+
+
+def write_snapshot(directory: str, payload: dict, seq: int) -> str:
+    """Atomically write ``payload`` as snapshot ``seq``; returns the path.
+
+    The checksum covers the canonical encoding of every other field, so a
+    bit flipped anywhere in the document fails validation on load.
+    """
+    document = dict(payload)
+    document["format"] = SNAPSHOT_FORMAT
+    document["seq"] = seq
+    document.pop("checksum", None)
+    document["checksum"] = zlib.crc32(_canonical(document))
+    path = snapshot_path(directory, seq)
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "wb") as handle:
+        handle.write(_canonical(document))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+    _prune(directory, keep=KEEP_SNAPSHOTS)
+    return path
+
+
+def _prune(directory: str, keep: int) -> None:
+    for _, path in list_snapshots(directory)[keep:]:
+        try:
+            os.remove(path)
+        except OSError:  # pragma: no cover - best-effort retention
+            pass
+
+
+def load_snapshot(path: str) -> Optional[dict]:
+    """Load and validate one snapshot file; ``None`` if it does not verify."""
+    try:
+        with open(path, "rb") as handle:
+            document = json.loads(handle.read().decode("utf-8"))
+    except (OSError, ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(document, dict):
+        return None
+    if document.get("format") != SNAPSHOT_FORMAT:
+        return None
+    expected = document.pop("checksum", None)
+    if expected != zlib.crc32(_canonical(document)):
+        return None
+    return document
+
+
+def load_latest_snapshot(directory: str) -> Optional[Tuple[dict, str]]:
+    """Newest snapshot that validates, or ``None`` when none does."""
+    for _, path in list_snapshots(directory):
+        document = load_snapshot(path)
+        if document is not None:
+            return document, path
+    return None

@@ -1,0 +1,138 @@
+"""The durable store: one data directory tying WAL and snapshots together.
+
+Layout of a data directory::
+
+    <data_dir>/
+        wal.log               # append-only framed stream-op records
+        snapshot-00000001.json
+        snapshot-00000002.json  # last KEEP_SNAPSHOTS retained
+
+The store is deliberately ignorant of the serving layer: whoever owns it
+passes a *state provider* (anything with a ``durable_state()`` method —
+in practice :class:`repro.service.server.QueryServer`) when asking for a
+snapshot, so ``repro.storage`` never imports ``repro.service``.
+
+The primary never truncates or rewrites ``wal.log`` while running (torn
+tails are trimmed once, during its own recovery, before the appender is
+opened) — that append-only discipline is what makes the same file safe
+for followers to tail concurrently.  Log rotation/compaction after a
+snapshot is future work; see the README durability section.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Iterable, Optional
+
+from repro.storage.snapshot import (
+    list_snapshots,
+    write_snapshot,
+)
+from repro.storage.wal import DEFAULT_FSYNC_EVERY, WAL_NAME, WriteAheadLog
+
+#: Default snapshot cadence: one snapshot per this many WAL records.
+DEFAULT_SNAPSHOT_EVERY = 64
+
+
+class RecoveryError(Exception):
+    """A data directory that cannot be recovered into a consistent server."""
+
+
+class DurableStore:
+    """Owner-side durability for one server process."""
+
+    def __init__(
+        self,
+        data_dir: str,
+        fsync_every: int = DEFAULT_FSYNC_EVERY,
+        snapshot_every: Optional[int] = DEFAULT_SNAPSHOT_EVERY,
+        registry=None,
+    ):
+        if snapshot_every is not None and snapshot_every < 1:
+            raise ValueError(f"snapshot_every must be >= 1, got {snapshot_every}")
+        os.makedirs(data_dir, exist_ok=True)
+        self.data_dir = data_dir
+        self.snapshot_every = snapshot_every
+        if registry is None:
+            from repro.obs import get_registry
+
+            registry = get_registry()
+        self.wal = WriteAheadLog(
+            os.path.join(data_dir, WAL_NAME), fsync_every=fsync_every, registry=registry
+        )
+        existing = list_snapshots(data_dir)
+        self._snapshot_seq = existing[0][0] if existing else 0
+        self.ops_since_snapshot = 0
+        self.snapshots_written = 0
+        #: Filled in by recovery (``open_durable_server``) for ``stats``.
+        self.recovery_info: dict = {}
+        self._m_snapshots = registry.counter(
+            "repro_snapshots_total", "Snapshots written."
+        )
+        self._m_snapshot_seconds = registry.gauge(
+            "repro_snapshot_seconds", "Duration of the most recent snapshot write."
+        )
+        self._m_snapshot_offset = registry.gauge(
+            "repro_snapshot_wal_offset",
+            "WAL offset the most recent snapshot is consistent with.",
+        )
+
+    @property
+    def closed(self) -> bool:
+        return self.wal.closed
+
+    def record(self, kind: str, ops: Iterable[object], generation) -> int:
+        """Append one applied batch to the WAL; returns the new offset."""
+        offset = self.wal.append(kind, ops, generation)
+        self.ops_since_snapshot += 1
+        return offset
+
+    def maybe_snapshot(self, state) -> Optional[dict]:
+        """Snapshot when the cadence counter fills; no-op otherwise."""
+        if self.snapshot_every is None:
+            return None
+        if self.ops_since_snapshot < self.snapshot_every:
+            return None
+        return self.snapshot_now(state)
+
+    def snapshot_now(self, state) -> dict:
+        """Write a snapshot of ``state`` consistent with the current WAL.
+
+        The WAL is fsynced first so ``wal_offset`` never points past
+        durable bytes; on load, every record ≤ the offset is already folded
+        into the snapshot and replay starts exactly after it.
+        """
+        started = time.monotonic()
+        self.wal.sync()
+        payload = state.durable_state()
+        payload["wal_offset"] = self.wal.offset
+        payload["created"] = time.time()
+        self._snapshot_seq += 1
+        path = write_snapshot(self.data_dir, payload, self._snapshot_seq)
+        self.ops_since_snapshot = 0
+        self.snapshots_written += 1
+        elapsed = time.monotonic() - started
+        self._m_snapshots.inc()
+        self._m_snapshot_seconds.set(elapsed)
+        self._m_snapshot_offset.set(self.wal.offset)
+        return {
+            "snapshot": os.path.basename(path),
+            "seq": self._snapshot_seq,
+            "wal_offset": self.wal.offset,
+            "seconds": elapsed,
+        }
+
+    def close(self) -> None:
+        self.wal.close()
+
+    def stats(self) -> dict:
+        return {
+            "data_dir": self.data_dir,
+            "wal": self.wal.stats(),
+            "snapshot_seq": self._snapshot_seq,
+            "snapshots_written": self.snapshots_written,
+            "snapshot_every": self.snapshot_every,
+            "ops_since_snapshot": self.ops_since_snapshot,
+            "recovery": dict(self.recovery_info),
+        }

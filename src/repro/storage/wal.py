@@ -1,0 +1,233 @@
+"""Append-only, checksummed, fsync-batched write-ahead log.
+
+The WAL is a single flat file of framed records.  Each frame is
+
+    magic (2 bytes) | body length (4 bytes, big-endian) | crc32 (4 bytes) | body
+
+where the body is a compact JSON document::
+
+    {"kind": "ingest" | "retract" | "update",
+     "ops": [<codec record>, ...],
+     "generation": [rebuilds, epoch, relations, tuples],   # post-apply token
+     "ts": <wall-clock seconds>}
+
+``generation`` is the database's generation token *after* the batch was
+applied: replay asserts it record by record, so a divergent recovery fails
+fast instead of serving silently wrong streams.  ``ts`` is wall-clock time
+at append, which is what lets a follower compute replication lag.
+
+Durability contract (see README "Durability and replication"): the server
+applies a batch through the delta maintainer first — the maintainer
+validates before mutating — then appends the WAL record, then acks.  The
+log is therefore always a prefix of the applied history; a crash between
+apply and append loses only a batch that was never acknowledged.  ``fsync``
+is batched (group commit): every record is buffered and flushed to the OS,
+but the expensive ``fsync`` runs once per ``fsync_every`` appends, bounding
+the window of acked-but-not-yet-durable records.
+
+Two readers with different tail policies share the frame parser:
+
+* :func:`recover_wal` — crash recovery on the *owning* process's log.  A
+  torn or corrupt tail (partial frame, bad checksum) marks the end of the
+  log and is truncated away so the file is clean for appending.
+* :func:`read_available` — a follower tailing a *live* primary's log.  An
+  incomplete tail frame simply hasn't been written yet; the follower keeps
+  its offset and polls again, and must never truncate the primary's file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import time
+import zlib
+from typing import Iterable, List, Optional, Tuple
+
+_MAGIC = b"RW"
+_HEADER = struct.Struct(">2sII")
+
+#: Default group-commit size: fsync once per this many appends.
+DEFAULT_FSYNC_EVERY = 8
+
+WAL_NAME = "wal.log"
+
+
+class WalError(Exception):
+    """A write-ahead log that cannot be read or written."""
+
+
+def encode_frame(payload: dict) -> bytes:
+    """Frame one record: magic + length + crc32 + compact JSON body."""
+    body = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    return _HEADER.pack(_MAGIC, len(body), zlib.crc32(body)) + body
+
+
+def _parse_frame(buffer: bytes, offset: int) -> Optional[Tuple[dict, int]]:
+    """Parse the frame at ``offset``; ``None`` on a torn/corrupt/short tail."""
+    header_end = offset + _HEADER.size
+    if header_end > len(buffer):
+        return None
+    magic, length, checksum = _HEADER.unpack_from(buffer, offset)
+    if magic != _MAGIC:
+        return None
+    body_end = header_end + length
+    if body_end > len(buffer):
+        return None
+    body = buffer[header_end:body_end]
+    if zlib.crc32(body) != checksum:
+        return None
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        return None
+    return payload, body_end
+
+
+def scan_frames(buffer: bytes, start: int = 0) -> Tuple[List[Tuple[dict, int]], int]:
+    """All complete valid frames from ``start``; returns ``(records, good_end)``.
+
+    Each record is ``(payload, end_offset)``.  Scanning stops at the first
+    frame that does not parse — in an append-only log written through
+    :class:`WriteAheadLog` anything after a bad frame is by construction
+    torn-tail garbage, never valid data.
+    """
+    records: List[Tuple[dict, int]] = []
+    offset = start
+    while True:
+        parsed = _parse_frame(buffer, offset)
+        if parsed is None:
+            return records, offset
+        payload, offset = parsed
+        records.append((payload, offset))
+
+
+def read_available(path: str, offset: int = 0) -> Tuple[List[Tuple[dict, int]], int]:
+    """Follower read: complete records past ``offset``, tail left untouched.
+
+    Returns ``(records, new_offset)`` where ``new_offset`` is the end of the
+    last complete record — an in-flight partial frame stays pending for the
+    next poll.  A missing file reads as empty.
+    """
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            buffer = handle.read()
+    except FileNotFoundError:
+        return [], offset
+    records, good_end = scan_frames(buffer)
+    absolute = [(payload, offset + end) for payload, end in records]
+    return absolute, offset + good_end
+
+
+def recover_wal(path: str) -> Tuple[List[Tuple[dict, int]], int, int]:
+    """Owner-side recovery: parse the log and truncate any torn tail.
+
+    Returns ``(records, good_end, truncated_bytes)`` where each record is
+    ``(payload, end_offset)`` — recovery filters by end offset against the
+    snapshot's ``wal_offset``.  A missing file is an empty log.  The
+    truncation makes the file safe to append to again — a half-written
+    frame from the crashed process would otherwise corrupt every later
+    record.
+    """
+    try:
+        with open(path, "rb") as handle:
+            buffer = handle.read()
+    except FileNotFoundError:
+        return [], 0, 0
+    records, good_end = scan_frames(buffer)
+    truncated = len(buffer) - good_end
+    if truncated:
+        with open(path, "r+b") as handle:
+            handle.truncate(good_end)
+            handle.flush()
+            os.fsync(handle.fileno())
+    return records, good_end, truncated
+
+
+class WriteAheadLog:
+    """Appender half: framed records with batched fsync (group commit)."""
+
+    def __init__(
+        self,
+        path: str,
+        fsync_every: int = DEFAULT_FSYNC_EVERY,
+        registry=None,
+    ):
+        if fsync_every < 1:
+            raise ValueError(f"fsync_every must be >= 1, got {fsync_every}")
+        self.path = path
+        self.fsync_every = fsync_every
+        self._handle = open(path, "ab")
+        self.offset = self._handle.tell()
+        self._pending_sync = 0
+        self.records_appended = 0
+        self.fsyncs = 0
+        if registry is None:
+            from repro.obs import get_registry
+
+            registry = get_registry()
+        self._m_records = registry.counter(
+            "repro_wal_records_total", "WAL records appended."
+        )
+        self._m_bytes = registry.counter(
+            "repro_wal_bytes_total", "WAL bytes appended."
+        )
+        self._m_fsyncs = registry.counter(
+            "repro_wal_fsyncs_total", "WAL fsync calls (group commits)."
+        )
+
+    @property
+    def closed(self) -> bool:
+        return self._handle.closed
+
+    def append(self, kind: str, ops: Iterable[object], generation) -> int:
+        """Append one record; returns the offset after it.
+
+        The record is flushed to the OS immediately; ``fsync`` runs when the
+        group-commit counter fills (or on :meth:`sync`/:meth:`close`).
+        """
+        from repro.storage.codec import encode_ops
+
+        payload = {
+            "kind": kind,
+            "ops": encode_ops(ops),
+            "generation": list(generation),
+            "ts": time.time(),
+        }
+        frame = encode_frame(payload)
+        self._handle.write(frame)
+        self._handle.flush()
+        self.offset += len(frame)
+        self.records_appended += 1
+        self._pending_sync += 1
+        self._m_records.inc()
+        self._m_bytes.inc(len(frame))
+        if self._pending_sync >= self.fsync_every:
+            self.sync()
+        return self.offset
+
+    def sync(self) -> None:
+        """Force the group commit: flush and fsync pending records."""
+        if self._handle.closed or not self._pending_sync:
+            return
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._pending_sync = 0
+        self.fsyncs += 1
+        self._m_fsyncs.inc()
+
+    def close(self) -> None:
+        if self._handle.closed:
+            return
+        self.sync()
+        self._handle.close()
+
+    def stats(self) -> dict:
+        return {
+            "path": self.path,
+            "offset": self.offset,
+            "records_appended": self.records_appended,
+            "fsyncs": self.fsyncs,
+            "fsync_every": self.fsync_every,
+        }

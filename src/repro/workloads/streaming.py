@@ -307,8 +307,13 @@ def apply_stream_op(database: Database, op: StreamOp):
 
     Plain ``(relation, values, ...)`` tuples are accepted as arrivals; typed
     :class:`Removal` and :class:`Update` ops dispatch to the tombstoning
-    mutation entry points.
+    mutation entry points.  Normalization goes through the storage codec —
+    the same canonicalization the WAL and the wire handlers use, so every
+    consumer of stream ops agrees on one op vocabulary.
     """
+    from repro.storage.codec import normalize_stream_op
+
+    op = normalize_stream_op(op)
     if isinstance(op, Removal):
         return database.remove_tuple(op.relation_name, op.label)
     if isinstance(op, Update):
@@ -319,12 +324,11 @@ def apply_stream_op(database: Database, op: StreamOp):
             importance=op.importance,
             probability=op.probability,
         )
-    arrival = Arrival(*op)
     return database.add_tuple(
-        arrival.relation_name,
-        arrival.values,
-        importance=arrival.importance,
-        probability=arrival.probability,
+        op.relation_name,
+        op.values,
+        importance=op.importance,
+        probability=op.probability,
     )
 
 

@@ -1,0 +1,46 @@
+"""Child process of the kill-injection suite: ingest until SIGKILLed.
+
+Run as ``python -m tests.storage._kill_child <data_dir>``.  Opens a
+durable server on ``data_dir``, applies the shared deterministic workload
+one mutation at a time, and prints ``applied <i>`` after each ack — the
+parent reads those lines to decide when to SIGKILL.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+
+from repro.service.server import open_durable_server
+
+from tests.storage._workload import (
+    FSYNC_EVERY,
+    SNAPSHOT_EVERY,
+    TOTAL_OPS,
+    build_database,
+    op_request,
+)
+
+
+def main() -> int:
+    data_dir = sys.argv[1]
+    state = open_durable_server(
+        build_database(),
+        data_dir,
+        snapshot_every=SNAPSHOT_EVERY,
+        fsync_every=FSYNC_EVERY,
+    )
+
+    async def run() -> None:
+        for index in range(TOTAL_OPS):
+            response = await state.handle_request(op_request(state.database, index))
+            assert response.get("ok"), response
+            print(f"applied {index}", flush=True)
+        print("done", flush=True)
+
+    asyncio.run(run())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

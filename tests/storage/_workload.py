@@ -1,0 +1,47 @@
+"""Deterministic mutation workload shared by the kill-injection suite.
+
+The child process (:mod:`tests.storage._kill_child`) applies these
+requests one by one against a durable server until it is SIGKILLed; the
+parent test replays the same prefix against an uninterrupted twin.  The
+sequence is a pure function of the op index and the *current* database
+state, so any prefix replays identically on both sides.
+"""
+
+from __future__ import annotations
+
+from repro.relational.database import Database
+from repro.relational.nulls import is_null
+from repro.workloads.generators import star_database
+
+TOTAL_OPS = 18
+SNAPSHOT_EVERY = 4
+FSYNC_EVERY = 2
+
+
+def build_database() -> Database:
+    return star_database(spokes=3, tuples_per_relation=4, hub_domain=2, seed=7)
+
+
+def op_request(database: Database, index: int) -> dict:
+    """The ``index``-th wire mutation, valid against the current state."""
+    relations = database.relations
+    if index % 5 == 4:
+        target = relations[1 + index % 2]
+        labels = sorted(t.label for t in target)
+        if labels:
+            return {"op": "retract", "tuples": [[target.name, labels[0]]]}
+    if index % 7 == 3:
+        target = relations[2]
+        tuples = sorted(target, key=lambda t: t.label)
+        if tuples:
+            t = tuples[-1]
+            values = [None if is_null(v) else str(v) for v in t.values]
+            return {
+                "op": "update",
+                "tuples": [[target.name, t.label, values, float(index)]],
+            }
+    target = relations[index % len(relations)]
+    return {
+        "op": "ingest",
+        "tuples": [[target.name, [f"h{index % 2 + 1}", f"x{index}"], float(index % 3)]],
+    }

@@ -1,0 +1,157 @@
+"""The canonical stream-op codec: record form, wire form, round trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.relational.nulls import NULL
+from repro.storage.codec import (
+    CodecError,
+    arrival_from_wire,
+    decode_op,
+    decode_ops,
+    encode_op,
+    encode_ops,
+    normalize_stream_op,
+    op_to_wire,
+    removal_from_wire,
+    update_from_wire,
+)
+from repro.workloads.streaming import Arrival, Removal, Update
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_names = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+    min_size=1,
+    max_size=8,
+)
+_values = st.lists(
+    st.one_of(
+        st.none(),  # a null cell, spelled the JSON way
+        st.just(NULL),  # a null cell, spelled the in-process way
+        _names,
+        st.integers(min_value=-100, max_value=100),
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+    ),
+    min_size=1,
+    max_size=5,
+)
+_numbers = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+def _arrivals():
+    return st.builds(
+        Arrival,
+        _names,
+        _values.map(tuple),
+        _numbers,
+        st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+    )
+
+
+def _removals():
+    return st.builds(Removal, _names, _names)
+
+
+def _updates():
+    return st.builds(
+        Update,
+        _names,
+        _names,
+        _values.map(tuple),
+        st.one_of(st.none(), _numbers),
+        st.one_of(st.none(), _numbers),
+    )
+
+
+def _ops():
+    return st.one_of(_arrivals(), _removals(), _updates())
+
+
+def _normalized(op):
+    """The canonical twin: values null-normalized to the NULL singleton."""
+    if isinstance(op, Removal):
+        return op
+    values = tuple(NULL if v is None or v is NULL else v for v in op.values)
+    return op._replace(values=values)
+
+
+class TestRecordRoundTrip:
+    @RELAXED
+    @given(op=_ops())
+    def test_record_round_trip_is_identity_after_null_normalization(self, op):
+        assert decode_op(encode_op(op)) == _normalized(op)
+
+    @RELAXED
+    @given(op=_ops())
+    def test_records_are_json_stable(self, op):
+        record = encode_op(op)
+        over_the_wire = json.loads(
+            json.dumps(record, sort_keys=True, separators=(",", ":"))
+        )
+        assert decode_op(over_the_wire) == _normalized(op)
+
+    @RELAXED
+    @given(ops=st.lists(_ops(), max_size=6))
+    def test_batch_round_trip(self, ops):
+        assert decode_ops(encode_ops(ops)) == [_normalized(op) for op in ops]
+
+    def test_defaults_are_omitted_from_records(self):
+        record = encode_op(Arrival("R", ("a", None)))
+        assert record == {"kind": "arrival", "relation": "R", "values": ["a", None]}
+
+    def test_plain_tuples_are_accepted_as_arrivals(self):
+        assert decode_op(encode_op(("R", ("a",), 2.0))) == Arrival("R", ("a",), 2.0)
+        assert normalize_stream_op(("R", ("a",))) == Arrival("R", ("a",))
+
+    def test_unknown_kind_is_refused(self):
+        with pytest.raises(CodecError):
+            decode_op({"kind": "mystery", "relation": "R"})
+
+    def test_non_scalar_values_are_refused(self):
+        with pytest.raises(CodecError):
+            encode_op(Arrival("R", (object(),)))
+
+
+class TestWireRoundTrip:
+    @RELAXED
+    @given(op=_arrivals())
+    def test_arrival_wire_round_trip(self, op):
+        assert arrival_from_wire(op_to_wire(op)) == _normalized(op)
+
+    @RELAXED
+    @given(op=_removals())
+    def test_removal_wire_round_trip(self, op):
+        assert removal_from_wire(op_to_wire(op)) == op
+
+    @RELAXED
+    @given(op=_updates())
+    def test_update_wire_round_trip(self, op):
+        if op.probability is not None and op.importance is None:
+            # Positional wire entries cannot skip the importance slot.
+            with pytest.raises(CodecError):
+                op_to_wire(op)
+        else:
+            assert update_from_wire(op_to_wire(op)) == _normalized(op)
+
+    def test_wire_shapes_match_the_served_protocol(self):
+        assert op_to_wire(Arrival("R", ("a", NULL))) == ["R", ["a", None]]
+        assert op_to_wire(Removal("R", "r1")) == ["R", "r1"]
+        assert op_to_wire(Update("R", "r1", ("b",))) == ["R", "r1", ["b"]]
+
+    def test_legacy_error_messages_are_preserved(self):
+        with pytest.raises(CodecError, match=r"\[relation, label\] pairs"):
+            removal_from_wire(["R"])
+        with pytest.raises(CodecError, match=r"\[relation, label, values\] triples"):
+            update_from_wire(["R", "r1"])

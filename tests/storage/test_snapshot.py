@@ -1,0 +1,76 @@
+"""Snapshot files: checksums, atomic replacement, retention, fallback."""
+
+from __future__ import annotations
+
+import os
+
+from repro.storage.snapshot import (
+    KEEP_SNAPSHOTS,
+    list_snapshots,
+    load_latest_snapshot,
+    load_snapshot,
+    write_snapshot,
+)
+
+
+class TestWriteAndLoad:
+    def test_round_trip_preserves_the_payload(self, tmp_path):
+        payload = {"database": {"epoch": 3}, "wal_offset": 128}
+        path = write_snapshot(str(tmp_path), payload, seq=1)
+        document = load_snapshot(path)
+        assert document["database"] == {"epoch": 3}
+        assert document["wal_offset"] == 128
+        assert document["seq"] == 1
+
+    def test_no_tmp_file_survives_a_write(self, tmp_path):
+        write_snapshot(str(tmp_path), {"x": 1}, seq=1)
+        assert not [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+
+    def test_missing_directory_lists_empty(self, tmp_path):
+        assert list_snapshots(str(tmp_path / "absent")) == []
+        assert load_latest_snapshot(str(tmp_path / "absent")) is None
+
+
+class TestCorruption:
+    def test_a_flipped_byte_fails_validation(self, tmp_path):
+        path = write_snapshot(str(tmp_path), {"x": 1}, seq=1)
+        blob = bytearray(open(path, "rb").read())
+        blob[len(blob) // 2] ^= 0xFF
+        open(path, "wb").write(bytes(blob))
+        assert load_snapshot(path) is None
+
+    def test_truncated_document_fails_validation(self, tmp_path):
+        path = write_snapshot(str(tmp_path), {"x": 1}, seq=1)
+        blob = open(path, "rb").read()
+        open(path, "wb").write(blob[: len(blob) // 2])
+        assert load_snapshot(path) is None
+
+    def test_corrupt_newest_falls_back_to_its_predecessor(self, tmp_path):
+        write_snapshot(str(tmp_path), {"which": "old"}, seq=1)
+        newest = write_snapshot(str(tmp_path), {"which": "new"}, seq=2)
+        open(newest, "wb").write(b"garbage")
+        loaded = load_latest_snapshot(str(tmp_path))
+        assert loaded is not None
+        document, path = loaded
+        assert document["which"] == "old"
+        assert path.endswith("snapshot-00000001.json")
+
+    def test_all_corrupt_means_none(self, tmp_path):
+        path = write_snapshot(str(tmp_path), {"x": 1}, seq=1)
+        open(path, "wb").write(b"junk")
+        assert load_latest_snapshot(str(tmp_path)) is None
+
+
+class TestRetention:
+    def test_only_the_last_generations_are_kept(self, tmp_path):
+        for seq in range(1, 6):
+            write_snapshot(str(tmp_path), {"seq_payload": seq}, seq=seq)
+        kept = list_snapshots(str(tmp_path))
+        assert len(kept) == KEEP_SNAPSHOTS
+        assert [seq for seq, _ in kept] == [5, 4]
+
+    def test_latest_wins(self, tmp_path):
+        write_snapshot(str(tmp_path), {"which": "old"}, seq=1)
+        write_snapshot(str(tmp_path), {"which": "new"}, seq=2)
+        document, _ = load_latest_snapshot(str(tmp_path))
+        assert document["which"] == "new"

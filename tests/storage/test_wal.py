@@ -1,0 +1,145 @@
+"""The write-ahead log: framing, group commit, and the two tail policies."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.storage.wal import (
+    WriteAheadLog,
+    encode_frame,
+    read_available,
+    recover_wal,
+)
+from repro.workloads.streaming import Arrival, Removal
+
+
+def _wal(tmp_path, **kwargs):
+    kwargs.setdefault("registry", MetricsRegistry())
+    return WriteAheadLog(str(tmp_path / "wal.log"), **kwargs)
+
+
+class TestAppendAndRecover:
+    def test_appended_records_recover_in_order(self, tmp_path):
+        wal = _wal(tmp_path)
+        wal.append("ingest", [Arrival("R", ("a", None))], (0, 0, 1, 1))
+        wal.append("retract", [Removal("R", "r1")], (0, 1, 1, 1))
+        wal.close()
+        records, good_end, truncated = recover_wal(wal.path)
+        assert truncated == 0
+        assert good_end == os.path.getsize(wal.path) == wal.offset
+        assert [payload["kind"] for payload, _ in records] == ["ingest", "retract"]
+        assert records[0][0]["generation"] == [0, 0, 1, 1]
+        assert all("ts" in payload for payload, _ in records)
+        # End offsets are absolute and strictly increasing: snapshot/replay
+        # filtering depends on them.
+        ends = [end for _, end in records]
+        assert ends == sorted(ends) and ends[-1] == good_end
+
+    def test_missing_file_reads_as_empty(self, tmp_path):
+        path = str(tmp_path / "absent.log")
+        assert recover_wal(path) == ([], 0, 0)
+        assert read_available(path) == ([], 0)
+
+    def test_fsync_batches_at_the_group_commit_cadence(self, tmp_path):
+        wal = _wal(tmp_path, fsync_every=4)
+        for index in range(7):
+            wal.append("ingest", [Arrival("R", (str(index),))], (0, 0, 1, 1))
+        assert wal.fsyncs == 1  # one full group of 4; 3 still pending
+        wal.sync()
+        assert wal.fsyncs == 2
+        wal.sync()  # nothing pending: no extra fsync
+        assert wal.fsyncs == 2
+        wal.close()
+
+    def test_fsync_every_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            _wal(tmp_path, fsync_every=0)
+
+
+class TestTornTails:
+    def _torn(self, tmp_path, keep: int):
+        """A WAL of 3 records whose last frame is cut to ``keep`` bytes."""
+        wal = _wal(tmp_path)
+        offsets = [
+            wal.append("ingest", [Arrival("R", (str(i),))], (0, 0, 1, 1))
+            for i in range(3)
+        ]
+        wal.close()
+        with open(wal.path, "r+b") as handle:
+            handle.truncate(offsets[1] + keep)
+        return wal.path, offsets
+
+    def test_recovery_truncates_a_torn_tail(self, tmp_path):
+        path, offsets = self._torn(tmp_path, keep=5)
+        records, good_end, truncated = recover_wal(path)
+        assert len(records) == 2
+        assert good_end == offsets[1]
+        assert truncated == 5
+        assert os.path.getsize(path) == offsets[1]
+        # Idempotent: a second recovery sees a clean log.
+        assert recover_wal(path) == (records, good_end, 0)
+
+    def test_recovered_log_accepts_new_appends(self, tmp_path):
+        path, offsets = self._torn(tmp_path, keep=3)
+        recover_wal(path)
+        wal = WriteAheadLog(path, registry=MetricsRegistry())
+        assert wal.offset == offsets[1]
+        wal.append("ingest", [Arrival("R", ("fresh",))], (0, 0, 1, 2))
+        wal.close()
+        records, _, truncated = recover_wal(path)
+        assert truncated == 0
+        assert [p["ops"][0]["values"] for p, _ in records] == [["0"], ["1"], ["fresh"]]
+
+    def test_corrupt_mid_log_byte_marks_the_end(self, tmp_path):
+        wal = _wal(tmp_path)
+        first_end = wal.append("ingest", [Arrival("R", ("a",))], (0, 0, 1, 1))
+        wal.append("ingest", [Arrival("R", ("b",))], (0, 0, 1, 2))
+        wal.close()
+        with open(wal.path, "r+b") as handle:
+            handle.seek(first_end + 12)
+            handle.write(b"\xff")
+        records, good_end, truncated = recover_wal(wal.path)
+        assert [p["ops"][0]["values"] for p, _ in records] == [["a"]]
+        assert good_end == first_end and truncated > 0
+
+    def test_follower_read_never_truncates_a_partial_tail(self, tmp_path):
+        path, offsets = self._torn(tmp_path, keep=5)
+        size_before = os.path.getsize(path)
+        records, new_offset = read_available(path)
+        assert len(records) == 2
+        assert new_offset == offsets[1]
+        assert os.path.getsize(path) == size_before  # untouched
+
+    def test_follower_resumes_from_its_offset(self, tmp_path):
+        wal = _wal(tmp_path)
+        wal.append("ingest", [Arrival("R", ("a",))], (0, 0, 1, 1))
+        wal.sync()
+        first, offset = read_available(wal.path)
+        assert [p["ops"][0]["values"] for p, _ in first] == [["a"]]
+        assert read_available(wal.path, offset) == ([], offset)
+        wal.append("ingest", [Arrival("R", ("b",))], (0, 0, 1, 2))
+        wal.sync()
+        second, _ = read_available(wal.path, offset)
+        assert [p["ops"][0]["values"] for p, _ in second] == [["b"]]
+        assert all(end > offset for _, end in second)
+        wal.close()
+
+    def test_tail_completion_yields_the_pending_record(self, tmp_path):
+        # A frame that is partial on one poll and complete on the next must
+        # be served exactly once, from the same offset.
+        wal = _wal(tmp_path)
+        wal.append("ingest", [Arrival("R", ("a",))], (0, 0, 1, 1))
+        wal.close()
+        frame = encode_frame({"kind": "ingest", "ops": [], "generation": [0, 0, 1, 1]})
+        _, offset = read_available(wal.path)
+        with open(wal.path, "ab") as handle:
+            handle.write(frame[: len(frame) // 2])
+        pending, stuck = read_available(wal.path, offset)
+        assert pending == [] and stuck == offset
+        with open(wal.path, "ab") as handle:
+            handle.write(frame[len(frame) // 2 :])
+        done, moved = read_available(wal.path, offset)
+        assert len(done) == 1 and moved == offset + len(frame)
