@@ -1,0 +1,252 @@
+"""Diff two BENCH_*.json artifact sets and flag metric regressions.
+
+Usage::
+
+    python benchmarks/compare_artifacts.py BASELINE_DIR CURRENT_DIR \
+        [--tolerance 0.25] [--fail-on-regression]
+
+Artifacts are matched by filename, tables by title, and rows by their
+non-numeric key cells (workload/backend/operation labels), so reordered rows
+and newly added tables never produce false regressions.  Every numeric cell
+shared by both sides becomes one comparison; the column header decides the
+direction (times, RSS, scan counts: lower is better; speedups, hit rates,
+throughput: higher is better).  Memory entries (``memory`` lists recorded by
+``BenchArtifacts.record_memory``) are compared by label on their
+``peak_rss_bytes``.
+
+A change worse than ``--tolerance`` (relative) is a REGRESSION, better is an
+IMPROVEMENT, anything inside the band is steady.  The exit code is 0 unless
+``--fail-on-regression`` is given and at least one regression was found —
+CI runs the comparison informationally (smoke-scale timings are noisy) and
+prints the trend table into the job log.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+from typing import Dict, List, Optional, Tuple
+
+#: Header keywords marking lower-is-better metrics.
+LOWER_BETTER = (
+    "time", "(s)", "seconds", "rss", "bytes", "scanned", "reads",
+    "probes", "scans", "lag", "candidates", "latency", "overhead",
+)
+
+#: Header keywords marking higher-is-better metrics (checked first).
+HIGHER_BETTER = ("speedup", "vs serial", "hit", "throughput", "results/s", "rate")
+
+
+def metric_direction(header: str) -> Optional[int]:
+    """``-1`` when lower is better, ``+1`` when higher, ``None`` when unknown."""
+    lowered = header.lower()
+    if any(key in lowered for key in HIGHER_BETTER):
+        return 1
+    if any(key in lowered for key in LOWER_BETTER):
+        return -1
+    return None
+
+
+_NUMERIC = re.compile(r"^-?\d+(?:\.\d+)?(?:e[+-]?\d+)?x?$", re.IGNORECASE)
+
+
+def as_number(cell: object) -> Optional[float]:
+    """The numeric value of a cell (``"1.23"``, ``"2.5x"``, 42) or ``None``."""
+    if isinstance(cell, bool):
+        return None
+    if isinstance(cell, (int, float)):
+        return float(cell)
+    if isinstance(cell, str) and _NUMERIC.match(cell.strip()):
+        return float(cell.strip().rstrip("xX"))
+    return None
+
+
+def row_key(headers: List[str], row: List[object]) -> Tuple:
+    """A row's identity: its non-numeric cells (labels), positionally."""
+    return tuple(
+        str(cell)
+        for header, cell in zip(headers, row)
+        if as_number(cell) is None
+    )
+
+
+def load_artifacts(directory: pathlib.Path) -> Dict[str, dict]:
+    found: Dict[str, dict] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError):
+            continue
+        if isinstance(document, dict):
+            found[path.name] = document
+    return found
+
+
+class Comparison:
+    __slots__ = ("where", "metric", "baseline", "current", "delta", "status")
+
+    def __init__(self, where, metric, baseline, current, delta, status):
+        self.where = where
+        self.metric = metric
+        self.baseline = baseline
+        self.current = current
+        self.delta = delta
+        self.status = status
+
+
+def classify(
+    baseline: float, current: float, direction: Optional[int], tolerance: float
+) -> Tuple[float, str]:
+    """Relative change and its verdict under the tolerance band."""
+    if baseline == 0:
+        delta = 0.0 if current == 0 else float("inf")
+    else:
+        delta = (current - baseline) / abs(baseline)
+    if direction is None:
+        # No known direction: any drift beyond tolerance is only INFO —
+        # counts like |FD| changing is a correctness matter, not a trend.
+        return delta, "changed" if abs(delta) > tolerance else "steady"
+    worse = delta * direction < 0
+    if abs(delta) <= tolerance:
+        return delta, "steady"
+    return delta, "regression" if worse else "improvement"
+
+
+def compare_tables(
+    name: str, baseline: dict, current: dict, tolerance: float
+) -> List[Comparison]:
+    comparisons: List[Comparison] = []
+    baseline_tables = {t.get("title"): t for t in baseline.get("tables", [])}
+    for table in current.get("tables", []):
+        base_table = baseline_tables.get(table.get("title"))
+        if base_table is None:
+            continue
+        headers = [str(h) for h in table.get("headers", [])]
+        if headers != [str(h) for h in base_table.get("headers", [])]:
+            continue
+        # Keys carry an occurrence index so tables with repeated (or empty)
+        # label cells still match row-for-row in order.
+        base_rows: Dict[Tuple, list] = {}
+        base_seen: Dict[Tuple, int] = {}
+        for row in base_table.get("rows", []):
+            key = row_key(headers, row)
+            occurrence = base_seen.get(key, 0)
+            base_seen[key] = occurrence + 1
+            base_rows[key + (occurrence,)] = row
+        current_seen: Dict[Tuple, int] = {}
+        for row in table.get("rows", []):
+            key = row_key(headers, row)
+            occurrence = current_seen.get(key, 0)
+            current_seen[key] = occurrence + 1
+            base_row = base_rows.get(key + (occurrence,))
+            if base_row is None:
+                continue
+            for header, base_cell, cell in zip(headers, base_row, row):
+                base_value = as_number(base_cell)
+                value = as_number(cell)
+                if base_value is None or value is None:
+                    continue
+                direction = metric_direction(header)
+                delta, status = classify(base_value, value, direction, tolerance)
+                where = f"{name} :: {table['title']} :: {' / '.join(row_key(headers, row)) or '-'}"
+                comparisons.append(
+                    Comparison(where, header, base_value, value, delta, status)
+                )
+    baseline_memory = {
+        entry.get("label"): entry for entry in baseline.get("memory", [])
+    }
+    for entry in current.get("memory", []):
+        base_entry = baseline_memory.get(entry.get("label"))
+        if base_entry is None:
+            continue
+        base_value = as_number(base_entry.get("peak_rss_bytes"))
+        value = as_number(entry.get("peak_rss_bytes"))
+        if base_value is None or value is None:
+            continue
+        delta, status = classify(base_value, value, -1, tolerance)
+        comparisons.append(
+            Comparison(
+                f"{name} :: memory :: {entry.get('label')}",
+                "peak_rss_bytes",
+                base_value,
+                value,
+                delta,
+                status,
+            )
+        )
+    return comparisons
+
+
+def format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=pathlib.Path, help="baseline artifact directory")
+    parser.add_argument("current", type=pathlib.Path, help="current artifact directory")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="relative change treated as noise (default: 0.25)",
+    )
+    parser.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit non-zero when any regression exceeds the tolerance",
+    )
+    arguments = parser.parse_args(argv)
+
+    baseline = load_artifacts(arguments.baseline)
+    current = load_artifacts(arguments.current)
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print("no artifact files in common; nothing to compare")
+        return 0
+
+    comparisons: List[Comparison] = []
+    for name in shared:
+        comparisons.extend(
+            compare_tables(name, baseline[name], current[name], arguments.tolerance)
+        )
+    only_current = sorted(set(current) - set(baseline))
+    only_baseline = sorted(set(baseline) - set(current))
+
+    regressions = [c for c in comparisons if c.status == "regression"]
+    improvements = [c for c in comparisons if c.status == "improvement"]
+    interesting = [c for c in comparisons if c.status != "steady"]
+
+    print(
+        f"compared {len(shared)} artifact file(s), "
+        f"{len(comparisons)} metric(s); tolerance ±{arguments.tolerance:.0%}"
+    )
+    if only_current:
+        print(f"new artifacts (no baseline): {', '.join(only_current)}")
+    if only_baseline:
+        print(f"baseline-only artifacts: {', '.join(only_baseline)}")
+    if not interesting:
+        print("all shared metrics steady")
+    else:
+        width = max(len(c.status) for c in interesting)
+        for c in sorted(interesting, key=lambda c: (c.status != "regression", c.where)):
+            print(
+                f"  {c.status.upper():<{width + 1}} {c.where} [{c.metric}]: "
+                f"{format_value(c.baseline)} -> {format_value(c.current)} "
+                f"({c.delta:+.1%})"
+            )
+    print(
+        f"summary: {len(regressions)} regression(s), "
+        f"{len(improvements)} improvement(s), "
+        f"{len(comparisons) - len(interesting)} steady"
+    )
+    if regressions and arguments.fail_on_regression:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

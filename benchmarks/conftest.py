@@ -54,3 +54,21 @@ def report_table(request):
         return rendered
 
     return _report
+
+
+@pytest.fixture
+def report_memory(request):
+    """Record a machine-checkable memory measurement into the artifact."""
+
+    experiment = experiment_id(request.module.__name__)
+
+    def _report(label, peak_rss_bytes, allocated_bytes=None, budget_bytes=None):
+        _ARTIFACTS.record_memory(
+            experiment,
+            label,
+            peak_rss_bytes,
+            allocated_bytes=allocated_bytes,
+            budget_bytes=budget_bytes,
+        )
+
+    return _report

@@ -86,6 +86,32 @@ def time_call(function: Callable[[], object]) -> Tuple[object, float]:
     return result, time.perf_counter() - started
 
 
+def peak_rss_bytes() -> Optional[int]:
+    """This process's peak resident set size in bytes (``None`` off-POSIX).
+
+    On Linux this reads ``VmHWM`` — the high-water mark of this process's
+    *own* address space.  ``ru_maxrss`` would be wrong in a subprocess:
+    Linux never resets it across ``exec``, so a child forked from a fat
+    parent inherits the parent's mark.  Elsewhere ``ru_maxrss`` is used
+    (kibibytes on Linux, bytes on macOS), normalised to bytes so benchmark
+    assertions can state budgets portably.
+    """
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmHWM"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    try:
+        import resource
+        import sys
+    except ImportError:  # pragma: no cover - non-POSIX hosts
+        return None
+    raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return raw if sys.platform == "darwin" else raw * 1024
+
+
 # --------------------------------------------------------------------------- #
 # machine-readable artifacts
 # --------------------------------------------------------------------------- #
@@ -116,10 +142,16 @@ class BenchArtifacts:
     module reported this session::
 
         {"experiment": "E6", "schema_version": 1,
-         "tables": [{"title": ..., "headers": [...], "rows": [[...], ...]}]}
+         "tables": [{"title": ..., "headers": [...], "rows": [[...], ...]}],
+         "memory": [{"label": ..., "peak_rss_bytes": ..., ...}]}
 
-    ``record`` rewrites the file after every table, so a crashed or
-    interrupted benchmark session still leaves the tables it completed.
+    The ``memory`` list (present only when something was recorded) carries
+    machine-checkable memory measurements — peak RSS, allocated bytes, the
+    budget they were asserted against — so artifact diffing can flag memory
+    regressions the same way it flags timing ones.
+
+    ``record``/``record_memory`` rewrite the file after every entry, so a
+    crashed or interrupted benchmark session still leaves what it completed.
     """
 
     SCHEMA_VERSION = 1
@@ -127,16 +159,33 @@ class BenchArtifacts:
     def __init__(self, directory):
         self.directory = pathlib.Path(directory)
         self._tables: dict = {}
+        self._memory: dict = {}
 
     def reset(self) -> None:
         """Start a fresh session: drop recorded state and stale artifact files."""
         self._tables.clear()
+        self._memory.clear()
         if self.directory.exists():
             for stale in self.directory.glob("BENCH_*.json"):
                 stale.unlink()
 
     def path_for(self, experiment: str) -> pathlib.Path:
         return self.directory / f"BENCH_{experiment}.json"
+
+    def _write(self, experiment: str) -> pathlib.Path:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(experiment)
+        payload = {
+            "experiment": experiment,
+            "schema_version": self.SCHEMA_VERSION,
+            "tables": self._tables.get(experiment, []),
+        }
+        if self._memory.get(experiment):
+            payload["memory"] = self._memory[experiment]
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, ensure_ascii=False)
+            handle.write("\n")
+        return path
 
     def record(
         self,
@@ -152,17 +201,24 @@ class BenchArtifacts:
             "rows": [[_json_cell(cell) for cell in row] for row in rows],
         }
         self._tables.setdefault(experiment, []).append(table)
-        self.directory.mkdir(parents=True, exist_ok=True)
-        path = self.path_for(experiment)
-        payload = {
-            "experiment": experiment,
-            "schema_version": self.SCHEMA_VERSION,
-            "tables": self._tables[experiment],
-        }
-        with path.open("w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, ensure_ascii=False)
-            handle.write("\n")
-        return path
+        return self._write(experiment)
+
+    def record_memory(
+        self,
+        experiment: str,
+        label: str,
+        peak_rss_bytes: Optional[int],
+        allocated_bytes: Optional[int] = None,
+        budget_bytes: Optional[int] = None,
+    ) -> pathlib.Path:
+        """Record one memory measurement into the experiment's artifact."""
+        entry = {"label": str(label), "peak_rss_bytes": peak_rss_bytes}
+        if allocated_bytes is not None:
+            entry["allocated_bytes"] = int(allocated_bytes)
+        if budget_bytes is not None:
+            entry["budget_bytes"] = int(budget_bytes)
+        self._memory.setdefault(experiment, []).append(entry)
+        return self._write(experiment)
 
 
 

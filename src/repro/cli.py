@@ -600,6 +600,43 @@ def _trace_profile(arguments: argparse.Namespace, database: Database) -> int:
     return 0
 
 
+def _command_pack(arguments: argparse.Namespace) -> int:
+    # ``repro pack star --out db.rpmc``: accept a workload name in the
+    # positional slot as well as via --workload, exactly like ``trace``.
+    if (
+        not arguments.workload
+        and len(arguments.csv) == 1
+        and arguments.csv[0] in SERVE_WORKLOADS
+    ):
+        import os
+
+        if not os.path.exists(arguments.csv[0]):
+            arguments.workload = arguments.csv[0]
+            arguments.csv = []
+    if arguments.csv and arguments.workload:
+        raise SystemExit("error: give CSV files or --workload, not both")
+    if not arguments.csv and not arguments.workload:
+        raise SystemExit("error: give CSV files or --workload")
+    database = _serve_database(arguments)
+    try:
+        from repro.relational.catalog_file import MirrorFile
+
+        database.save_mirror(arguments.out)
+        handle = MirrorFile.open(arguments.out)
+    except Exception as error:
+        raise SystemExit(f"error: cannot pack mirror file: {error}")
+    try:
+        size = handle.size_bytes()
+        print(f"packed {handle.n} tuples over {handle.relation_count} relations "
+              f"into {arguments.out}")
+        print(f"({size} bytes, width {handle.width} words, "
+              f"generation {tuple(handle.generation)}, "
+              f"sealed={handle.sealed}, body intact={handle.verify_body()})")
+    finally:
+        handle.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -792,6 +829,33 @@ def build_parser() -> argparse.ArgumentParser:
         "printing the one-pass Incomplete/Complete trace",
     )
     trace_parser.set_defaults(handler=_command_trace)
+
+    pack_parser = subparsers.add_parser(
+        "pack",
+        help="pack a database into a sealed, memory-mappable catalog mirror "
+        "file (servable out-of-core, shareable zero-copy by sharded workers)",
+    )
+    pack_parser.add_argument(
+        "csv", nargs="*",
+        help="CSV files, one relation per file — or a workload name "
+        f"({', '.join(SERVE_WORKLOADS)})",
+    )
+    pack_parser.add_argument(
+        "--workload", choices=SERVE_WORKLOADS, default=None,
+        help="pack a generated workload instead of CSV files",
+    )
+    pack_parser.add_argument("--seed", type=int, default=0,
+                             help="seed for generated workloads (default: 0)")
+    pack_parser.add_argument(
+        "--null-token", default=csv_io.DEFAULT_NULL_TOKEN,
+        help="cell value treated as null (default: ⊥; empty cells are always null)",
+    )
+    pack_parser.add_argument(
+        "--out", required=True, metavar="MIRROR.rpmc",
+        help="write the mirror file here (load with "
+        "repro.relational.catalog_file.load_database)",
+    )
+    pack_parser.set_defaults(handler=_command_pack)
 
     return parser
 

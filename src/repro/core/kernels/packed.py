@@ -105,6 +105,21 @@ class PackedMirror:
     the catalog's append/tombstone hooks.  Arrays are over-allocated
     (capacity doubling in both rows and words), with ``n``/``width`` marking
     the logical extent, so streaming appends stay amortized O(row).
+
+    Two backings share every kernel code path — the arrays differ only in
+    where their bytes live:
+
+    ``backing="ram"``
+        Anonymous ``np.zeros`` allocations (the original mirror).
+    ``backing="mmap"``
+        Views over a :class:`~repro.relational.catalog_file.MirrorFile`
+        mapping, so the matrices page in on demand, survive the process, and
+        are shared zero-copy with sharded workers via the OS page cache.
+        Appends additionally write the tuple's payload entry to the file and
+        growth delegates to the file's ftruncate-and-remap doubling.
+
+    Answers and ``sets_scanned`` counts are identical across backings by
+    construction: :class:`PackedKernel` reads the same attributes either way.
     """
 
     __slots__ = (
@@ -116,31 +131,100 @@ class PackedMirror:
         "relation_tuples",
         "tuple_relation",
         "adjacency",
+        "backing",
+        "file",
+        "version",
     )
 
-    def __init__(self, catalog):
+    def __init__(self, catalog, backing: str = "ram", path: Optional[str] = None,
+                 delete_on_close: bool = False):
+        if backing not in ("ram", "mmap"):
+            raise ValueError(f"backing must be 'ram' or 'mmap', got {backing!r}")
         n = catalog.tuple_count
         r = catalog.relation_count
         self.n = n
         self.width = words_for(n)
         self.r_words = words_for(max(r, 1))
+        self.backing = backing
+        self.version = 0
         row_cap = max(n, 16)
-        self.consistent = np.zeros((row_cap, self.width), dtype=U64)
+        if backing == "mmap":
+            if path is None:
+                raise ValueError("the mmap backing needs a file path")
+            from repro.relational.catalog_file import MirrorFile
+
+            self.file = MirrorFile.create(
+                path,
+                row_cap=row_cap,
+                word_cap=self.width,
+                relation_count=r,
+                r_words=self.r_words,
+                meta=catalog.mirror_meta(),
+                delete_on_close=delete_on_close,
+            )
+            self._bind_file_arrays()
+        else:
+            self.file = None
+            self.consistent = np.zeros((row_cap, self.width), dtype=U64)
+            self.dead = np.zeros(self.width, dtype=U64)
+            self.relation_tuples = np.zeros((max(r, 1), self.width), dtype=U64)
+            self.adjacency = np.zeros((max(r, 1), self.r_words), dtype=U64)
+            self.tuple_relation = np.zeros(row_cap, dtype=np.int64)
         for gid in range(n):
-            self.consistent[gid] = pack_int(catalog.consistent_mask(gid), self.width)
-        self.dead = pack_int(catalog.dead_mask, self.width).copy()
-        self.relation_tuples = np.zeros((max(r, 1), self.width), dtype=U64)
-        self.adjacency = np.zeros((max(r, 1), self.r_words), dtype=U64)
+            self.consistent[gid, :self.width] = pack_int(
+                catalog.consistent_mask(gid), self.width
+            )
+        self.dead[:self.width] = pack_int(catalog.dead_mask, self.width)
         for rid in range(r):
-            self.relation_tuples[rid] = pack_int(
+            self.relation_tuples[rid, :self.width] = pack_int(
                 catalog.relation_tuples_mask(rid), self.width
             )
-            self.adjacency[rid] = pack_int(catalog.adjacency_mask(rid), self.r_words)
-        self.tuple_relation = np.zeros(row_cap, dtype=np.int64)
+            self.adjacency[rid, :self.r_words] = pack_int(
+                catalog.adjacency_mask(rid), self.r_words
+            )
         for gid in range(n):
             self.tuple_relation[gid] = catalog.relation_of_tuple(gid)
+        if self.file is not None:
+            for gid in range(n):
+                self.file.append_payload(catalog.payload_entry(gid))
+            self.file.set_counts(n, self.width)
+            self.file.flush()
+
+    @classmethod
+    def attached(cls, mirror_file) -> "PackedMirror":
+        """Wrap an already-populated mirror file (the worker side).
+
+        No catalog big ints are read — the file's header supplies the
+        logical extents and the mapped sections supply the matrices, so
+        attaching is O(1) regardless of database size.
+        """
+        self = object.__new__(cls)
+        self.backing = "mmap"
+        self.version = 0
+        self.file = mirror_file
+        self.n = mirror_file.n
+        self.width = mirror_file.width
+        self.r_words = mirror_file.r_words
+        self._bind_file_arrays()
+        return self
+
+    @property
+    def path(self) -> Optional[str]:
+        """The backing file's path (``None`` for the RAM backing)."""
+        return None if self.file is None else self.file.path
+
+    def _bind_file_arrays(self) -> None:
+        self.consistent = self.file.consistent
+        self.relation_tuples = self.file.relation_tuples
+        self.adjacency = self.file.adjacency
+        self.dead = self.file.dead
+        self.tuple_relation = self.file.tuple_relation
 
     def _grow(self, need_rows: int, need_words: int) -> None:
+        if self.file is not None:
+            self.file.grow(need_rows, need_words)
+            self._bind_file_arrays()
+            return
         row_cap, word_cap = self.consistent.shape
         new_rows = row_cap
         while new_rows < need_rows:
@@ -162,8 +246,20 @@ class PackedMirror:
             tuple_relation[:self.n] = self.tuple_relation[:self.n]
             self.tuple_relation = tuple_relation
 
-    def append_row(self, gid: int, mask: int, rid: int) -> None:
-        """Mirror ``Catalog.append_tuple``: one new row plus one bit-column."""
+    def append_row(self, gid: int, mask: int, rid: int, payload=None) -> None:
+        """Mirror ``Catalog.append_tuple``: one new row plus one bit-column.
+
+        With the mmap backing the tuple's ``payload`` entry rides into the
+        file's payload region and the header's logical counts advance, so
+        the file is attachable after every append — the streaming-ingest
+        contract of the in-RAM mirror, preserved on disk.
+        """
+        if self.file is not None and self.file.readonly:
+            from repro.relational.catalog_file import MirrorFileError
+
+            raise MirrorFileError(
+                f"cannot append through a read-only mirror mapping ({self.file.path})"
+            )
         width = words_for(gid + 1)
         self._grow(gid + 1, width)
         self.width = max(self.width, width)
@@ -176,10 +272,24 @@ class PackedMirror:
         self.relation_tuples[rid, word] |= bit
         self.tuple_relation[gid] = rid
         self.n = gid + 1
+        self.version += 1
+        if self.file is not None:
+            if payload is not None and self.file.append_payload(payload):
+                self._bind_file_arrays()
+            self.file.set_counts(self.n, self.width)
 
     def tombstone(self, gid: int) -> None:
         """Mirror ``Catalog.tombstone``: one bit in the dead words."""
+        if self.file is not None and self.file.readonly:
+            from repro.relational.catalog_file import MirrorFileError
+
+            raise MirrorFileError(
+                f"cannot tombstone through a read-only mirror mapping ({self.file.path})"
+            )
         self.dead[gid >> 6] |= _ONE << np.uint64(gid & 63)
+        self.version += 1
+        if self.file is not None:
+            self.file.mark_dirty()
 
     def dead_words(self) -> np.ndarray:
         return self.dead[:self.width]
@@ -238,6 +348,12 @@ class PackedKernel(Kernel):
     #: workloads wide enough to tip the balance.
     MIN_GROUP = 64  #: batch_contains_superset — stored sets in the bucket
     MIN_WAITING = float("inf")  #: first_jcc_union — waiting sets per probe
+    #: first_jcc_union cutoff when the catalog serves rows from a mapped
+    #: mirror file (``Catalog.rows_mapped``): each big-int mask read then
+    #: unpacks packed words on demand, so the reference loop pays an
+    #: unpack per pair while the vectorized form reads ``mirror.consistent``
+    #: rows in place — the crossover collapses to "always vectorize".
+    MIN_WAITING_MAPPED = 1
     MIN_TOMBSTONED = float("inf")  #: batch_contains_tombstoned — sets per sweep
     MIN_DEAD = 64  #: batch_contains_dead — sets per equality sweep
     MIN_EXTEND = 256  #: maximally_extend — catalogued tuples
@@ -300,17 +416,13 @@ class PackedKernel(Kernel):
     def first_jcc_union(self, waiting_list: Sequence, candidate) -> int:
         if not waiting_list:
             return -1
-        if len(waiting_list) < self.MIN_WAITING:
-            return self._reference.first_jcc_union(waiting_list, candidate)
         catalog = candidate._catalog if candidate._id_mask is not None else None
-        if (
-            catalog is None
-            or not candidate._tuples
-            or any(
-                w._id_mask is None or w._catalog is not catalog or not w._tuples
-                for w in waiting_list
-            )
-        ):
+        min_waiting = self.MIN_WAITING
+        if catalog is not None and catalog.rows_mapped:
+            min_waiting = self.MIN_WAITING_MAPPED
+        if len(waiting_list) < min_waiting:
+            return self._reference.first_jcc_union(waiting_list, candidate)
+        if catalog is None or not candidate._tuples:
             return self._reference.first_jcc_union(waiting_list, candidate)
         mirror = catalog.packed_mirror()
         width = mirror.width
@@ -323,7 +435,16 @@ class PackedKernel(Kernel):
         chunk_size = max(1, self.WAITING_CHUNK)
         for start in range(0, len(waiting_list), chunk_size):
             chunk = waiting_list[start : start + chunk_size]
-            rows = np.vstack([set_words(w, width) for w in chunk])
+            # Fill a preallocated chunk matrix (``vstack`` re-validates and
+            # copies every row through ``atleast_2d`` — measurable at this
+            # call rate) and validate each waiting set on the way: any set
+            # that is uncatalogued or foreign drops the whole probe to the
+            # reference, which recomputes from scratch (pure function).
+            rows = np.empty((len(chunk), width), dtype=U64)
+            for j, w in enumerate(chunk):
+                if w._id_mask is None or w._catalog is not catalog or not w._tuples:
+                    return self._reference.first_jcc_union(waiting_list, candidate)
+                rows[j] = set_words(w, width)
             # pair_bad[j, c]: some member of waiting j is inconsistent with
             # candidate member c (the consistency matrix also charges a
             # second tuple of c's relation here).

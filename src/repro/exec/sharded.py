@@ -128,27 +128,94 @@ _PAYLOAD_TOKENS = itertools.count(1)
 #: Worker side: the latest unpickled snapshot, keyed by its token.
 _WORKER_DATABASES: Dict[TupleType[int, int], Database] = {}
 
-#: A database snapshot in transit: ``(token, pickle bytes)``.
-DatabasePayload = TupleType[TupleType[int, int], bytes]
+#: A database snapshot in transit: ``(token, blob)`` where ``blob`` is
+#: either the pickle bytes or — for databases with a durable file-backed
+#: mirror — a ``(mirror path, generation)`` reference the worker maps
+#: instead of unpickling (zero-copy through the OS page cache).
+DatabasePayload = TupleType[TupleType[int, int], object]
+
+
+def _mirror_reference(database: Database) -> Optional[TupleType[str, tuple]]:
+    """``(path, generation)`` when workers can map this database's mirror.
+
+    Requires a current catalog whose packed mirror is a durable file: the
+    file then carries everything a worker needs (matrices, relation
+    metadata, tuple payloads).  A writable mirror is stamped with the
+    database's generation right here — it is maintained in lockstep with
+    the catalog, so the file is at a database-consistent point whenever the
+    catalog is current.  A read-only attachment must already carry the
+    matching stamp; a mismatch means the file has moved on and the pickle
+    path is the only safe transport.
+    """
+    if not database._catalog_is_current():
+        return None
+    catalog = database._catalog_cache
+    mirror = catalog._packed_mirror
+    if mirror is None or mirror.file is None or mirror.file.ephemeral:
+        return None
+    handle = mirror.file
+    generation = tuple(database.generation)
+    if handle.readonly:
+        if tuple(handle.generation) != generation:
+            return None
+    else:
+        handle.stamp_generation(generation)
+        handle.flush()
+    return os.path.abspath(handle.path), generation
 
 
 def _database_payload(database: Database) -> DatabasePayload:
-    """Pickle ``database`` once; every task of the call ships these bytes."""
+    """Snapshot ``database`` once; every task of the call ships the result.
+
+    Databases with a durable file-backed mirror ship a path reference —
+    workers map the same pages read-only via the OS page cache instead of
+    each holding a full unpickled copy.  Everything else ships the classic
+    one-time pickle.
+    """
     token = (os.getpid(), next(_PAYLOAD_TOKENS))
+    reference = _mirror_reference(database)
+    if reference is not None:
+        return token, reference
     return token, pickle.dumps(database, protocol=pickle.HIGHEST_PROTOCOL)
 
 
 def _payload_database(payload: DatabasePayload) -> Database:
-    """Worker side: unpickle a snapshot once, reuse it across stolen ranges."""
+    """Worker side: materialise a snapshot once, reuse it across stolen ranges."""
     token, blob = payload
     database = _WORKER_DATABASES.get(token)
     if database is None:
         # Keep at most one cached snapshot per worker: streaming runs push a
         # fresh snapshot per pass and the old ones would only pile up.
         _WORKER_DATABASES.clear()
-        database = pickle.loads(blob)
+        if isinstance(blob, bytes):
+            database = pickle.loads(blob)
+        else:
+            from repro.relational.catalog_file import load_database
+
+            path, generation = blob
+            database = load_database(path)
+            if tuple(database.generation) != tuple(generation):
+                raise RuntimeError(
+                    f"mirror file {path} is at generation "
+                    f"{tuple(database.generation)}, task expected {tuple(generation)}"
+                )
         _WORKER_DATABASES[token] = database
     return database
+
+
+def _payload_probe(payload: DatabasePayload) -> float:
+    """Benchmark hook: cold worker-side payload materialisation time.
+
+    Clears the worker's snapshot cache first, so the measurement is the
+    true cold-start cost of the given transport (unpickle vs. mmap attach).
+    Returns seconds.
+    """
+    import time
+
+    _WORKER_DATABASES.clear()
+    start = time.perf_counter()
+    _payload_database(payload)
+    return time.perf_counter() - start
 
 
 def plan_bucket_ranges(

@@ -52,10 +52,69 @@ Dead ids are reclaimed only by an explicit rebuild
 
 from __future__ import annotations
 
+import os
+import tempfile
+import warnings
 from typing import Dict, Iterable, List, Optional, Tuple as TupleType
 
 from repro.relational.database import Database
+from repro.relational.nulls import is_null
 from repro.relational.tuples import Tuple
+
+
+class _MirrorRows:
+    """Big-int row access over an attached (file-backed) mirror.
+
+    Stands in for the catalog's ``_consistent`` list in catalogs attached to
+    a mirror file: ``rows[gid]`` unpacks one mapped row to a big int on
+    demand, so code paths that want big-int masks (the reference kernel,
+    parity checks, ``pair_consistent``) work unchanged while the matrix
+    itself stays on disk and pages in lazily.
+
+    Unpacking a packed row into a Python big int costs microseconds, and
+    the merge loop reads the same handful of rows millions of times, so
+    unpacked rows are memoised in a bounded dict.  Appends flip bits in
+    *other* rows' columns (the new tuple's bit is OR'd into every
+    consistent row), so the cache keys on the mirror's ``version``
+    counter and drops wholesale whenever it moves.
+    """
+
+    #: Cached big ints are one machine word per 64 tuples; at the cap the
+    #: cache tops out around a dozen megabytes even for ~100k-tuple runs,
+    #: so it cannot dominate the out-of-core memory story.
+    CACHE_ROWS = 4096
+
+    __slots__ = ("_mirror", "_cache", "_stamp")
+
+    def __init__(self, mirror):
+        self._mirror = mirror
+        self._cache = {}
+        self._stamp = mirror.version
+
+    def __len__(self) -> int:
+        return self._mirror.n
+
+    def __getitem__(self, gid: int) -> int:
+        from repro.core.kernels.packed import unpack_to_int
+
+        mirror = self._mirror
+        if gid < 0:
+            gid += mirror.n
+        if not 0 <= gid < mirror.n:
+            raise IndexError("tuple id out of range")
+        cache = self._cache
+        if self._stamp != mirror.version:
+            cache.clear()
+            self._stamp = mirror.version
+        else:
+            row = cache.get(gid)
+            if row is not None:
+                return row
+        row = unpack_to_int(mirror.consistent[gid, : mirror.width])
+        if len(cache) >= self.CACHE_ROWS:
+            cache.clear()
+        cache[gid] = row
+        return row
 
 
 class Catalog:
@@ -64,6 +123,7 @@ class Catalog:
     __slots__ = (
         "_relation_ids",
         "_relation_names",
+        "_relation_meta",
         "_relation_adjacency",
         "_relation_tuples",
         "_tuple_ids",
@@ -74,6 +134,7 @@ class Catalog:
         "_dead_mask",
         "_connected_cache",
         "_packed_mirror",
+        "_mirror_path",
     )
 
     def __init__(self, database: Database):
@@ -83,6 +144,12 @@ class Catalog:
         for rid, relation in enumerate(relations):
             self._relation_ids[relation.name] = rid
             self._relation_names.append(relation.name)
+        # Enough schema to rebuild the relations elsewhere — written into
+        # mirror-file metadata so workers can reconstruct the Database shell.
+        self._relation_meta = [
+            (relation.name, tuple(relation.schema.attributes), relation._label_prefix)
+            for relation in relations
+        ]
 
         count = len(relations)
         adjacency = [0] * count
@@ -142,8 +209,10 @@ class Catalog:
         self._connected_cache: Dict[int, bool] = {1: True} if count else {}
         # Columnar mirror of the bitmatrices for the packed kernel, built
         # lazily by packed_mirror() and maintained by the append/tombstone
-        # hooks below.
+        # hooks below.  When the mirror is file-backed, _mirror_path names
+        # the file so pickled catalogs can reattach instead of rebuilding.
         self._packed_mirror = None
+        self._mirror_path = None
 
     # ------------------------------------------------------------------ #
     # append-only maintenance
@@ -168,6 +237,25 @@ class Catalog:
         existing = self._tuple_ids.get(t)
         if existing is not None and not (self._dead_mask >> existing) & 1:
             raise ValueError(f"tuple {t.label!r} is already catalogued")
+        mirror = self._packed_mirror
+        inline = isinstance(self._consistent, list)
+        if mirror is not None and mirror.file is not None and mirror.file.readonly:
+            if inline:
+                # The big ints remain the source of truth; drop the
+                # unwritable file-backed mirror (it rebuilds lazily, in RAM)
+                # rather than fail the append.
+                self._packed_mirror = None
+                self._mirror_path = None
+                mirror = None
+            else:
+                # Attached catalog: the file IS the matrix — refuse before
+                # mutating anything.
+                from repro.relational.catalog_file import MirrorFileError
+
+                raise MirrorFileError(
+                    f"catalog is attached read-only to {mirror.file.path}; "
+                    "reopen with writable=True to append"
+                )
         gid = len(self._tuples)
         bit = 1 << gid
         self._tuple_ids[t] = gid
@@ -191,21 +279,28 @@ class Catalog:
                 # Non-adjacent relations share no attribute: vacuously
                 # consistent in both directions.
                 mask |= others
-                while others:
-                    low = others & -others
-                    consistent[low.bit_length() - 1] |= bit
-                    others ^= low
+                if inline:
+                    while others:
+                        low = others & -others
+                        consistent[low.bit_length() - 1] |= bit
+                        others ^= low
             else:
                 while others:
                     low = others & -others
                     other_gid = low.bit_length() - 1
                     if t.join_consistent_with(self._tuples[other_gid]):
                         mask |= low
-                        consistent[other_gid] |= bit
+                        if inline:
+                            consistent[other_gid] |= bit
                     others ^= low
-        consistent.append(mask)
-        if self._packed_mirror is not None:
-            self._packed_mirror.append_row(gid, mask, rid)
+        if inline:
+            # Attached catalogs skip the big-int column updates entirely: the
+            # mirror's append_row writes the same bits into the mapped words,
+            # and _MirrorRows serves them back on demand.
+            consistent.append(mask)
+        if mirror is not None:
+            payload = self.payload_entry(gid) if mirror.file is not None else None
+            mirror.append_row(gid, mask, rid, payload=payload)
         return gid
 
     def tombstone(self, t: Tuple) -> int:
@@ -223,9 +318,22 @@ class Catalog:
         bit = 1 << gid
         if self._dead_mask & bit:
             raise ValueError(f"tuple {t.label!r} is already tombstoned")
+        mirror = self._packed_mirror
+        if mirror is not None and mirror.file is not None and mirror.file.readonly:
+            if isinstance(self._consistent, list):
+                self._packed_mirror = None
+                self._mirror_path = None
+                mirror = None
+            else:
+                from repro.relational.catalog_file import MirrorFileError
+
+                raise MirrorFileError(
+                    f"catalog is attached read-only to {mirror.file.path}; "
+                    "reopen with writable=True to tombstone"
+                )
         self._dead_mask |= bit
-        if self._packed_mirror is not None:
-            self._packed_mirror.tombstone(gid)
+        if mirror is not None:
+            mirror.tombstone(gid)
         return gid
 
     # ------------------------------------------------------------------ #
@@ -240,28 +348,237 @@ class Catalog:
         mirror never goes stale: the big ints remain the source of truth
         and every mirror mutation happens inside the same call that mutates
         them.
+
+        The backing is chosen per :func:`~repro.relational.catalog_file.
+        resolve_backing`: RAM arrays below the ``REPRO_MMAP_THRESHOLD``
+        tuple count, a self-deleting temporary mirror file above it (or as
+        forced by ``REPRO_MMAP=on|off``).  A failed file backing degrades to
+        RAM with a warning — same contract as kernel selection.
         """
         if self._packed_mirror is None:
             from repro.core.kernels.packed import PackedMirror
+            from repro.relational.catalog_file import resolve_backing
 
+            if resolve_backing(self.tuple_count) == "mmap":
+                fd, path = tempfile.mkstemp(prefix="repro-mirror-", suffix=".rpmc")
+                os.close(fd)
+                try:
+                    self._packed_mirror = PackedMirror(
+                        self, backing="mmap", path=path, delete_on_close=True
+                    )
+                    self._mirror_path = os.path.abspath(path)
+                    return self._packed_mirror
+                except Exception as error:
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
+                    warnings.warn(
+                        f"mmap mirror backing failed ({error}); using RAM",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
             self._packed_mirror = PackedMirror(self)
         return self._packed_mirror
 
+    def save_mirror(self, path: str):
+        """Write (and keep using) a durable mirror file at ``path``.
+
+        The catalog's matrices and tuple payloads are packed into a sealed
+        :class:`~repro.relational.catalog_file.MirrorFile`, and the written
+        mirror *becomes* the catalog's packed mirror, so subsequent appends
+        and tombstones maintain the file incrementally.  Returns the mirror.
+        """
+        from repro.core.kernels.packed import PackedMirror
+
+        mirror = PackedMirror(self, backing="mmap", path=path)
+        mirror.file.seal()
+        self._packed_mirror = mirror
+        self._mirror_path = os.path.abspath(path)
+        return mirror
+
+    def mirror_meta(self) -> dict:
+        """The relation metadata stored in a mirror file's meta section."""
+        return {
+            "relations": [
+                [name, list(attributes), label_prefix]
+                for name, attributes, label_prefix in self._relation_meta
+            ]
+        }
+
+    def payload_entry(self, gid: int) -> list:
+        """Tuple ``gid`` as a JSON-ready mirror-file payload entry."""
+        t = self._tuples[gid]
+        return [
+            t.relation_name,
+            t.label,
+            [None if is_null(v) else v for v in t.values],
+            t.importance,
+            t.probability,
+        ]
+
+    def stamp_mirror_generation(self, generation) -> None:
+        """Record the owning database's generation in a writable mirror file.
+
+        A no-op for RAM mirrors and read-only attachments.  The database
+        calls this after every catalog-maintained mutation, so a mirror file
+        under streaming ingest is always stamped at a database-consistent
+        point and :func:`~repro.relational.catalog_file.load_database` can
+        verify it.
+        """
+        mirror = self._packed_mirror
+        if mirror is not None and mirror.file is not None and not mirror.file.readonly:
+            mirror.file.stamp_generation(tuple(generation))
+
+    def mirror_snapshot_ref(self) -> Optional[dict]:
+        """A by-reference snapshot of the tuple entries, if one is possible.
+
+        Non-``None`` only when the catalog has a *durable* file-backed
+        mirror (ephemeral auto-selected temp files self-delete and must not
+        be referenced).  The ref pins the payload prefix length and the dead
+        mask at this moment; since the payload is append-only, the ref stays
+        valid under later ingest.
+        """
+        mirror = self._packed_mirror
+        if mirror is None or mirror.file is None or mirror.file.ephemeral:
+            return None
+        handle = mirror.file
+        if not handle.readonly:
+            handle.flush()
+        return {
+            "path": os.path.abspath(handle.path),
+            "payload_offset": handle.payload_off,
+            "payload_length": handle.payload_used,
+            "count": self.tuple_count,
+            "dead_mask": format(self._dead_mask, "x"),
+        }
+
     def __getstate__(self):
         # The mirror is a derived cache of NumPy arrays: dropping it keeps
-        # catalogs picklable without NumPy on the receiving side (sharded
-        # workers rebuild it lazily if their kernel wants it).
+        # catalogs picklable without NumPy on the receiving side.  A RAM
+        # mirror rebuilds lazily; a durable file-backed mirror ships its
+        # path instead, so the receiver reattaches in O(1) rather than
+        # repacking the matrices from big ints.
         state = {slot: getattr(self, slot) for slot in self.__slots__}
         state["_packed_mirror"] = None
+        mirror = self._packed_mirror
+        durable = (
+            mirror is not None
+            and mirror.file is not None
+            and not mirror.file.ephemeral
+        )
+        state["_mirror_path"] = mirror.path if durable else None
+        if not isinstance(self._consistent, list):
+            # Attached catalog: the consistency matrix lives in the file —
+            # ship the reference, not a big-int copy of the bytes.
+            state["_consistent"] = None
         return state
 
     def __setstate__(self, state):
         for slot, value in state.items():
             setattr(self, slot, value)
+        if self._consistent is None:
+            self._reattach_mirror(required=True)
+        elif self._mirror_path:
+            self._reattach_mirror(required=False)
+
+    def _reattach_mirror(self, required: bool) -> None:
+        """Reopen ``_mirror_path`` read-only and attach to it.
+
+        ``required`` is set when the pickled state shipped no consistency
+        big ints (attached catalogs): failure to reattach is then an error.
+        Otherwise the path is best-effort — on any failure the catalog
+        falls back to the lazy RAM rebuild.
+        """
+        try:
+            from repro.core.kernels.packed import PackedMirror
+            from repro.relational.catalog_file import MirrorFile, MirrorFileError
+
+            path = self._mirror_path
+            if not path:
+                raise MirrorFileError("catalog state carries no mirror path")
+            handle = MirrorFile.open(path, writable=False)
+            if handle.n != len(self._tuples):
+                handle.close()
+                raise MirrorFileError(
+                    f"{path}: mirror holds {handle.n} rows, "
+                    f"catalog has {len(self._tuples)}"
+                )
+            self._packed_mirror = PackedMirror.attached(handle)
+            if self._consistent is None:
+                self._consistent = _MirrorRows(self._packed_mirror)
+        except Exception:
+            if required:
+                raise
+            self._packed_mirror = None
+            self._mirror_path = None
+
+    @classmethod
+    def _attach(cls, mirror_file, tuples: List[Tuple], dead_mask: int) -> "Catalog":
+        """Build a catalog served directly by a mapped mirror file.
+
+        The relation-level masks are small and unpacked to big ints; the
+        O(n²)-bit consistency matrix is *not* — it stays in the file behind
+        :class:`_MirrorRows` and the attached :class:`PackedMirror
+        <repro.core.kernels.packed.PackedMirror>`, paging in on demand.
+        ``tuples`` lists every issued gid in order (dead incarnations
+        included); ``dead_mask`` is the tombstone set.
+        """
+        from repro.core.kernels.packed import PackedMirror
+        from repro.relational.catalog_file import MirrorFileError
+
+        if len(tuples) != mirror_file.n:
+            raise MirrorFileError(
+                f"{mirror_file.path}: mirror holds {mirror_file.n} rows, "
+                f"caller supplied {len(tuples)} tuples"
+            )
+        self = object.__new__(cls)
+        relations = mirror_file.meta.get("relations") or []
+        self._relation_ids = {}
+        self._relation_names = []
+        self._relation_meta = []
+        for rid, (name, attributes, label_prefix) in enumerate(relations):
+            self._relation_ids[name] = rid
+            self._relation_names.append(name)
+            self._relation_meta.append((name, tuple(attributes), label_prefix))
+        count = len(self._relation_names)
+        self._relation_adjacency = [
+            int.from_bytes(mirror_file.adjacency[rid].tobytes(), "little")
+            for rid in range(count)
+        ]
+        self._relation_tuples = [
+            int.from_bytes(mirror_file.relation_tuples[rid].tobytes(), "little")
+            for rid in range(count)
+        ]
+        n = mirror_file.n
+        self._tuples = list(tuples)
+        self._tuple_ids = {}
+        for gid, t in enumerate(self._tuples):
+            self._tuple_ids[t] = gid  # later (live) incarnation wins
+        self._tuple_relation = [int(mirror_file.tuple_relation[gid]) for gid in range(n)]
+        self._all_tuples_mask = (1 << n) - 1
+        self._dead_mask = dead_mask
+        self._connected_cache = {1: True} if count else {}
+        self._packed_mirror = PackedMirror.attached(mirror_file)
+        self._consistent = _MirrorRows(self._packed_mirror)
+        self._mirror_path = os.path.abspath(mirror_file.path)
+        return self
 
     # ------------------------------------------------------------------ #
     # sizes and liveness
     # ------------------------------------------------------------------ #
+    @property
+    def rows_mapped(self) -> bool:
+        """True when the consistency matrix is served from a mapped mirror.
+
+        Big-int row reads then unpack packed words on demand (through
+        :class:`_MirrorRows`) instead of indexing a resident list, which
+        flips the kernels' vectorize-vs-delegate crossovers: per-pair
+        big-int probes stop being cheap, so batch operations should
+        prefer the packed forms even at small sizes.
+        """
+        return isinstance(self._consistent, _MirrorRows)
+
     @property
     def relation_count(self) -> int:
         """Number of catalogued relations."""

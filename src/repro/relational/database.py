@@ -89,6 +89,7 @@ class Database:
             if self._catalog_key == before:
                 self._catalog_cache.append_tuple(t)
                 self._catalog_key = self._structure_key()
+                self._catalog_cache.stamp_mirror_generation(self.generation)
             # A stale snapshot (tuples added behind the database's back)
             # keeps its stale key and is rebuilt on the next catalog() call.
         return t
@@ -131,6 +132,7 @@ class Database:
         if was_current:
             self._catalog_cache.tombstone(t)
             self._catalog_key = self._structure_key()
+            self._catalog_cache.stamp_mirror_generation(self.generation)
         return t
 
     def resolve_update(
@@ -209,6 +211,7 @@ class Database:
             self._catalog_cache.tombstone(old)
             self._catalog_cache.append_tuple(t)
             self._catalog_key = self._structure_key()
+            self._catalog_cache.stamp_mirror_generation(self.generation)
         return t
 
     def compact(self):
@@ -226,6 +229,22 @@ class Database:
     # ------------------------------------------------------------------ #
     # durable state (storage-layer snapshot/restore hooks)
     # ------------------------------------------------------------------ #
+    def save_mirror(self, path: str) -> str:
+        """Persist the catalog as a sealed, generation-stamped mirror file.
+
+        The written file (see :mod:`repro.relational.catalog_file`) carries
+        the packed bitmatrices, the relation metadata, and every tuple
+        payload, so :func:`~repro.relational.catalog_file.load_database`
+        reconstructs an equivalent database around it — and the catalog
+        keeps using the file as its packed mirror, maintaining it in place
+        under further ingest.  Returns ``path``.
+        """
+        catalog = self.catalog()
+        mirror = catalog.save_mirror(path)
+        mirror.file.stamp_generation(tuple(self.generation))
+        mirror.file.flush()
+        return path
+
     def snapshot_state(self) -> dict:
         """Serialize the database (catalog included) as a JSON-ready dict.
 
@@ -234,10 +253,14 @@ class Database:
         exactly — including tombstones — and anything that named tuples by
         gid (persisted result logs) stays valid.  Null cells are encoded as
         JSON ``null``.  The packed mirror is derived state and is rebuilt
-        lazily on the restored side rather than serialized.
+        lazily on the restored side rather than serialized — except when it
+        is a durable mirror *file*: then the tuple entries are recorded **by
+        reference** (``tuples_ref``: path + payload prefix + dead mask)
+        instead of being re-serialized, so snapshot latency stays O(1) in
+        the database size.
         """
         catalog = self.catalog()
-        return {
+        state = {
             "relations": [
                 {
                     "name": relation.name,
@@ -246,7 +269,15 @@ class Database:
                 }
                 for relation in self._relations
             ],
-            "tuples": [
+            "epoch": self.epoch,
+            "catalog_rebuilds": self.catalog_rebuilds,
+            "generation": list(self.generation),
+        }
+        ref = catalog.mirror_snapshot_ref()
+        if ref is not None:
+            state["tuples_ref"] = ref
+        else:
+            state["tuples"] = [
                 [
                     t.relation_name,
                     t.label,
@@ -256,11 +287,8 @@ class Database:
                     dead,
                 ]
                 for _, t, dead in catalog.entries()
-            ],
-            "epoch": self.epoch,
-            "catalog_rebuilds": self.catalog_rebuilds,
-            "generation": list(self.generation),
-        }
+            ]
+        return state
 
     @classmethod
     def restore_state(cls, state: dict) -> "Database":
@@ -290,7 +318,11 @@ class Database:
         # place and gid assignment tracks insertion order exactly.
         catalog = database.catalog()
         live_labels: Dict[str, set] = {spec["name"]: set() for spec in state["relations"]}
-        entries = state["tuples"]
+        entries = state.get("tuples")
+        if entries is None:
+            from repro.relational.catalog_file import read_snapshot_entries
+
+            entries = read_snapshot_entries(state["tuples_ref"])
         for relation_name, label, values, importance, probability, _ in entries:
             if label in live_labels[relation_name]:
                 database.remove_tuple(relation_name, label)

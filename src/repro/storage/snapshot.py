@@ -97,8 +97,39 @@ def _prune(directory: str, keep: int) -> None:
             pass
 
 
-def load_snapshot(path: str) -> Optional[dict]:
-    """Load and validate one snapshot file; ``None`` if it does not verify."""
+def external_references(document: dict) -> List[str]:
+    """Paths of mirror files the snapshot records **by reference**.
+
+    Snapshots of databases with a durable file-backed catalog mirror carry
+    ``tuples_ref`` dicts (path + payload prefix + dead mask) instead of
+    inline tuple entries — see ``Database.snapshot_state``.  Recovery needs
+    those files to still exist; this walks the document and collects every
+    referenced path so callers can check before committing to a snapshot.
+    """
+    paths: List[str] = []
+
+    def walk(node) -> None:
+        if isinstance(node, dict):
+            ref = node.get("tuples_ref")
+            if isinstance(ref, dict) and isinstance(ref.get("path"), str):
+                paths.append(ref["path"])
+            for value in node.values():
+                walk(value)
+        elif isinstance(node, list):
+            for value in node:
+                walk(value)
+
+    walk(document)
+    return paths
+
+
+def load_snapshot(path: str, check_references: bool = False) -> Optional[dict]:
+    """Load and validate one snapshot file; ``None`` if it does not verify.
+
+    With ``check_references`` set, a snapshot whose by-reference mirror
+    files have vanished also answers ``None`` — the caller then falls back
+    to an older snapshot exactly as it would for a bad checksum.
+    """
     try:
         with open(path, "rb") as handle:
             document = json.loads(handle.read().decode("utf-8"))
@@ -111,13 +142,19 @@ def load_snapshot(path: str) -> Optional[dict]:
     expected = document.pop("checksum", None)
     if expected != zlib.crc32(_canonical(document)):
         return None
+    if check_references:
+        for ref_path in external_references(document):
+            if not os.path.exists(ref_path):
+                return None
     return document
 
 
-def load_latest_snapshot(directory: str) -> Optional[Tuple[dict, str]]:
+def load_latest_snapshot(
+    directory: str, check_references: bool = True
+) -> Optional[Tuple[dict, str]]:
     """Newest snapshot that validates, or ``None`` when none does."""
     for _, path in list_snapshots(directory):
-        document = load_snapshot(path)
+        document = load_snapshot(path, check_references=check_references)
         if document is not None:
             return document, path
     return None

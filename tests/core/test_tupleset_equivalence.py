@@ -152,14 +152,48 @@ def test_engine_output_matches_reference_run(name, database, use_index):
 
 
 # --------------------------------------------------------------------- #
-# three-way suite: reference (dict/BFS) vs big-int vs packed kernels
+# four-way suite: reference (dict/BFS) vs big-int vs packed kernels,
+# the packed kernel on both mirror backings (RAM arrays and mapped file)
 # --------------------------------------------------------------------- #
-from repro.core.kernels import KERNELS, numpy_available, use_kernel  # noqa: E402
+from repro.core.kernels import numpy_available, use_kernel  # noqa: E402
 from repro.core.store import CompleteStore  # noqa: E402
 
-AVAILABLE_KERNELS = [
-    name for name in KERNELS if name != "packed" or numpy_available()
-]
+#: (kernel, mirror backing) pairs; every mode must agree with the
+#: uninterned dict/BFS reference the tests below compute inline.
+KERNEL_MODES = [("bigint", "ram")]
+if numpy_available():
+    KERNEL_MODES += [("packed", "ram"), ("packed", "mmap")]
+KERNEL_MODE_IDS = [f"{kernel}-{backing}" for kernel, backing in KERNEL_MODES]
+
+#: Deterministic builders so mmap modes get a private database instance
+#: (its catalog mirror lives in a file under the test's tmp_path).
+WORKLOAD_FACTORIES = {
+    "tourist": tourist_database,
+    "chain": lambda: chain_database(
+        relations=3, tuples_per_relation=5, domain_size=3, null_rate=0.2, seed=7
+    ),
+    "star": lambda: star_database(
+        spokes=3, tuples_per_relation=4, hub_domain=2, seed=11
+    ),
+}
+for _seed in (0, 1, 2):
+    WORKLOAD_FACTORIES[f"random-{_seed}"] = lambda _seed=_seed: random_database(
+        relations=3,
+        attributes=5,
+        arity=3,
+        tuples_per_relation=4,
+        domain_size=2,
+        null_rate=0.25,
+        seed=_seed,
+    )
+
+
+def _mode_database(name, backing, tmp_path):
+    database = WORKLOAD_FACTORIES[name]()
+    if backing == "mmap":
+        mirror = database.catalog().save_mirror(str(tmp_path / f"{name}.rpmc"))
+        assert mirror.backing == "mmap"
+    return database
 
 
 
@@ -179,17 +213,18 @@ def _sorted(tuples):
     return sorted(tuples, key=lambda t: (t.relation_name, t.label))
 
 
-@pytest.mark.parametrize("kernel", AVAILABLE_KERNELS)
-@pytest.mark.parametrize("name,database", WORKLOADS, ids=WORKLOAD_IDS)
+@pytest.mark.parametrize("kernel,backing", KERNEL_MODES, ids=KERNEL_MODE_IDS)
+@pytest.mark.parametrize("name", WORKLOAD_IDS)
 def test_inner_loop_tests_match_reference_under_every_kernel(
-    name, database, kernel
+    name, kernel, backing, tmp_path
 ):
-    """union_is_jcc / can_absorb / maximal_jcc_subset_with, three ways.
+    """union_is_jcc / can_absorb / maximal_jcc_subset_with, four ways.
 
     The uninterned dict/BFS reference, the interned big-int fast path and
-    the packed kernel's batch forms must all give the same answer on the
-    same random JCC sets.
+    the packed kernel's batch forms — on RAM and mapped-file mirrors —
+    must all give the same answer on the same random JCC sets.
     """
+    database = _mode_database(name, backing, tmp_path)
     catalog = database.catalog()
     all_tuples = list(database.tuples())
     rng = random.Random(271)
@@ -221,11 +256,12 @@ def test_inner_loop_tests_match_reference_under_every_kernel(
             assert active.first_jcc_union(interned, candidate) == expected
 
 
-@pytest.mark.parametrize("kernel", AVAILABLE_KERNELS)
-@pytest.mark.parametrize("name,database", WORKLOADS, ids=WORKLOAD_IDS)
+@pytest.mark.parametrize("kernel,backing", KERNEL_MODES, ids=KERNEL_MODE_IDS)
+@pytest.mark.parametrize("name", WORKLOAD_IDS)
 def test_contains_superset_batch_matches_reference_under_every_kernel(
-    name, database, kernel
+    name, kernel, backing, tmp_path
 ):
+    database = _mode_database(name, backing, tmp_path)
     catalog = database.catalog()
     all_tuples = list(database.tuples())
     rng = random.Random(137)
@@ -259,16 +295,20 @@ def test_contains_superset_batch_matches_reference_under_every_kernel(
             assert store.contains_superset_batch(probes, anchor=anchor) == expected
 
 
-@pytest.mark.parametrize("kernel", AVAILABLE_KERNELS)
-def test_retraction_matches_reference_under_every_kernel(kernel):
-    """remove_tuple / update_tuple sweeps, three ways.
+@pytest.mark.parametrize("kernel,backing", KERNEL_MODES, ids=KERNEL_MODE_IDS)
+def test_retraction_matches_reference_under_every_kernel(kernel, backing, tmp_path):
+    """remove_tuple / update_tuple sweeps, four ways.
 
     After each mutation the kernel-backed tombstone and dead-tuple sweeps
-    must flag exactly the sets a per-member Python scan flags.
+    must flag exactly the sets a per-member Python scan flags — including
+    when the tombstone bits live in a mapped mirror file.
     """
     database = chain_database(
         relations=3, tuples_per_relation=5, domain_size=3, null_rate=0.2, seed=41
     )
+    if backing == "mmap":
+        mirror = database.catalog().save_mirror(str(tmp_path / "retract.rpmc"))
+        assert mirror.backing == "mmap"
     catalog = database.catalog()
     all_tuples = list(database.tuples())
     rng = random.Random(43)

@@ -286,3 +286,29 @@ class TestTraceCommand:
     def test_trace_defaults_to_first_relation(self, csv_paths, capsys):
         assert main(["trace", *csv_paths]) == 0
         assert "iterations, anchor relation 'Accommodations'" in capsys.readouterr().out
+
+
+class TestPackCommand:
+    def test_packs_a_workload_to_a_mirror_file(self, tmp_path, capsys):
+        pytest.importorskip("numpy")
+        out = str(tmp_path / "star.rpmc")
+        assert main(["pack", "star", "--seed", "3", "--out", out]) == 0
+        output = capsys.readouterr().out
+        assert "packed" in output and "sealed=True" in output
+        from repro.relational.catalog_file import load_database
+
+        clone = load_database(out)
+        assert clone.tuple_count() > 0
+
+    def test_packs_csv_files(self, csv_paths, tmp_path, capsys):
+        pytest.importorskip("numpy")
+        out = str(tmp_path / "tourist.rpmc")
+        assert main(["pack", *csv_paths, "--out", out]) == 0
+        from repro.relational.catalog_file import load_database
+
+        clone = load_database(out)
+        assert clone.tuple_count() == 10
+
+    def test_out_is_required(self, csv_paths):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["pack", *csv_paths])

@@ -6,6 +6,7 @@ import os
 
 from repro.storage.snapshot import (
     KEEP_SNAPSHOTS,
+    external_references,
     list_snapshots,
     load_latest_snapshot,
     load_snapshot,
@@ -74,3 +75,47 @@ class TestRetention:
         write_snapshot(str(tmp_path), {"which": "new"}, seq=2)
         document, _ = load_latest_snapshot(str(tmp_path))
         assert document["which"] == "new"
+
+
+class TestExternalReferences:
+    """By-reference tuple entries: snapshots that point at mirror files."""
+
+    def _ref_payload(self, path):
+        return {
+            "database": {
+                "tuples_ref": {
+                    "path": path, "count": 0, "payload_length": 0, "dead_mask": "0",
+                }
+            }
+        }
+
+    def test_references_are_collected_recursively(self, tmp_path):
+        payload = self._ref_payload("/somewhere/mirror.rpmc")
+        payload["nested"] = [{"deep": self._ref_payload("/elsewhere/other.rpmc")}]
+        assert sorted(external_references(payload)) == [
+            "/elsewhere/other.rpmc",
+            "/somewhere/mirror.rpmc",
+        ]
+        assert external_references({"database": {"tuples": []}}) == []
+
+    def test_missing_reference_fails_validation_when_checked(self, tmp_path):
+        payload = self._ref_payload(str(tmp_path / "vanished.rpmc"))
+        path = write_snapshot(str(tmp_path), payload, seq=1)
+        assert load_snapshot(path) is not None  # checksum is fine
+        assert load_snapshot(path, check_references=True) is None
+
+    def test_present_reference_passes_the_check(self, tmp_path):
+        mirror = tmp_path / "mirror.rpmc"
+        mirror.write_bytes(b"\x00")
+        path = write_snapshot(str(tmp_path), self._ref_payload(str(mirror)), seq=1)
+        assert load_snapshot(path, check_references=True) is not None
+
+    def test_latest_falls_back_past_a_dangling_reference(self, tmp_path):
+        write_snapshot(str(tmp_path), {"which": "inline"}, seq=1)
+        write_snapshot(
+            str(tmp_path), self._ref_payload(str(tmp_path / "gone.rpmc")), seq=2
+        )
+        loaded = load_latest_snapshot(str(tmp_path))
+        assert loaded is not None
+        document, _ = loaded
+        assert document["which"] == "inline"
